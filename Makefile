@@ -1,0 +1,38 @@
+# Convenience targets for the sthist reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench examples experiments cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates every paper table/figure at reduced scale; see EXPERIMENTS.md.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/queryopt
+	$(GO) run ./examples/skysurvey
+	$(GO) run ./examples/sensitivity
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/catalog
+	$(GO) run ./examples/joinplan
+
+experiments:
+	$(GO) run ./cmd/sthist -all
+
+cover:
+	$(GO) test -cover ./...

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sthist/internal/datagen"
+)
+
+func TestRunRequiresSource(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing -csv/-dataset accepted")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunMissingCSV(t *testing.T) {
+	if err := run([]string{"-csv", "/no/such/file.csv"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing CSV accepted")
+	}
+}
+
+func TestRunSession(t *testing.T) {
+	input := strings.Join([]string{
+		"x1 BETWEEN 400 AND 600",
+		`\stats`,
+		"x1 >= 475 AND x1 <= 525 AND x2 BETWEEN 0 AND 1000",
+		"bogus >= 1",
+		`\q`,
+	}, "\n")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "cross", "-scale", "0.05", "-seed", "2"}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "approx COUNT(*)") {
+		t.Errorf("no estimates in output:\n%s", s)
+	}
+	if !strings.Contains(s, "queries=") {
+		t.Errorf("\\stats produced no counters:\n%s", s)
+	}
+	if !strings.Contains(s, "unknown column") {
+		t.Errorf("bad predicate not reported:\n%s", s)
+	}
+}
+
+func TestRunEOFEndsSession(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "cross", "-scale", "0.02"}, strings.NewReader("x1 >= 0\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBinaryInput(t *testing.T) {
+	ds, err := datagen.ByName("cross", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cross.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Table.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-csv", path}, strings.NewReader("x1 >= 400\n\\q\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "approx COUNT(*)") {
+		t.Errorf("no estimate from binary input:\n%s", out.String())
+	}
+}
+
+func TestRunSaveLoadCommands(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	input := strings.Join([]string{
+		"x1 BETWEEN 400 AND 600",
+		`\save ` + path,
+		`\load ` + path,
+		`\load /no/such/file.json`,
+		`\q`,
+	}, "\n")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "cross", "-scale", "0.05"}, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "histogram saved to") || !strings.Contains(s, "histogram loaded from") {
+		t.Errorf("save/load commands failed:\n%s", s)
+	}
+	if !strings.Contains(s, "error:") {
+		t.Errorf("missing-file load did not report an error:\n%s", s)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sthist/internal/dataset"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cross.csv")
+	if err := run([]string{"-dataset", "cross", "-scale", "0.01", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 220 || tab.Dims() != 2 {
+		t.Errorf("CSV round trip: %dx%d", tab.Len(), tab.Dims())
+	}
+}
+
+func TestRunInfo(t *testing.T) {
+	if err := run([]string{"-dataset", "gauss", "-scale", "0.005", "-info"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunBadOutPath(t *testing.T) {
+	if err := run([]string{"-dataset", "cross", "-scale", "0.01", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv")}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	err := run([]string{"-bogus"})
+	if err == nil || !strings.Contains(err.Error(), "flag") {
+		t.Errorf("bad flag not rejected: %v", err)
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cross.bin")
+	if err := run([]string{"-dataset", "cross", "-scale", "0.01", "-format", "binary", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := dataset.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 220 {
+		t.Errorf("binary round trip rows = %d", tab.Len())
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run([]string{"-dataset", "cross", "-scale", "0.01", "-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

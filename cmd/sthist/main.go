@@ -1,0 +1,120 @@
+// Command sthist runs the paper's experiments by id and prints the rows or
+// series behind each table/figure.
+//
+// Usage:
+//
+//	sthist -list
+//	sthist -exp fig11                       # reduced default scale
+//	sthist -exp fig13 -scale 1 -train 1000 -eval 1000   # paper scale
+//	sthist -exp table2 -buckets 50,100,250
+//	sthist -all                             # every experiment at the default scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sthist/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sthist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sthist", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment id to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		list    = fs.Bool("list", false, "list experiment ids")
+		scale   = fs.Float64("scale", 0, "dataset scale factor (1 = paper scale; default: reduced)")
+		train   = fs.Int("train", 0, "training queries (default: reduced; paper uses 1000)")
+		eval    = fs.Int("eval", 0, "evaluation queries (default: reduced; paper uses 1000)")
+		vol     = fs.Float64("vol", 0, "query volume fraction (default 0.01)")
+		seed    = fs.Int64("seed", 0, "random seed (default 1)")
+		buckets = fs.String("buckets", "", "comma-separated bucket budgets (default 50,100,150,200,250)")
+		outPath = fs.String("out", "", "also write results to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range experiment.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	cfg := experiment.Defaults()
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *train > 0 {
+		cfg.TrainQueries = *train
+	}
+	if *eval > 0 {
+		cfg.EvalQueries = *eval
+	}
+	if *vol > 0 {
+		cfg.VolumeFraction = *vol
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *buckets != "" {
+		parsed, err := parseInts(*buckets)
+		if err != nil {
+			return fmt.Errorf("parsing -buckets: %w", err)
+		}
+		cfg.Buckets = parsed
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	switch {
+	case *all:
+		for _, name := range experiment.Names() {
+			fmt.Fprintf(w, "=== %s ===\n", name)
+			start := time.Now()
+			if err := experiment.Run(name, cfg, w); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintf(w, "(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	case *exp != "":
+		return experiment.Run(*exp, cfg, w)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -exp, -all or -list is required")
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("bucket budget %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("50, 100,250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{50, 100, 250}) {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("50,x"); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Error("non-positive bucket accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresMode(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -exp/-all/-list accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSmallTable3(t *testing.T) {
+	if err := run([]string{"-exp", "table3", "-scale", "0.001", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadBuckets(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-buckets", "abc"}); err == nil {
+		t.Error("bad -buckets accepted")
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "res.txt")
+	if err := run([]string{"-exp", "table3", "-scale", "0.001", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Cross3d") {
+		t.Errorf("output file missing results: %s", data)
+	}
+}

@@ -1,0 +1,112 @@
+// Command sthistd serves self-tuning selectivity estimators over HTTP.
+// Tables come from CSV/binary files or the paper's generators; each gets a
+// subspace-cluster-initialized histogram. Clients estimate via POST
+// /estimate and keep the histograms fresh via POST /feedback (see
+// internal/httpapi for the routes).
+//
+// Usage:
+//
+//	sthistd -addr :8080 -table orders=orders.csv -table sky=@sky:0.02
+//
+// A table spec is NAME=PATH for a file, or NAME=@DATASET:SCALE for a
+// generated dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"sthist"
+	"sthist/internal/datagen"
+	"sthist/internal/dataset"
+	"sthist/internal/httpapi"
+)
+
+// tableSpecs collects repeated -table flags.
+type tableSpecs []string
+
+func (t *tableSpecs) String() string { return strings.Join(*t, ",") }
+
+func (t *tableSpecs) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	srv, addr, err := setup(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sthistd:", err)
+		os.Exit(1)
+	}
+	log.Printf("sthistd listening on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+}
+
+// setup parses flags, loads every table and returns the ready server.
+func setup(args []string) (*httpapi.Server, string, error) {
+	fs := flag.NewFlagSet("sthistd", flag.ContinueOnError)
+	var specs tableSpecs
+	fs.Var(&specs, "table", "table spec NAME=PATH or NAME=@DATASET:SCALE (repeatable)")
+	addr := fs.String("addr", ":8080", "listen address")
+	buckets := fs.Int("buckets", 100, "histogram bucket budget per table")
+	seed := fs.Int64("seed", 1, "clustering seed")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	if len(specs) == 0 {
+		return nil, "", fmt.Errorf("at least one -table is required")
+	}
+	srv := httpapi.NewServer()
+	for _, spec := range specs {
+		name, src, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || src == "" {
+			return nil, "", fmt.Errorf("bad table spec %q (want NAME=PATH or NAME=@DATASET:SCALE)", spec)
+		}
+		tab, err := loadTable(src, *seed)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading table %q: %w", name, err)
+		}
+		est, err := sthist.Open(tab, sthist.Options{Buckets: *buckets, Seed: *seed})
+		if err != nil {
+			return nil, "", fmt.Errorf("opening estimator for %q: %w", name, err)
+		}
+		if err := srv.Register(name, est); err != nil {
+			return nil, "", err
+		}
+	}
+	return srv, *addr, nil
+}
+
+// loadTable reads a CSV/binary file, or generates @DATASET:SCALE.
+func loadTable(src string, seed int64) (*sthist.Table, error) {
+	if strings.HasPrefix(src, "@") {
+		dsName, scaleStr, _ := strings.Cut(strings.TrimPrefix(src, "@"), ":")
+		scale := 0.02
+		if scaleStr != "" {
+			v, err := strconv.ParseFloat(scaleStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad scale %q: %w", scaleStr, err)
+			}
+			scale = v
+		}
+		ds, err := datagen.ByName(dsName, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Table, nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(src, ".bin") {
+		return dataset.ReadBinary(f)
+	}
+	return sthist.LoadCSV(f)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sthist/internal/datagen"
+)
+
+func TestSetupValidation(t *testing.T) {
+	if _, _, err := setup(nil); err == nil {
+		t.Error("no tables accepted")
+	}
+	if _, _, err := setup([]string{"-table", "bad"}); err == nil {
+		t.Error("spec without = accepted")
+	}
+	if _, _, err := setup([]string{"-table", "=x"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, _, err := setup([]string{"-table", "t=@nope:1"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, _, err := setup([]string{"-table", "t=@cross:x"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, _, err := setup([]string{"-table", "t=/no/such.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSetupGeneratedAndFileTables(t *testing.T) {
+	// One generated table and one file-backed (binary) table.
+	ds := datagen.Cross(0.02, 1)
+	path := filepath.Join(t.TempDir(), "cross.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Table.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv, addr, err := setup([]string{
+		"-addr", ":0",
+		"-buckets", "30",
+		"-table", "gen=@cross:0.02",
+		"-table", "file=" + path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":0" {
+		t.Errorf("addr = %q", addr)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "file" || names[1] != "gen" {
+		t.Errorf("tables = %v", names)
+	}
+	// Estimate against the generated table.
+	body := strings.NewReader(`{"table":"gen","lo":[450,0],"hi":[550,1000]}`)
+	r2, err := http.Post(ts.URL+"/estimate", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("estimate status = %d", r2.StatusCode)
+	}
+}

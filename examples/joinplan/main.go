@@ -1,0 +1,115 @@
+// Join planning scenario: the optimizer needs (a) single-table access-path
+// choices and (b) the size of R ⋈ S to order joins. Both come from the
+// self-tuning histograms — no extra statistics. This example builds two
+// correlated tables, estimates the equi-join size from histogram marginals,
+// and shows the access paths chosen per table.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"sthist"
+	"sthist/internal/joinest"
+	"sthist/internal/optimizer"
+)
+
+func run(w io.Writer) error {
+	rng := rand.New(rand.NewSource(3))
+
+	// orders(customer, amount): customers 0..999, big customers (id < 50)
+	// place most orders.
+	orders, err := sthist.NewTable("customer", "amount")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 30000; i++ {
+		c := rng.Intn(1000)
+		if rng.Float64() < 0.5 {
+			c = rng.Intn(50)
+		}
+		orders.MustAppend([]float64{float64(c), rng.Float64() * 500})
+	}
+	// complaints(customer, severity): filed almost exclusively by the same
+	// big customers — the correlation an independence assumption misses.
+	complaints, err := sthist.NewTable("customer", "severity")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3000; i++ {
+		c := rng.Intn(1000)
+		if rng.Float64() < 0.9 {
+			c = rng.Intn(50)
+		}
+		complaints.MustAppend([]float64{float64(c), float64(rng.Intn(5))})
+	}
+
+	ordersEst, err := sthist.Open(orders, sthist.Options{Buckets: 80, Seed: 4})
+	if err != nil {
+		return err
+	}
+	complaintsEst, err := sthist.Open(complaints, sthist.Options{Buckets: 80, Seed: 5})
+	if err != nil {
+		return err
+	}
+
+	// Join-size estimate from histogram marginals on the customer key.
+	// Integer keys: grid centered on keys with unit width (see joinest).
+	oDom := ordersEst.Domain().Clone()
+	cDom := complaintsEst.Domain().Clone()
+	oDom.Lo[0], oDom.Hi[0] = -0.5, 999.5
+	cDom.Lo[0], cDom.Hi[0] = -0.5, 999.5
+	est, err := joinest.EstimateEquiJoin(ordersEst, oDom, 0, complaintsEst, cDom, 0, 1000)
+	if err != nil {
+		return err
+	}
+	truth := trueJoin(orders, complaints)
+	flat := float64(orders.Len()) * float64(complaints.Len()) / 1000 // independence guess
+	fmt.Fprintf(w, "join size |orders ⋈ complaints| on customer:\n")
+	fmt.Fprintf(w, "  true:               %12.0f\n", truth)
+	fmt.Fprintf(w, "  histogram marginals:%12.0f\n", est)
+	fmt.Fprintf(w, "  independence guess: %12.0f (misses the shared-hot-customers correlation)\n", flat)
+
+	// Access paths for a selective and a wide predicate on orders.
+	tab := optimizer.Table{
+		Name:        "orders",
+		Tuples:      float64(orders.Len()),
+		Domain:      ordersEst.Domain(),
+		IndexedDims: []int{0},
+		Est:         ordersEst,
+	}
+	selective, err := sthist.NewRect([]float64{900, 490}, []float64{905, 500})
+	if err != nil {
+		return err
+	}
+	wide, err := sthist.NewRect([]float64{0, 0}, []float64{999, 400})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\naccess paths on orders:\n")
+	fmt.Fprintf(w, "  rare customers, top amounts -> %v\n", optimizer.ChooseScan(tab, selective))
+	fmt.Fprintf(w, "  most of the table           -> %v\n", optimizer.ChooseScan(tab, wide))
+	return nil
+}
+
+// trueJoin counts the exact equi-join size on column 0 of both tables.
+func trueJoin(r, s *sthist.Table) float64 {
+	counts := map[float64]float64{}
+	for i := 0; i < r.Len(); i++ {
+		counts[r.Value(i, 0)]++
+	}
+	total := 0.0
+	for i := 0; i < s.Len(); i++ {
+		total += counts[s.Value(i, 0)]
+	}
+	return total
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

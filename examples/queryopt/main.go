@@ -1,0 +1,121 @@
+// Query optimization scenario from the paper's introduction: a
+// Cars(model, manufacturer, year, color) relation with LOCAL correlations —
+// model implies manufacturer, some models were only built in certain years,
+// and one manufacturer's cars are mostly one color. Categorical attributes
+// are mapped to integers (paper, footnote 1).
+//
+// The example shows why the optimizer cares: with a good selectivity
+// estimate it picks an index seek for a selective predicate and a scan for a
+// non-selective one; a bad estimate flips the decision. We compare the
+// initialized estimator against an uninitialized self-tuning histogram after
+// identical training.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"sthist"
+	"sthist/internal/baseline"
+	"sthist/internal/datagen"
+)
+
+// errFactor is the multiplicative estimation error (q-error), floored at 1.
+func errFactor(est, truth float64) float64 {
+	lo, hi := est, truth
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	return hi / lo
+}
+
+func run(w io.Writer) error {
+	tab := datagen.CarsSim(1.0, 11).Table
+	// Local correlations like "Ferraris are red" need the clustering to
+	// reward extra dimensions strongly (low beta) and use widths matched to
+	// the attribute granularity.
+	ccfg := sthist.DefaultClusterConfig()
+	ccfg.Beta = 0.1
+	ccfg.Width = 0
+	ccfg.Widths = []float64{30, 1.2, 4, 0.8} // model, manufacturer, year, color
+	initialized, err := sthist.Open(tab, sthist.Options{Buckets: 120, Seed: 3, Clustering: ccfg})
+	if err != nil {
+		return err
+	}
+	// The classic optimizer default: per-attribute equi-depth histograms
+	// under the attribute value independence (AVI) assumption.
+	avi, err := baseline.BuildAVI(tab, 32)
+	if err != nil {
+		return err
+	}
+	uninitialized, err := sthist.Open(tab, sthist.Options{Buckets: 120, SkipInitialization: true})
+	if err != nil {
+		return err
+	}
+
+	// Identical light training for both (the paper's point: the initialized
+	// histogram needs far less training to be useful).
+	rng := rand.New(rand.NewSource(4))
+	var train []sthist.Rect
+	for i := 0; i < 150; i++ {
+		m := rng.Float64() * 950
+		y := 1990 + rng.Float64()*30
+		c := rng.Float64() * 10
+		q, err := sthist.NewRect(
+			[]float64{m, m / 25, y, c},
+			[]float64{m + 50, m/25 + 2, y + 5, c + 2},
+		)
+		if err != nil {
+			return err
+		}
+		train = append(train, q)
+	}
+	initialized.Train(train)
+	uninitialized.Train(train)
+
+	queries := []struct {
+		name string
+		lo   []float64
+		hi   []float64
+	}{
+		// Equality on an integer-mapped categorical attribute is the range
+		// [v, v+1): a zero-width interval has zero volume and zero estimate
+		// under any density model.
+		{"red Ferraris (model 175-199, color=1)", []float64{175, 7, 1990, 1}, []float64{199.99, 7.99, 2025, 1.99}},
+		{"Beetles after 2010 (model=300)", []float64{300, 12, 2010, 0}, []float64{300.99, 12.99, 2025, 12}},
+		{"any car from the 2000s", []float64{0, 0, 2000, 0}, []float64{1000, 40, 2010, 12}},
+	}
+	total := float64(tab.Len())
+	fmt.Fprintf(w, "%-42s %10s %10s %10s %10s %9s %9s %9s\n",
+		"predicate", "true", "init est", "uninit est", "AVI est", "init xerr", "unin xerr", "AVI xerr")
+	for _, q := range queries {
+		r, err := sthist.NewRect(q.lo, q.hi)
+		if err != nil {
+			return err
+		}
+		truth := initialized.TrueCount(r)
+		ei := initialized.Estimate(r)
+		eu := uninitialized.Estimate(r)
+		ea := avi.Estimate(r)
+		fmt.Fprintf(w, "%-42s %10.0f %10.0f %10.0f %10.0f %9.1f %9.1f %9.1f\n",
+			q.name, truth, ei, eu, ea, errFactor(ei, truth), errFactor(eu, truth), errFactor(ea, truth))
+	}
+	fmt.Fprintln(w, "\n(xerr is the multiplicative error max(est,true)/min(est,true); optimizers live and die by it;")
+	fmt.Fprintln(w, " a plan flips from index seek to scan when the estimate crosses ~"+fmt.Sprintf("%.0f", 0.01*total)+" rows)")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"red Ferraris", "Beetles", "init xerr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestErrFactor(t *testing.T) {
+	for _, c := range []struct{ est, truth, want float64 }{
+		{10, 100, 10}, {100, 10, 10}, {0, 0, 1}, {50, 50, 1},
+	} {
+		if got := errFactor(c.est, c.truth); got != c.want {
+			t.Errorf("errFactor(%g,%g) = %g, want %g", c.est, c.truth, got, c.want)
+		}
+	}
+}

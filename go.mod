@@ -1,0 +1,3 @@
+module sthist
+
+go 1.22

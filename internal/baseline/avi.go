@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// AVI is the classic optimizer default the paper argues against: one
+// equi-depth histogram per attribute, combined under the Attribute Value
+// Independence assumption, sel(q) = prod_d sel_d(q_d). It is exact for
+// independent dimensions and arbitrarily wrong on correlated data — the
+// motivation for multidimensional histograms (§1).
+type AVI struct {
+	total float64
+	dims  []equiDepth
+}
+
+// oneDBucket is one bucket of a per-attribute histogram. Zero-width buckets
+// (Lo == Hi) are singletons holding a heavy value's exact count.
+type oneDBucket struct {
+	Lo, Hi float64
+	Count  float64
+}
+
+// equiDepth is a one-dimensional equi-depth histogram with dedicated
+// singleton buckets for heavy hitters (values holding at least a full
+// bucket's quota), the way production systems track "most common values".
+type equiDepth struct {
+	buckets []oneDBucket
+}
+
+// BuildAVI builds per-dimension equi-depth histograms with the given bucket
+// count per dimension.
+func BuildAVI(tab *dataset.Table, bucketsPerDim int) (*AVI, error) {
+	if bucketsPerDim < 1 {
+		return nil, fmt.Errorf("baseline: bucketsPerDim must be >= 1, got %d", bucketsPerDim)
+	}
+	n := tab.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty table")
+	}
+	a := &AVI{total: float64(n), dims: make([]equiDepth, tab.Dims())}
+	for d := 0; d < tab.Dims(); d++ {
+		a.dims[d] = buildEquiDepth(tab.Column(d), bucketsPerDim)
+	}
+	return a, nil
+}
+
+func buildEquiDepth(col []float64, k int) equiDepth {
+	n := len(col)
+	vals := append([]float64(nil), col...)
+	sort.Float64s(vals)
+	quota := n / k
+	if quota < 1 {
+		quota = 1
+	}
+
+	// Pass 1: distinct values with counts; heavy values (count >= quota)
+	// get singleton buckets.
+	type vc struct {
+		v float64
+		c int
+	}
+	var distinct []vc
+	for i := 0; i < n; {
+		j := i
+		for j < n && vals[j] == vals[i] {
+			j++
+		}
+		distinct = append(distinct, vc{vals[i], j - i})
+		i = j
+	}
+	var h equiDepth
+	var light []vc
+	for _, d := range distinct {
+		if d.c >= quota {
+			h.buckets = append(h.buckets, oneDBucket{Lo: d.v, Hi: d.v, Count: float64(d.c)})
+		} else {
+			light = append(light, d)
+		}
+	}
+	// Pass 2: equi-depth over the light values.
+	lightTotal := 0
+	for _, d := range light {
+		lightTotal += d.c
+	}
+	if lightTotal > 0 {
+		perBucket := lightTotal / k
+		if perBucket < 1 {
+			perBucket = 1
+		}
+		cur := oneDBucket{Lo: light[0].v, Hi: light[0].v}
+		for _, d := range light {
+			cur.Hi = d.v
+			cur.Count += float64(d.c)
+			if cur.Count >= float64(perBucket) {
+				h.buckets = append(h.buckets, cur)
+				cur = oneDBucket{Lo: d.v, Hi: d.v} // next bucket starts here
+				cur.Count = 0
+			}
+		}
+		if cur.Count > 0 {
+			h.buckets = append(h.buckets, cur)
+		}
+	}
+	sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].Lo < h.buckets[j].Lo })
+	return h
+}
+
+// Estimate returns the AVI cardinality estimate of q.
+func (a *AVI) Estimate(q geom.Rect) float64 {
+	if q.Dims() != len(a.dims) {
+		return 0
+	}
+	sel := 1.0
+	for d := range a.dims {
+		sel *= a.dims[d].selectivity(q.Lo[d], q.Hi[d], a.total)
+		if sel == 0 {
+			return 0
+		}
+	}
+	return sel * a.total
+}
+
+// selectivity returns the estimated fraction of values in [lo, hi] under
+// per-bucket uniformity, with exact handling of singleton buckets.
+func (h *equiDepth) selectivity(lo, hi, total float64) float64 {
+	covered := 0.0
+	for _, b := range h.buckets {
+		if b.Hi < lo || b.Lo > hi {
+			continue
+		}
+		width := b.Hi - b.Lo
+		if width <= 0 {
+			// Singleton: all mass at b.Lo, which is inside [lo, hi] here.
+			covered += b.Count
+			continue
+		}
+		l, r := lo, hi
+		if l < b.Lo {
+			l = b.Lo
+		}
+		if r > b.Hi {
+			r = b.Hi
+		}
+		covered += b.Count * (r - l) / width
+	}
+	return covered / total
+}

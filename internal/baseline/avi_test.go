@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+func TestBuildAVIValidation(t *testing.T) {
+	tab := dataset.MustNew("x")
+	if _, err := BuildAVI(tab, 4); err == nil {
+		t.Error("empty table accepted")
+	}
+	tab.MustAppend([]float64{1})
+	if _, err := BuildAVI(tab, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestAVIUniformIndependent(t *testing.T) {
+	// Independent uniform dimensions: AVI is accurate.
+	rng := rand.New(rand.NewSource(1))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 20000; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	a, err := BuildAVI(tab, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MustRect([]float64{10, 20}, []float64{40, 60})
+	want := 20000 * 0.3 * 0.4
+	if got := a.Estimate(q); math.Abs(got-want) > 0.1*want {
+		t.Errorf("AVI estimate %g, want ~%g on independent data", got, want)
+	}
+	// Full domain recovers roughly everything.
+	full := geom.MustRect([]float64{0, 0}, []float64{100, 100})
+	if got := a.Estimate(full); math.Abs(got-20000) > 500 {
+		t.Errorf("full-domain estimate %g", got)
+	}
+}
+
+func TestAVIFailsOnCorrelation(t *testing.T) {
+	// Perfectly correlated dimensions (y = x): the diagonal query holds ALL
+	// tuples but AVI predicts sel_x * sel_y, underestimating wildly, while
+	// the anti-diagonal corner holds none but AVI predicts plenty. This is
+	// the paper's §1 motivation for multidimensional histograms.
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 10000; i++ {
+		v := float64(i % 100)
+		tab.MustAppend([]float64{v, v})
+	}
+	a, err := BuildAVI(tab, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := geom.MustRect([]float64{0, 80}, []float64{19, 99}) // x low, y high: empty
+	if got := a.Estimate(corner); got < 100 {
+		t.Errorf("AVI corner estimate %g; expected a large overestimate of the empty region", got)
+	}
+	diagStrip := geom.MustRect([]float64{0, 0}, []float64{19, 19}) // holds 2000
+	got := a.Estimate(diagStrip)
+	if got > 1000 {
+		t.Errorf("AVI diagonal estimate %g; expected an underestimate of 2000", got)
+	}
+}
+
+func TestAVIDuplicateHeavyColumn(t *testing.T) {
+	// A column where one value dominates exercises the degenerate-bucket
+	// merge path.
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 1000; i++ {
+		tab.MustAppend([]float64{5, float64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		tab.MustAppend([]float64{float64(i * 10), 0})
+	}
+	a, err := BuildAVI(tab, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MustRect([]float64{5, 0}, []float64{5, 1000})
+	got := a.Estimate(q)
+	if got < 500 {
+		t.Errorf("point query on dominant value = %g, want most of the 1000 tuples", got)
+	}
+}
+
+func TestAVIDimensionMismatch(t *testing.T) {
+	tab := dataset.MustNew("x")
+	tab.MustAppend([]float64{1})
+	a, err := BuildAVI(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(geom.MustRect([]float64{0, 0}, []float64{1, 1})); got != 0 {
+		t.Errorf("mismatched query estimated %g", got)
+	}
+}
+
+func TestBuildSampleValidation(t *testing.T) {
+	tab := dataset.MustNew("x")
+	if _, err := BuildSample(tab, 10, 1); err == nil {
+		t.Error("empty table accepted")
+	}
+	tab.MustAppend([]float64{1})
+	if _, err := BuildSample(tab, 0, 1); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	s, err := BuildSample(tab, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 1 {
+		t.Errorf("oversample size = %d", s.Size())
+	}
+}
+
+func TestSampleEstimateUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 20000; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	s, err := BuildSample(tab, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MustRect([]float64{0, 0}, []float64{50, 50})
+	want := 5000.0
+	if got := s.Estimate(q); math.Abs(got-want) > 0.15*want {
+		t.Errorf("sample estimate %g, want ~%g", got, want)
+	}
+	if got := s.Estimate(geom.MustRect([]float64{0}, []float64{1})); got != 0 {
+		t.Errorf("dimension mismatch estimated %g", got)
+	}
+}
+
+func TestSampleMissesRarePredicates(t *testing.T) {
+	// 20 needles among 20,000 tuples: a 1% sample most likely sees none —
+	// the classic weakness that motivates histograms for rare predicates.
+	rng := rand.New(rand.NewSource(9))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 20000; i++ {
+		tab.MustAppend([]float64{rng.Float64()*100 + 100, rng.Float64()*100 + 100})
+	}
+	for i := 0; i < 20; i++ {
+		tab.MustAppend([]float64{5, 5})
+	}
+	s, err := BuildSample(tab, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needle := geom.MustRect([]float64{0, 0}, []float64{10, 10})
+	got := s.Estimate(needle)
+	// Either zero (missed) or a multiple of the scale (~100 per hit): both
+	// are far from the truth of 20 in relative terms most of the time; we
+	// only assert the estimator returns a sane non-negative number here.
+	if got < 0 {
+		t.Errorf("negative estimate %g", got)
+	}
+}

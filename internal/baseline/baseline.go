@@ -1,0 +1,148 @@
+// Package baseline provides reference histograms that are not part of the
+// paper's plots but anchor the reproduction: the trivial single-bucket
+// histogram (the NAE denominator) and a static equi-width grid histogram of
+// the kind classic optimizers build, used as a sanity baseline in the
+// examples.
+package baseline
+
+import (
+	"fmt"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// Grid is a static d-dimensional equi-width histogram: the domain is split
+// into cells^d equal boxes, each storing its exact tuple count. Estimation
+// assumes uniformity within each cell. Unlike STHoles it needs a full data
+// scan to build and does not adapt.
+type Grid struct {
+	domain geom.Rect
+	cells  int
+	counts []float64
+	total  float64
+}
+
+// BuildGrid scans the table once and builds the grid. cells is the number of
+// divisions per dimension; memory is cells^dims counters, so keep cells^dims
+// modest (an error is returned above 2^24 cells).
+func BuildGrid(tab *dataset.Table, domain geom.Rect, cells int) (*Grid, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("baseline: cells must be >= 1, got %d", cells)
+	}
+	dims := domain.Dims()
+	size := 1
+	for d := 0; d < dims; d++ {
+		size *= cells
+		if size > 1<<24 {
+			return nil, fmt.Errorf("baseline: grid of %d^%d cells too large", cells, dims)
+		}
+	}
+	if tab.Dims() != dims {
+		return nil, fmt.Errorf("baseline: table dims %d != domain dims %d", tab.Dims(), dims)
+	}
+	g := &Grid{domain: domain, cells: cells, counts: make([]float64, size)}
+	row := make([]float64, dims)
+	for i := 0; i < tab.Len(); i++ {
+		tab.Row(i, row)
+		idx := 0
+		inDomain := true
+		for d := 0; d < dims; d++ {
+			side := domain.Side(d)
+			if side <= 0 {
+				inDomain = false
+				break
+			}
+			c := int(float64(cells) * (row[d] - domain.Lo[d]) / side)
+			if c < 0 || c > cells {
+				inDomain = false
+				break
+			}
+			if c == cells { // points on the upper boundary belong to the last cell
+				c = cells - 1
+			}
+			idx = idx*cells + c
+		}
+		if inDomain {
+			g.counts[idx]++
+			g.total++
+		}
+	}
+	return g, nil
+}
+
+// Total returns the number of tuples captured by the grid.
+func (g *Grid) Total() float64 { return g.total }
+
+// Estimate returns the estimated cardinality of q under per-cell uniformity.
+func (g *Grid) Estimate(q geom.Rect) float64 {
+	dims := g.domain.Dims()
+	if q.Dims() != dims {
+		return 0
+	}
+	// Determine the cell index window overlapping q per dimension, then walk
+	// the cross product accumulating fractional overlaps.
+	type window struct{ lo, hi int }
+	wins := make([]window, dims)
+	for d := 0; d < dims; d++ {
+		side := g.domain.Side(d) / float64(g.cells)
+		lo := int((q.Lo[d] - g.domain.Lo[d]) / side)
+		hi := int((q.Hi[d] - g.domain.Lo[d]) / side)
+		if hi >= g.cells {
+			hi = g.cells - 1
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > hi {
+			return 0
+		}
+		wins[d] = window{lo, hi}
+	}
+	idx := make([]int, dims)
+	for d := range idx {
+		idx[d] = wins[d].lo
+	}
+	est := 0.0
+	for {
+		// Fractional overlap of q with this cell.
+		frac := 1.0
+		flat := 0
+		for d := 0; d < dims; d++ {
+			side := g.domain.Side(d) / float64(g.cells)
+			cellLo := g.domain.Lo[d] + float64(idx[d])*side
+			cellHi := cellLo + side
+			lo := cellLo
+			if q.Lo[d] > lo {
+				lo = q.Lo[d]
+			}
+			hi := cellHi
+			if q.Hi[d] < hi {
+				hi = q.Hi[d]
+			}
+			if hi <= lo {
+				frac = 0
+				break
+			}
+			frac *= (hi - lo) / side
+			flat = flat*g.cells + idx[d]
+		}
+		if frac > 0 {
+			est += g.counts[flat] * frac
+		}
+		// Advance the per-dimension index vector.
+		d := dims - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= wins[d].hi {
+				break
+			}
+			idx[d] = wins[d].lo
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return est
+}

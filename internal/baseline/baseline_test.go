@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+func TestBuildGridValidation(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	dom := geom.MustRect([]float64{0, 0}, []float64{10, 10})
+	if _, err := BuildGrid(tab, dom, 0); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := BuildGrid(tab, geom.MustRect([]float64{0}, []float64{10}), 4); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := BuildGrid(dataset.MustNew(dataset.GenericNames(6)...), geom.UnitRect(6), 64); err == nil {
+		t.Error("oversized grid accepted")
+	}
+}
+
+func TestGridExactOnCellAlignedQueries(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	// 4 tuples in cell (0,0), 6 in cell (3,3) of a 4x4 grid over [0,8]^2.
+	for i := 0; i < 4; i++ {
+		tab.MustAppend([]float64{0.5, 0.5})
+	}
+	for i := 0; i < 6; i++ {
+		tab.MustAppend([]float64{7.5, 7.5})
+	}
+	dom := geom.MustRect([]float64{0, 0}, []float64{8, 8})
+	g, err := BuildGrid(tab, dom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 10 {
+		t.Errorf("Total = %g", g.Total())
+	}
+	if got := g.Estimate(geom.MustRect([]float64{0, 0}, []float64{2, 2})); got != 4 {
+		t.Errorf("cell (0,0) estimate = %g, want 4", got)
+	}
+	if got := g.Estimate(geom.MustRect([]float64{6, 6}, []float64{8, 8})); got != 6 {
+		t.Errorf("cell (3,3) estimate = %g, want 6", got)
+	}
+	if got := g.Estimate(dom); math.Abs(got-10) > 1e-9 {
+		t.Errorf("domain estimate = %g, want 10", got)
+	}
+	if got := g.Estimate(geom.MustRect([]float64{2, 2}, []float64{6, 6})); got != 0 {
+		t.Errorf("empty middle estimate = %g, want 0", got)
+	}
+}
+
+func TestGridFractionalOverlap(t *testing.T) {
+	tab := dataset.MustNew("x")
+	for i := 0; i < 8; i++ {
+		tab.MustAppend([]float64{0.5}) // all in the first of two cells over [0,2]
+	}
+	dom := geom.MustRect([]float64{0}, []float64{2})
+	g, err := BuildGrid(tab, dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query covering half of the first cell: 4 tuples under uniformity.
+	if got := g.Estimate(geom.MustRect([]float64{0}, []float64{0.5})); math.Abs(got-4) > 1e-9 {
+		t.Errorf("half-cell estimate = %g, want 4", got)
+	}
+}
+
+func TestGridUpperBoundaryTuple(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	tab.MustAppend([]float64{10, 10}) // exactly on the domain's upper corner
+	dom := geom.MustRect([]float64{0, 0}, []float64{10, 10})
+	g, err := BuildGrid(tab, dom, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 1 {
+		t.Errorf("boundary tuple dropped: total = %g", g.Total())
+	}
+}
+
+func TestQuickGridDomainEstimateMatchesTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dom := geom.MustRect([]float64{0, 0, 0}, []float64{100, 100, 100})
+	f := func() bool {
+		tab := dataset.MustNew(dataset.GenericNames(3)...)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			tab.MustAppend([]float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100})
+		}
+		g, err := BuildGrid(tab, dom, 4)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g.Estimate(dom)-float64(n)) < 1e-6*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

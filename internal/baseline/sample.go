@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// Sample is the simplest synopsis of all (cf. the synopses survey the paper
+// cites as [5]): a uniform reservoir sample of the table; a query's
+// cardinality is estimated by counting matching sample tuples and scaling.
+// Strong for large selectivities, noisy for rare predicates — the standard
+// trade-off against histograms.
+type Sample struct {
+	points []geom.Point
+	scale  float64 // total / sample size
+	dims   int
+}
+
+// BuildSample draws a uniform sample of size k (capped at the table size)
+// with a deterministic seed.
+func BuildSample(tab *dataset.Table, k int, seed int64) (*Sample, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: sample size must be >= 1, got %d", k)
+	}
+	n := tab.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty table")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := tab.Sample(k, rng)
+	s := &Sample{points: make([]geom.Point, len(rows)), dims: tab.Dims()}
+	for i, r := range rows {
+		s.points[i] = tab.Point(r)
+	}
+	s.scale = float64(n) / float64(len(rows))
+	return s, nil
+}
+
+// Size returns the number of sampled tuples.
+func (s *Sample) Size() int { return len(s.points) }
+
+// Estimate scales the matching-sample count to the full table.
+func (s *Sample) Estimate(q geom.Rect) float64 {
+	if q.Dims() != s.dims {
+		return 0
+	}
+	c := 0
+	for _, p := range s.points {
+		if q.ContainsPoint(p) {
+			c++
+		}
+	}
+	return float64(c) * s.scale
+}

@@ -1,0 +1,262 @@
+// Package catalog manages a set of self-tuning histograms — one per table —
+// under a shared memory budget, in the spirit of the SASH framework (Lim,
+// Wang, Vitter — VLDB 2003, reference [18] of the paper): it decides how
+// much memory each histogram gets, observes estimation errors from query
+// feedback, and periodically reallocates buckets toward the histograms that
+// need them most. Histograms persist as JSON.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"sthist/internal/core"
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+	"sthist/internal/mineclus"
+	"sthist/internal/sthole"
+)
+
+// Config tunes the manager.
+type Config struct {
+	// TotalBuckets is the shared bucket budget across all histograms
+	// (default 256).
+	TotalBuckets int
+	// MinBuckets is the floor any histogram keeps (default 16).
+	MinBuckets int
+	// RebalanceEvery reallocates after that many feedback calls
+	// (default 200; 0 disables).
+	RebalanceEvery int
+	// ErrorHalfLife is the EWMA smoothing for per-table error shares
+	// (default 0.9 retention per observation).
+	ErrorRetention float64
+}
+
+// DefaultConfig returns the defaults above.
+func DefaultConfig() Config {
+	return Config{TotalBuckets: 256, MinBuckets: 16, RebalanceEvery: 200, ErrorRetention: 0.9}
+}
+
+// Manager owns the histograms.
+type Manager struct {
+	mu        sync.Mutex
+	cfg       Config
+	entries   map[string]*entry
+	order     []string // registration order, for deterministic allocation
+	feedbacks int
+}
+
+type entry struct {
+	hist *sthole.Histogram
+	idx  *index.KDTree // build-time snapshot, used for initialization only
+	// errEWMA tracks the relative estimation error observed in feedback.
+	errEWMA float64
+}
+
+// NewManager creates an empty manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.TotalBuckets < 1 {
+		return nil, fmt.Errorf("catalog: total budget must be >= 1")
+	}
+	if cfg.MinBuckets < 1 {
+		return nil, fmt.Errorf("catalog: min buckets must be >= 1")
+	}
+	if cfg.ErrorRetention <= 0 || cfg.ErrorRetention >= 1 {
+		return nil, fmt.Errorf("catalog: error retention must be in (0,1)")
+	}
+	return &Manager{cfg: cfg, entries: make(map[string]*entry)}, nil
+}
+
+// Register builds a histogram for the table. When initialize is true the
+// histogram is seeded by MineClus subspace clusters (the paper's method).
+// The shared budget is split evenly across registered tables; feedback-driven
+// rebalancing adjusts it later.
+func (m *Manager) Register(name string, tab *dataset.Table, domain geom.Rect, initialize bool, mcfg mineclus.Config) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[name]; ok {
+		return fmt.Errorf("catalog: table %q already registered", name)
+	}
+	idx, err := index.BuildKDTree(tab)
+	if err != nil {
+		return fmt.Errorf("catalog: indexing %q: %w", name, err)
+	}
+	share := m.cfg.TotalBuckets / (len(m.entries) + 1)
+	if share < m.cfg.MinBuckets {
+		share = m.cfg.MinBuckets
+	}
+	h, err := sthole.New(domain, share, float64(tab.Len()))
+	if err != nil {
+		return fmt.Errorf("catalog: histogram for %q: %w", name, err)
+	}
+	if initialize {
+		clusters, err := mineclus.Run(tab, mcfg)
+		if err != nil {
+			return fmt.Errorf("catalog: clustering %q: %w", name, err)
+		}
+		exact := func(r geom.Rect) float64 { return float64(idx.Count(r)) }
+		if err := core.Initialize(h, clusters, domain, core.Options{Count: exact}); err != nil {
+			return fmt.Errorf("catalog: initializing %q: %w", name, err)
+		}
+	}
+	m.entries[name] = &entry{hist: h, idx: idx}
+	m.order = append(m.order, name)
+	m.rebalanceLocked()
+	return nil
+}
+
+// Tables returns the registered table names in registration order.
+func (m *Manager) Tables() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// Buckets returns the current budget of one histogram.
+func (m *Manager) Buckets(name string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return e.hist.MaxBuckets(), nil
+}
+
+// Estimate returns the estimated cardinality of q against the named table.
+func (m *Manager) Estimate(name string, q geom.Rect) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return e.hist.Estimate(q), nil
+}
+
+// Feedback reports the true cardinality of an executed query, refines the
+// histogram, updates the table's error share, and periodically rebalances
+// the budget split.
+func (m *Manager) Feedback(name string, q geom.Rect, actual float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[name]
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	est := e.hist.Estimate(q)
+	rel := math.Abs(est-actual) / math.Max(1, actual)
+	e.errEWMA = m.cfg.ErrorRetention*e.errEWMA + (1-m.cfg.ErrorRetention)*rel
+	vol := q.Volume()
+	e.hist.Drill(q, func(r geom.Rect) float64 {
+		if vol <= 0 {
+			return actual
+		}
+		return actual * q.IntersectionVolume(r) / vol
+	})
+	m.feedbacks++
+	if m.cfg.RebalanceEvery > 0 && m.feedbacks%m.cfg.RebalanceEvery == 0 {
+		m.rebalanceLocked()
+	}
+	return nil
+}
+
+// Rebalance redistributes the shared budget proportionally to each table's
+// observed error share (SASH's reallocation idea): histograms that keep
+// misestimating get more buckets, at the expense of accurate ones.
+func (m *Manager) Rebalance() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rebalanceLocked()
+}
+
+func (m *Manager) rebalanceLocked() {
+	n := len(m.order)
+	if n == 0 {
+		return
+	}
+	floorTotal := m.cfg.MinBuckets * n
+	spare := m.cfg.TotalBuckets - floorTotal
+	if spare < 0 {
+		// Budget cannot honor the floor for every table; fall back to an
+		// even split of whatever there is.
+		each := m.cfg.TotalBuckets / n
+		if each < 1 {
+			each = 1
+		}
+		for _, name := range m.order {
+			m.entries[name].hist.SetMaxBuckets(each) //nolint:errcheck // each >= 1
+		}
+		return
+	}
+	totalErr := 0.0
+	for _, name := range m.order {
+		totalErr += m.entries[name].errEWMA
+	}
+	for _, name := range m.order {
+		e := m.entries[name]
+		share := 1.0 / float64(n)
+		if totalErr > 0 {
+			share = e.errEWMA / totalErr
+		}
+		budget := m.cfg.MinBuckets + int(math.Round(share*float64(spare)))
+		if err := e.hist.SetMaxBuckets(budget); err != nil {
+			// budget >= MinBuckets >= 1, so this cannot happen; keep the
+			// old budget if it somehow does.
+			continue
+		}
+	}
+}
+
+// savedEntry is the persisted form of one histogram.
+type savedEntry struct {
+	Name      string          `json:"name"`
+	ErrEWMA   float64         `json:"err_ewma"`
+	Histogram json.RawMessage `json:"histogram"`
+}
+
+// Save persists every histogram (not the data snapshots) as JSON.
+func (m *Manager) Save(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]savedEntry, 0, len(m.order))
+	for _, name := range m.order {
+		e := m.entries[name]
+		raw, err := json.Marshal(e.hist)
+		if err != nil {
+			return fmt.Errorf("catalog: saving %q: %w", name, err)
+		}
+		out = append(out, savedEntry{Name: name, ErrEWMA: e.errEWMA, Histogram: raw})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Load restores histograms saved by Save. Loaded tables have no data
+// snapshot (idx == nil): estimates and feedback work, re-initialization does
+// not.
+func (m *Manager) Load(r io.Reader) error {
+	var in []savedEntry
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("catalog: decoding: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, se := range in {
+		if _, ok := m.entries[se.Name]; ok {
+			return fmt.Errorf("catalog: table %q already registered", se.Name)
+		}
+		var h sthole.Histogram
+		if err := json.Unmarshal(se.Histogram, &h); err != nil {
+			return fmt.Errorf("catalog: loading %q: %w", se.Name, err)
+		}
+		m.entries[se.Name] = &entry{hist: &h, errEWMA: se.ErrEWMA}
+		m.order = append(m.order, se.Name)
+	}
+	sort.Strings(m.order) // deterministic order after mixed load/register
+	return nil
+}

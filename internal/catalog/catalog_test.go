@@ -1,0 +1,218 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+	"sthist/internal/mineclus"
+	"sthist/internal/workload"
+)
+
+func dom2() geom.Rect { return geom.MustRect([]float64{0, 0}, []float64{1000, 1000}) }
+
+// uniformTable is easy to estimate; clusteredTable is hard.
+func uniformTable(n int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < n; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	return tab
+}
+
+func clusteredTable(n int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < n; i++ {
+		cx := float64((i%4)*250 + 50)
+		cy := float64(((i/4)%4)*250 + 50)
+		tab.MustAppend([]float64{cx + rng.Float64()*60, cy + rng.Float64()*60})
+	}
+	return tab
+}
+
+func mcfg() mineclus.Config {
+	c := mineclus.DefaultConfig()
+	c.Width = 60
+	return c
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{TotalBuckets: 0, MinBuckets: 1, ErrorRetention: 0.9},
+		{TotalBuckets: 10, MinBuckets: 0, ErrorRetention: 0.9},
+		{TotalBuckets: 10, MinBuckets: 1, ErrorRetention: 0},
+		{TotalBuckets: 10, MinBuckets: 1, ErrorRetention: 1},
+	} {
+		if _, err := NewManager(cfg); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestRegisterAndEstimate(t *testing.T) {
+	m, err := NewManager(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := clusteredTable(4000, 1)
+	if err := m.Register("orders", tab, dom2(), true, mcfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("orders", tab, dom2(), true, mcfg()); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := m.Estimate("nope", dom2()); err == nil {
+		t.Error("unknown table accepted")
+	}
+	got, err := m.Estimate("orders", dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4000) > 40 {
+		t.Errorf("domain estimate = %g, want ~4000", got)
+	}
+	if tables := m.Tables(); len(tables) != 1 || tables[0] != "orders" {
+		t.Errorf("Tables = %v", tables)
+	}
+}
+
+func TestFeedbackRefines(t *testing.T) {
+	m, err := NewManager(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := clusteredTable(4000, 2)
+	idx, _ := index.BuildKDTree(tab)
+	if err := m.Register("t", tab, dom2(), false, mcfg()); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MustRect([]float64{50, 50}, []float64{110, 110})
+	truth := float64(idx.Count(q))
+	before, _ := m.Estimate("t", q)
+	if err := m.Feedback("t", q, truth); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Estimate("t", q)
+	if math.Abs(after-truth) >= math.Abs(before-truth) {
+		t.Errorf("feedback did not improve: %g -> %g (truth %g)", before, after, truth)
+	}
+	if err := m.Feedback("nope", q, 1); err == nil {
+		t.Error("feedback for unknown table accepted")
+	}
+}
+
+func TestRebalanceFavorsErrorProneTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalBuckets = 128
+	cfg.MinBuckets = 8
+	cfg.RebalanceEvery = 50
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy := uniformTable(3000, 3)
+	hard := clusteredTable(3000, 4)
+	if err := m.Register("easy", easy, dom2(), false, mcfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("hard", hard, dom2(), false, mcfg()); err != nil {
+		t.Fatal(err)
+	}
+	easyIdx, _ := index.BuildKDTree(easy)
+	hardIdx, _ := index.BuildKDTree(hard)
+	qs := workload.MustGenerate(dom2(), workload.Config{VolumeFraction: 0.01, N: 150, Seed: 5}, nil)
+	for _, q := range qs {
+		if err := m.Feedback("easy", q, float64(easyIdx.Count(q))); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Feedback("hard", q, float64(hardIdx.Count(q))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eb, _ := m.Buckets("easy")
+	hb, _ := m.Buckets("hard")
+	if hb <= eb {
+		t.Errorf("hard table got %d buckets, easy %d; rebalancing should favor the error-prone table", hb, eb)
+	}
+	if eb < cfg.MinBuckets {
+		t.Errorf("easy table below the floor: %d", eb)
+	}
+	if eb+hb > cfg.TotalBuckets+2 { // rounding slack of 1 per table
+		t.Errorf("budgets %d+%d exceed the total %d", eb, hb, cfg.TotalBuckets)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := NewManager(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := clusteredTable(2000, 6)
+	if err := m.Register("t", tab, dom2(), true, mcfg()); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MustRect([]float64{40, 40}, []float64{200, 200})
+	want, _ := m.Estimate("t", q)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Estimate("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate after reload = %g, want %g", got, want)
+	}
+	// Loaded histograms keep accepting feedback.
+	if err := m2.Feedback("t", q, 123); err != nil {
+		t.Fatal(err)
+	}
+	// Loading over an existing name fails.
+	var buf2 bytes.Buffer
+	if err := m.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Load(&buf2); err == nil {
+		t.Error("duplicate load accepted")
+	}
+}
+
+func TestBudgetFloorFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalBuckets = 10
+	cfg.MinBuckets = 8
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if err := m.Register(name, uniformTable(500, 7), dom2(), false, mcfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 tables x floor 8 > 10 total: the fallback must still give each >= 1.
+	for _, name := range []string{"a", "b", "c"} {
+		b, err := m.Buckets(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < 1 {
+			t.Errorf("table %s budget %d", name, b)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package clique implements the CLIQUE grid-based subspace clustering
+// algorithm (Agrawal, Gehrke, Gunopulos, Raghavan — SIGMOD 1998). The
+// paper's predecessor work (Khachatryan et al., SSDBM 2011) compared six
+// subspace clustering algorithms as histogram initializers and picked
+// MineClus; this package provides the classic alternative so the
+// reproduction can run that comparison (`ablation-clusterer`).
+//
+// CLIQUE partitions every dimension into Xi equal intervals, calls a grid
+// cell in a subspace "dense" when it holds at least Tau of the points, grows
+// dense units bottom-up with an apriori join (a k-dimensional unit can only
+// be dense if all its (k-1)-dimensional projections are), and reports
+// connected components of dense units per subspace as clusters.
+package clique
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/mineclus"
+)
+
+// Config holds CLIQUE parameters.
+type Config struct {
+	// Xi is the number of grid intervals per dimension (default 10).
+	Xi int
+	// Tau is the density threshold: a unit is dense when it holds at least
+	// Tau * n points (default 0.01).
+	Tau float64
+	// MaxDims caps the subspace dimensionality explored (default 4); the
+	// candidate lattice grows combinatorially above that.
+	MaxDims int
+	// Beta weights cluster importance like MineClus' mu so the two
+	// algorithms' outputs are order-comparable (default 0.25).
+	Beta float64
+}
+
+// DefaultConfig returns the defaults above.
+func DefaultConfig() Config {
+	return Config{Xi: 10, Tau: 0.01, MaxDims: 4, Beta: 0.25}
+}
+
+func (c *Config) validate(dims int) error {
+	if c.Xi < 2 {
+		return fmt.Errorf("clique: xi must be >= 2, got %d", c.Xi)
+	}
+	if c.Tau <= 0 || c.Tau > 1 {
+		return fmt.Errorf("clique: tau must be in (0,1], got %g", c.Tau)
+	}
+	if c.MaxDims < 1 {
+		return fmt.Errorf("clique: maxDims must be >= 1, got %d", c.MaxDims)
+	}
+	if c.MaxDims > dims {
+		c.MaxDims = dims
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("clique: beta must be in (0,1), got %g", c.Beta)
+	}
+	return nil
+}
+
+// unit identifies one grid cell in a subspace: parallel slices of dimensions
+// (ascending) and cell indices.
+type unit struct {
+	dims  []int
+	cells []int
+}
+
+func (u unit) key() string {
+	b := make([]byte, 0, 4*len(u.dims))
+	for i := range u.dims {
+		b = append(b, byte(u.dims[i]), byte(u.cells[i]>>8), byte(u.cells[i]), ',')
+	}
+	return string(b)
+}
+
+// dimsKey encodes just the dimension set.
+func dimsKey(dims []int) string {
+	b := make([]byte, len(dims))
+	for i, d := range dims {
+		b[i] = byte(d)
+	}
+	return string(b)
+}
+
+// Run executes CLIQUE over the table within the given domain and converts
+// the clusters into mineclus.Cluster values (same shape the initializer
+// consumes), sorted by descending importance.
+func Run(tab *dataset.Table, domain geom.Rect, cfg Config) ([]mineclus.Cluster, error) {
+	dims := tab.Dims()
+	if err := cfg.validate(dims); err != nil {
+		return nil, err
+	}
+	n := tab.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("clique: empty table")
+	}
+	if domain.Dims() != dims {
+		return nil, fmt.Errorf("clique: domain dims %d != table dims %d", domain.Dims(), dims)
+	}
+	minCount := int(math.Ceil(cfg.Tau * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Pre-compute every point's cell index per dimension.
+	cells := make([][]int16, dims)
+	for d := 0; d < dims; d++ {
+		cells[d] = make([]int16, n)
+		side := domain.Side(d)
+		col := tab.Column(d)
+		for i, v := range col {
+			c := 0
+			if side > 0 {
+				c = int(float64(cfg.Xi) * (v - domain.Lo[d]) / side)
+			}
+			if c < 0 {
+				c = 0
+			}
+			if c >= cfg.Xi {
+				c = cfg.Xi - 1
+			}
+			cells[d][i] = int16(c)
+		}
+	}
+
+	// Level 1: dense 1-dimensional units.
+	dense := make(map[string]int) // unit key -> count
+	var denseUnits []unit
+	for d := 0; d < dims; d++ {
+		counts := make([]int, cfg.Xi)
+		for i := 0; i < n; i++ {
+			counts[cells[d][i]]++
+		}
+		for c, cnt := range counts {
+			if cnt >= minCount {
+				u := unit{dims: []int{d}, cells: []int{c}}
+				dense[u.key()] = cnt
+				denseUnits = append(denseUnits, u)
+			}
+		}
+	}
+
+	all := append([]unit(nil), denseUnits...)
+	prev := denseUnits
+	for level := 2; level <= cfg.MaxDims && len(prev) > 1; level++ {
+		candidates := aprioriJoin(prev, dense)
+		if len(candidates) == 0 {
+			break
+		}
+		// Count candidates grouped by dimension set.
+		byDims := make(map[string][]unit)
+		for _, u := range candidates {
+			k := dimsKey(u.dims)
+			byDims[k] = append(byDims[k], u)
+		}
+		var next []unit
+		for _, us := range byDims {
+			ds := us[0].dims
+			want := make(map[string]*int, len(us))
+			counts := make([]int, len(us))
+			for i, u := range us {
+				want[cellKey(u.cells)] = &counts[i]
+			}
+			cbuf := make([]int, len(ds))
+			for i := 0; i < n; i++ {
+				for j, d := range ds {
+					cbuf[j] = int(cells[d][i])
+				}
+				if p, ok := want[cellKey(cbuf)]; ok {
+					*p++
+				}
+			}
+			for i, u := range us {
+				if counts[i] >= minCount {
+					dense[u.key()] = counts[i]
+					next = append(next, u)
+				}
+			}
+		}
+		all = append(all, next...)
+		prev = next
+	}
+
+	comps := connectedComponents(all)
+	clusters := clustersFromComponents(comps, dense, cells, domain, cfg, n)
+	sort.SliceStable(clusters, func(i, j int) bool { return clusters[i].Score > clusters[j].Score })
+	return clusters, nil
+}
+
+func cellKey(cells []int) string {
+	b := make([]byte, 2*len(cells))
+	for i, c := range cells {
+		b[2*i] = byte(c >> 8)
+		b[2*i+1] = byte(c)
+	}
+	return string(b)
+}
+
+// aprioriJoin generates level-(k+1) candidates from level-k dense units:
+// join two units sharing their first k-1 dims/cells, then prune candidates
+// with any non-dense k-subunit.
+func aprioriJoin(prev []unit, dense map[string]int) []unit {
+	sorted := append([]unit(nil), prev...)
+	sort.Slice(sorted, func(i, j int) bool { return unitLess(sorted[i], sorted[j]) })
+	var out []unit
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			a, b := sorted[i], sorted[j]
+			if !samePrefix(a, b) {
+				break // sorted order: once the prefix differs, no more joins
+			}
+			lastA, lastB := a.dims[len(a.dims)-1], b.dims[len(b.dims)-1]
+			if lastA >= lastB {
+				continue
+			}
+			cand := unit{
+				dims:  append(append([]int(nil), a.dims...), lastB),
+				cells: append(append([]int(nil), a.cells...), b.cells[len(b.cells)-1]),
+			}
+			if allSubunitsDense(cand, dense) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func unitLess(a, b unit) bool {
+	for i := range a.dims {
+		if a.dims[i] != b.dims[i] {
+			return a.dims[i] < b.dims[i]
+		}
+		if a.cells[i] != b.cells[i] {
+			return a.cells[i] < b.cells[i]
+		}
+	}
+	return false
+}
+
+// samePrefix reports whether a and b agree on all but their last dim/cell.
+func samePrefix(a, b unit) bool {
+	k := len(a.dims) - 1
+	for i := 0; i < k; i++ {
+		if a.dims[i] != b.dims[i] || a.cells[i] != b.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubunitsDense checks apriori monotonicity: every (k-1)-projection of
+// cand must be dense.
+func allSubunitsDense(cand unit, dense map[string]int) bool {
+	k := len(cand.dims)
+	sub := unit{dims: make([]int, k-1), cells: make([]int, k-1)}
+	for drop := 0; drop < k; drop++ {
+		idx := 0
+		for i := 0; i < k; i++ {
+			if i == drop {
+				continue
+			}
+			sub.dims[idx] = cand.dims[i]
+			sub.cells[idx] = cand.cells[i]
+			idx++
+		}
+		if _, ok := dense[sub.key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// connectedComponents groups dense units of the SAME subspace that share a
+// face (cell indices differing by exactly 1 in one dimension).
+func connectedComponents(units []unit) [][]unit {
+	bySubspace := make(map[string][]unit)
+	for _, u := range units {
+		k := dimsKey(u.dims)
+		bySubspace[k] = append(bySubspace[k], u)
+	}
+	var comps [][]unit
+	// Deterministic subspace order.
+	keys := make([]string, 0, len(bySubspace))
+	for k := range bySubspace {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		us := bySubspace[k]
+		sort.Slice(us, func(i, j int) bool { return unitLess(us[i], us[j]) })
+		index := make(map[string]int, len(us))
+		for i, u := range us {
+			index[cellKey(u.cells)] = i
+		}
+		seen := make([]bool, len(us))
+		for i := range us {
+			if seen[i] {
+				continue
+			}
+			var comp []unit
+			stack := []int{i}
+			seen[i] = true
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				comp = append(comp, us[cur])
+				// Neighbors: +-1 in one cell coordinate.
+				for d := range us[cur].cells {
+					for _, delta := range []int{-1, 1} {
+						nb := append([]int(nil), us[cur].cells...)
+						nb[d] += delta
+						if j, ok := index[cellKey(nb)]; ok && !seen[j] {
+							seen[j] = true
+							stack = append(stack, j)
+						}
+					}
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	return comps
+}
+
+// clustersFromComponents converts each connected component into a
+// mineclus.Cluster: the component's bounding cells become the box (full
+// domain on unused dims), member rows are the points inside the component's
+// units, and importance is mu(|rows|, |dims|) with the configured beta.
+func clustersFromComponents(comps [][]unit, dense map[string]int, cells [][]int16, domain geom.Rect, cfg Config, n int) []mineclus.Cluster {
+	dims := domain.Dims()
+	var out []mineclus.Cluster
+	gain := 1 / cfg.Beta
+	for _, comp := range comps {
+		ds := comp[0].dims
+		// Bounding cell range per subspace dimension.
+		loCell := append([]int(nil), comp[0].cells...)
+		hiCell := append([]int(nil), comp[0].cells...)
+		unitSet := make(map[string]bool, len(comp))
+		for _, u := range comp {
+			unitSet[cellKey(u.cells)] = true
+			for i, c := range u.cells {
+				if c < loCell[i] {
+					loCell[i] = c
+				}
+				if c > hiCell[i] {
+					hiCell[i] = c
+				}
+			}
+		}
+		// Member rows: points whose cells lie in one of the component's
+		// units.
+		var rows []int
+		cbuf := make([]int, len(ds))
+		for i := 0; i < n; i++ {
+			for j, d := range ds {
+				cbuf[j] = int(cells[d][i])
+			}
+			if unitSet[cellKey(cbuf)] {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		copy(lo, domain.Lo)
+		copy(hi, domain.Hi)
+		for i, d := range ds {
+			w := domain.Side(d) / float64(cfg.Xi)
+			lo[d] = domain.Lo[d] + float64(loCell[i])*w
+			hi[d] = domain.Lo[d] + float64(hiCell[i]+1)*w
+		}
+		score := float64(len(rows))
+		for range ds {
+			score *= gain
+		}
+		out = append(out, mineclus.Cluster{
+			Dims:  append([]int(nil), ds...),
+			Rows:  rows,
+			Box:   geom.Rect{Lo: lo, Hi: hi},
+			Score: score,
+		})
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package clique
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+func TestConfigValidation(t *testing.T) {
+	tab := dataset.MustNew("x")
+	tab.MustAppend([]float64{1})
+	dom := geom.MustRect([]float64{0}, []float64{10})
+	bad := []Config{
+		{Xi: 1, Tau: 0.1, MaxDims: 2, Beta: 0.25},
+		{Xi: 10, Tau: 0, MaxDims: 2, Beta: 0.25},
+		{Xi: 10, Tau: 1.5, MaxDims: 2, Beta: 0.25},
+		{Xi: 10, Tau: 0.1, MaxDims: 0, Beta: 0.25},
+		{Xi: 10, Tau: 0.1, MaxDims: 2, Beta: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(tab, dom, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(dataset.MustNew("x"), dom, DefaultConfig()); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := Run(tab, geom.MustRect([]float64{0, 0}, []float64{1, 1}), DefaultConfig()); err == nil {
+		t.Error("domain dimension mismatch accepted")
+	}
+}
+
+func TestRunFindsDenseBlock(t *testing.T) {
+	// One dense block plus uniform noise; CLIQUE must report a 2-dim
+	// cluster covering the block.
+	rng := rand.New(rand.NewSource(1))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 3000; i++ {
+		tab.MustAppend([]float64{300 + rng.Float64()*100, 600 + rng.Float64()*100})
+	}
+	for i := 0; i < 500; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	dom := geom.MustRect([]float64{0, 0}, []float64{1000, 1000})
+	clusters, err := Run(tab, dom, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range clusters {
+		if !reflect.DeepEqual(c.Dims, []int{0, 1}) {
+			continue
+		}
+		if c.Box.ContainsPoint(geom.Point{350, 650}) && len(c.Rows) >= 2500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no 2-dim cluster covering the dense block among %d clusters", len(clusters))
+	}
+	// Importance order.
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i].Score > clusters[i-1].Score {
+			t.Fatalf("clusters not sorted by score")
+		}
+	}
+}
+
+func TestRunFindsSubspaceBars(t *testing.T) {
+	ds := datagen.CrossN(3, 0.5, 2)
+	cfg := DefaultConfig()
+	cfg.Xi = 20
+	cfg.Tau = 0.02
+	clusters, err := Run(ds.Table, ds.Domain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each bar is dense in exactly one dimension; expect 1-dim clusters on
+	// each of the three dims covering the central band.
+	covered := map[int]bool{}
+	for _, c := range clusters {
+		if len(c.Dims) == 1 {
+			d := c.Dims[0]
+			if c.Box.Lo[d] <= 500 && c.Box.Hi[d] >= 500 {
+				covered[d] = true
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if !covered[d] {
+			t.Errorf("central band on dim %d not found as a 1-dim cluster", d)
+		}
+	}
+}
+
+func TestRunClusterInvariants(t *testing.T) {
+	ds := datagen.Gauss(0.02, 3)
+	cfg := DefaultConfig()
+	cfg.Tau = 0.02
+	clusters, err := Run(ds.Table, ds.Domain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("no clusters found")
+	}
+	for ci, c := range clusters {
+		if len(c.Dims) < 1 || len(c.Dims) > cfg.MaxDims {
+			t.Errorf("cluster %d has %d dims", ci, len(c.Dims))
+		}
+		if !sort.IntsAreSorted(c.Dims) {
+			t.Errorf("cluster %d dims not sorted: %v", ci, c.Dims)
+		}
+		for _, r := range c.Rows {
+			p := ds.Table.Point(r)
+			if !c.Box.ContainsPoint(p) {
+				t.Fatalf("cluster %d: row %d outside box on dims %v", ci, r, c.Dims)
+			}
+		}
+		// Box spans the domain fully on unused dimensions.
+		for _, d := range c.UnusedDims(ds.Table.Dims()) {
+			if c.Box.Lo[d] != ds.Domain.Lo[d] || c.Box.Hi[d] != ds.Domain.Hi[d] {
+				t.Errorf("cluster %d box does not span unused dim %d", ci, d)
+			}
+		}
+	}
+}
+
+func TestAprioriMonotonicity(t *testing.T) {
+	// Hand-built dense sets: units {0}:c3 and {1}:c5 dense, so candidate
+	// {0,1}:(3,5) is generated; {2} not dense, so no candidate includes it.
+	u01 := unit{dims: []int{0}, cells: []int{3}}
+	u11 := unit{dims: []int{1}, cells: []int{5}}
+	dense := map[string]int{u01.key(): 10, u11.key(): 12}
+	cands := aprioriJoin([]unit{u01, u11}, dense)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	if !reflect.DeepEqual(cands[0].dims, []int{0, 1}) || !reflect.DeepEqual(cands[0].cells, []int{3, 5}) {
+		t.Errorf("candidate = %+v", cands[0])
+	}
+	// A pair in the SAME dimension must not join.
+	u02 := unit{dims: []int{0}, cells: []int{4}}
+	dense[u02.key()] = 9
+	cands = aprioriJoin([]unit{u01, u02}, dense)
+	for _, c := range cands {
+		if c.dims[0] == c.dims[1] {
+			t.Errorf("joined two units of the same dimension: %+v", c)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Three units in one subspace: cells 2,3 adjacent, cell 7 apart.
+	us := []unit{
+		{dims: []int{0}, cells: []int{2}},
+		{dims: []int{0}, cells: []int{3}},
+		{dims: []int{0}, cells: []int{7}},
+	}
+	comps := connectedComponents(us)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1])}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("component sizes = %v", sizes)
+	}
+	// Units in different subspaces never connect.
+	us = []unit{
+		{dims: []int{0}, cells: []int{2}},
+		{dims: []int{1}, cells: []int{2}},
+	}
+	if comps := connectedComponents(us); len(comps) != 2 {
+		t.Errorf("cross-subspace units merged into %d components", len(comps))
+	}
+}

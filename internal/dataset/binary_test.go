@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := MustNew("ra", "dec", "z")
+	for i := 0; i < 1000; i++ {
+		tab.MustAppend([]float64{rng.NormFloat64() * 1e6, rng.Float64(), float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tab.Len() || got.Dims() != tab.Dims() {
+		t.Fatalf("size mismatch %dx%d", got.Len(), got.Dims())
+	}
+	for d, name := range tab.Names() {
+		if got.Names()[d] != name {
+			t.Errorf("column %d name %q, want %q", d, got.Names()[d], name)
+		}
+	}
+	for i := 0; i < tab.Len(); i++ {
+		for d := 0; d < tab.Dims(); d++ {
+			if got.Value(i, d) != tab.Value(i, d) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, d, got.Value(i, d), tab.Value(i, d))
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripEmptyTable(t *testing.T) {
+	tab := MustNew("x")
+	var buf bytes.Buffer
+	if err := tab.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dims() != 1 {
+		t.Errorf("empty round trip: %dx%d", got.Len(), got.Dims())
+	}
+}
+
+func TestReadBinaryRejectsCorruptInput(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"NOPE",                 // bad magic
+		"STH1",                 // truncated after magic
+		"STH1\xff\xff\xff\xff", // implausible dims
+		"STH1\x00\x00\x00\x00", // zero dims
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(strings.NewReader(c)); err == nil {
+			t.Errorf("corrupt input %q accepted", c)
+		}
+	}
+	// Truncated column data.
+	tab := MustNew("x")
+	tab.MustAppend([]float64{1})
+	tab.MustAppend([]float64{2})
+	var buf bytes.Buffer
+	if err := tab.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated column data accepted")
+	}
+}
+
+func TestReadBinaryRejectsNaN(t *testing.T) {
+	tab := MustNew("x")
+	tab.MustAppend([]float64{1})
+	var buf bytes.Buffer
+	if err := tab.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Patch the stored value to NaN.
+	b := buf.Bytes()
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		b[len(b)-8+i] = byte(nan >> (8 * i))
+	}
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Error("NaN payload accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV loader never panics and that every accepted
+// table is structurally consistent.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("x\n")
+	f.Add("a,a\n1,1\n")
+	f.Add("a,b\n1\n")
+	f.Add("a,b\nNaN,2\n")
+	f.Add("\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tab.Dims() < 1 {
+			t.Error("accepted table without columns")
+		}
+		for d := 0; d < tab.Dims(); d++ {
+			if len(tab.Column(d)) != tab.Len() {
+				t.Error("ragged columns accepted")
+			}
+		}
+	})
+}

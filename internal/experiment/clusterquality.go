@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"sthist/internal/clique"
+	"sthist/internal/datagen"
+	"sthist/internal/mineclus"
+	"sthist/internal/quality"
+)
+
+// QualityResult reports clustering quality against generator ground truth,
+// the evaluation style of the predecessor paper (SSDBM 2011) that selected
+// MineClus as the initializer.
+type QualityResult struct {
+	Rows []QualityRow
+}
+
+// QualityRow is one (dataset, algorithm) measurement.
+type QualityRow struct {
+	Dataset      string
+	Algorithm    string
+	Found        int
+	TruthCovered int
+	TruthTotal   int
+	MeanF1       float64
+	DimPrecision float64
+}
+
+// String renders the table.
+func (r *QualityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Clustering quality vs generator ground truth\n")
+	fmt.Fprintf(&b, "%-10s%-10s%8s%10s%10s%10s\n", "dataset", "algo", "found", "covered", "meanF1", "dimPrec")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s%-10s%8d%7d/%-2d%10.3f%10.3f\n",
+			row.Dataset, row.Algorithm, row.Found, row.TruthCovered, row.TruthTotal, row.MeanF1, row.DimPrecision)
+	}
+	return b.String()
+}
+
+// ClusterQuality evaluates MineClus and CLIQUE against the planted clusters
+// of Cross and Gauss.
+func ClusterQuality(cfg Config) (*QualityResult, error) {
+	res := &QualityResult{}
+	for _, dsName := range []string{"cross", "gauss"} {
+		ds, err := datagen.ByName(dsName, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := mineclus.Run(ds.Table, MineclusFor(dsName, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		clq, err := clique.Run(ds.Table, ds.Domain, clique.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []struct {
+			algo     string
+			clusters []mineclus.Cluster
+		}{{"mineclus", mc}, {"clique", clq}} {
+			rep, err := quality.Evaluate(ds, v.clusters)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, QualityRow{
+				Dataset:      dsName,
+				Algorithm:    v.algo,
+				Found:        len(v.clusters),
+				TruthCovered: rep.CoveredTruth,
+				TruthTotal:   len(ds.Clusters),
+				MeanF1:       rep.MeanF1,
+				DimPrecision: rep.DimPrecision,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,548 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testConfig is a fast configuration for CI: small data, short workloads,
+// two bucket budgets. The assertions below check the paper's qualitative
+// claims (who wins, roughly by how much), which hold at this scale.
+func testConfig() Config {
+	cfg := Defaults()
+	cfg.Scale = 0.03
+	cfg.TrainQueries = 100
+	cfg.EvalQueries = 100
+	cfg.Buckets = []int{50, 100}
+	return cfg
+}
+
+func TestNewEnv(t *testing.T) {
+	cfg := testConfig()
+	env, err := NewEnv("cross", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Train) != cfg.TrainQueries || len(env.Eval) != cfg.EvalQueries {
+		t.Errorf("workload sizes %d/%d", len(env.Train), len(env.Eval))
+	}
+	if env.Index.Total() != env.DS.Table.Len() {
+		t.Error("index total != table size")
+	}
+	if _, err := NewEnv("nope", cfg); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFig11InitializationWins(t *testing.T) {
+	fr, err := Fig11(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 2 {
+		t.Fatalf("series = %d", len(fr.Series))
+	}
+	init, uninit := fr.Series[0], fr.Series[1]
+	if init.Label != "Initialized" || uninit.Label != "Uninitialized" {
+		t.Fatalf("unexpected labels %q %q", init.Label, uninit.Label)
+	}
+	for i := range fr.Buckets {
+		if init.NAE[i] >= uninit.NAE[i] {
+			t.Errorf("buckets=%d: initialized %g not better than uninitialized %g",
+				fr.Buckets[i], init.NAE[i], uninit.NAE[i])
+		}
+		// The paper reports the error rate "typically halved"; allow slack
+		// but require a clear win.
+		if init.NAE[i] > 0.75*uninit.NAE[i] {
+			t.Errorf("buckets=%d: initialized %g not a clear win over %g",
+				fr.Buckets[i], init.NAE[i], uninit.NAE[i])
+		}
+	}
+}
+
+func TestFig13ReversedBetweenInitAndUninit(t *testing.T) {
+	fr, err := Fig13(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 3 {
+		t.Fatalf("series = %d", len(fr.Series))
+	}
+	init, rev, uninit := fr.Series[0], fr.Series[1], fr.Series[2]
+	for i := range fr.Buckets {
+		if init.NAE[i] >= uninit.NAE[i] {
+			t.Errorf("buckets=%d: init %g >= uninit %g", fr.Buckets[i], init.NAE[i], uninit.NAE[i])
+		}
+		// Reversed initialization is worse than importance order but still
+		// beats no initialization (Fig. 13).
+		if rev.NAE[i] <= init.NAE[i]*0.99 {
+			t.Errorf("buckets=%d: reversed %g better than importance %g", fr.Buckets[i], rev.NAE[i], init.NAE[i])
+		}
+		if rev.NAE[i] >= uninit.NAE[i] {
+			t.Errorf("buckets=%d: reversed %g worse than uninitialized %g", fr.Buckets[i], rev.NAE[i], uninit.NAE[i])
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cfg := testConfig()
+	rows, uninit, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Higher alpha -> faster clustering (paper: 502s -> 29s).
+	if rows[2].ClusteringTime >= rows[0].ClusteringTime {
+		t.Errorf("alpha=0.10 clustering (%v) not faster than alpha=0.01 (%v)",
+			rows[2].ClusteringTime, rows[0].ClusteringTime)
+	}
+	// Higher alpha -> worse error (paper: 0.27 -> 0.45).
+	if rows[2].Error <= rows[0].Error {
+		t.Errorf("alpha=0.10 error %g not worse than alpha=0.01 %g", rows[2].Error, rows[0].Error)
+	}
+	// Every initialized row beats the uninitialized reference.
+	for _, r := range rows {
+		if r.Error >= uninit {
+			t.Errorf("alpha=%g beta=%g error %g worse than uninitialized %g", r.Alpha, r.Beta, r.Error, uninit)
+		}
+	}
+}
+
+func TestTable4SubspaceClustersFound(t *testing.T) {
+	rows, err := Table4(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("only %d clusters found", len(rows))
+	}
+	full, subspace := 0, 0
+	for _, r := range rows {
+		if len(r.UnusedDims) == 0 {
+			full++
+		} else {
+			subspace++
+		}
+		if r.Tuples <= 0 {
+			t.Errorf("cluster %s has %d tuples", r.Name, r.Tuples)
+		}
+	}
+	// The paper finds both kinds (11 full-dimensional, 9 subspace).
+	if full == 0 || subspace == 0 {
+		t.Errorf("full=%d subspace=%d; expected both kinds", full, subspace)
+	}
+}
+
+func TestFig17TrainingAmount(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 0.01 // cross4d at 0.01 is 3,600 tuples
+	r, err := Fig17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.TrainingAmounts)
+	if n < 3 {
+		t.Fatalf("amounts = %v", r.TrainingAmounts)
+	}
+	// Initialization beats no initialization at the smallest training
+	// amount by a wide margin (Fig. 17's whole point).
+	if r.Initialized[0] >= r.Uninitialized[0] {
+		t.Errorf("tiny training: init %g not better than uninit %g", r.Initialized[0], r.Uninitialized[0])
+	}
+	// The uninitialized histogram benefits from more training.
+	if r.Uninitialized[n-1] >= r.Uninitialized[0] {
+		t.Errorf("uninitialized did not improve with training: %v", r.Uninitialized)
+	}
+}
+
+func TestSubspaceSurvival(t *testing.T) {
+	cfg := testConfig()
+	r, err := SubspaceSurvival(cfg, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Checkpoints) == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	// §5.3: the uninitialized histogram never creates a single subspace
+	// bucket; the initialized one starts with several.
+	for i, c := range r.Checkpoints {
+		if r.Uninit[i] != 0 {
+			t.Errorf("checkpoint %d: uninitialized histogram has %d subspace buckets", c, r.Uninit[i])
+		}
+	}
+	if r.Initialized[0] == 0 {
+		t.Error("initialized histogram has no subspace buckets at the first checkpoint")
+	}
+}
+
+func TestRegistryRunsEverythingCheap(t *testing.T) {
+	// Run the cheap experiments end-to-end through the registry; expensive
+	// ones are covered by their dedicated tests and the benches.
+	cfg := testConfig()
+	cfg.TrainQueries, cfg.EvalQueries = 40, 40
+	cfg.Buckets = []int{50}
+	for _, name := range []string{"table1", "table3"} {
+		var buf bytes.Buffer
+		if err := Run(name, cfg, &buf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+	if err := Run("nope", cfg, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Error("Names() incomplete")
+	}
+	for i := 1; i < len(names); i++ {
+		if strings.Compare(names[i-1], names[i]) >= 0 {
+			t.Error("Names() not sorted")
+		}
+	}
+}
+
+func TestAblationExtendedBRWins(t *testing.T) {
+	cfg := testConfig()
+	r, err := AblationExtendedBR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	ebr, mbr := r.Rows[0], r.Rows[1]
+	if ebr.NAE >= mbr.NAE*1.02 {
+		t.Errorf("extended BR %g not at least as good as plain MBR %g", ebr.NAE, mbr.NAE)
+	}
+}
+
+func TestTable1PaperArithmetic(t *testing.T) {
+	rows, err := Table1(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].PaperTuples != 22000 || rows[1].PaperTuples != 110000 {
+		t.Error("paper tuple counts wrong in Table 1")
+	}
+	if rows[2].PaperTuples < 1600000 || rows[2].PaperTuples > 1800000 {
+		t.Errorf("Sky paper tuples = %d, want ~1.7M", rows[2].PaperTuples)
+	}
+}
+
+func TestAblationClustererOrdering(t *testing.T) {
+	// The SSDBM 2011 predecessor's conclusion: MineClus is the better
+	// initializer, but any subspace-clustering initialization beats none.
+	r, err := AblationClusterer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	mc, clq, un := r.Rows[0].NAE, r.Rows[1].NAE, r.Rows[2].NAE
+	if mc >= un || clq >= un {
+		t.Errorf("initialized variants (mineclus %g, clique %g) must beat uninitialized %g", mc, clq, un)
+	}
+	if mc > clq*1.1 {
+		t.Errorf("MineClus init %g clearly worse than CLIQUE init %g; expected MineClus at least on par", mc, clq)
+	}
+}
+
+func TestBaselineSelfTuningOrdering(t *testing.T) {
+	r, err := BaselineSelfTuning(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	stgridNAE, iso, uninit, init := r.Rows[0].NAE, r.Rows[1].NAE, r.Rows[2].NAE, r.Rows[3].NAE
+	if uninit >= stgridNAE {
+		t.Errorf("STHoles %g not better than ST-grid %g (Bruno et al.'s result)", uninit, stgridNAE)
+	}
+	if iso >= stgridNAE {
+		t.Errorf("ISOMER %g not better than ST-grid %g", iso, stgridNAE)
+	}
+	if init >= uninit || init >= iso {
+		t.Errorf("initialized %g must beat uninitialized %g and ISOMER %g", init, uninit, iso)
+	}
+}
+
+func TestBaselineStaticRuns(t *testing.T) {
+	r, err := BaselineStatic(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Initialized STHoles beats the static histograms (which suffer the
+	// multidimensional-bucket dimensionality problem of §3.3), the uniform
+	// sample at comparable memory, and the uninitialized histogram.
+	init := r.Rows[3].NAE
+	for i, other := range []float64{r.Rows[0].NAE, r.Rows[1].NAE, r.Rows[2].NAE, r.Rows[4].NAE} {
+		if init >= other {
+			t.Errorf("initialized %g not better than row %d (%g)", init, i, other)
+		}
+	}
+}
+
+func TestWorkloadPatternsTrendHolds(t *testing.T) {
+	r, err := WorkloadPatterns(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if strings.Contains(row.Pattern, "uniform") {
+			// Exploring workloads: initialization wins clearly (the paper's
+			// headline trend).
+			if row.Init >= row.Uninit {
+				t.Errorf("%s: initialized %g not better than uninitialized %g", row.Pattern, row.Init, row.Uninit)
+			}
+		} else {
+			// Data-following workloads adapt plain self-tuning perfectly to
+			// the (identically distributed) evaluation queries, so the
+			// uninitialized histogram can win outright; initialization must
+			// at least stay competitive in absolute terms. Recorded as a
+			// reproduction note in EXPERIMENTS.md.
+			if row.Init > 0.4 {
+				t.Errorf("%s: initialized NAE %g not competitive", row.Pattern, row.Init)
+			}
+		}
+	}
+}
+
+func TestClusterQuality(t *testing.T) {
+	r, err := ClusterQuality(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Dataset == "cross" && row.Algorithm == "mineclus" {
+			// MineClus must recover both Cross bars with the right
+			// 1-dimensional subspaces.
+			if row.TruthCovered < row.TruthTotal {
+				t.Errorf("mineclus covered %d/%d cross bars", row.TruthCovered, row.TruthTotal)
+			}
+			if row.DimPrecision < 0.5 {
+				t.Errorf("mineclus dim precision %g on cross", row.DimPrecision)
+			}
+		}
+		if row.Found == 0 {
+			t.Errorf("%s/%s found no clusters", row.Dataset, row.Algorithm)
+		}
+	}
+}
+
+func TestPlanQualityInitializedBeatsUninitialized(t *testing.T) {
+	r, err := PlanQuality(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var init, uninit *PlanQualityRow
+	for i := range r.Rows {
+		switch r.Rows[i].Label {
+		case "STHoles initialized":
+			init = &r.Rows[i]
+		case "STHoles uninitialized":
+			uninit = &r.Rows[i]
+		}
+	}
+	if init == nil || uninit == nil {
+		t.Fatalf("rows missing: %+v", r.Rows)
+	}
+	if init.MeanRegret >= uninit.MeanRegret {
+		t.Errorf("initialized regret %g not below uninitialized %g", init.MeanRegret, uninit.MeanRegret)
+	}
+	if init.MeanRegret > 1.15 {
+		t.Errorf("initialized regret %g too high; plans should be near-optimal", init.MeanRegret)
+	}
+}
+
+func TestLearningCurve(t *testing.T) {
+	cfg := testConfig()
+	r, err := LearningCurve(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LearningCurve(cfg, 0); err == nil {
+		t.Error("zero checkpoints accepted")
+	}
+	n := len(r.Checkpoints)
+	if n < 3 || r.Checkpoints[0] != 0 {
+		t.Fatalf("checkpoints = %v", r.Checkpoints)
+	}
+	// Before any training, initialization alone already beats the empty
+	// histogram; at the end it still does.
+	if r.Initialized[0] >= r.Uninit[0] {
+		t.Errorf("at 0 queries: init %g vs uninit %g", r.Initialized[0], r.Uninit[0])
+	}
+	if r.Initialized[n-1] >= r.Uninit[n-1] {
+		t.Errorf("at the end: init %g vs uninit %g", r.Initialized[n-1], r.Uninit[n-1])
+	}
+	// The uninitialized histogram improves with training but flattens: the
+	// second-half improvement is a fraction of the first-half improvement.
+	firstHalf := r.Uninit[0] - r.Uninit[n/2]
+	secondHalf := r.Uninit[n/2] - r.Uninit[n-1]
+	if firstHalf > 0 && secondHalf > firstHalf {
+		t.Errorf("no flattening: first-half gain %g, second-half %g", firstHalf, secondHalf)
+	}
+}
+
+func TestSelectivityProfile(t *testing.T) {
+	r, err := SelectivityProfile(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("bands = %d", len(r.Rows))
+	}
+	betterBands := 0
+	for _, row := range r.Rows {
+		if row.InitQErr <= row.UninitQErr {
+			betterBands++
+		}
+		if row.InitQErr < 1 || row.UninitQErr < 1 {
+			t.Errorf("%s: q-errors below 1 (%g, %g)", row.Band, row.InitQErr, row.UninitQErr)
+		}
+	}
+	if betterBands < len(r.Rows)-1 {
+		t.Errorf("initialization better in only %d of %d selectivity bands", betterBands, len(r.Rows))
+	}
+}
+
+func TestAnatomy(t *testing.T) {
+	r, err := Anatomy(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	init, uninit := r.Rows[0], r.Rows[1]
+	// §5.3: subspace buckets exist only under initialization.
+	if init.SubspaceBuckets == 0 {
+		t.Error("initialized histogram has no subspace buckets")
+	}
+	if uninit.SubspaceBuckets > init.SubspaceBuckets/4 {
+		t.Errorf("uninitialized has %d subspace buckets vs initialized %d", uninit.SubspaceBuckets, init.SubspaceBuckets)
+	}
+	if init.Buckets == 0 || uninit.Buckets == 0 {
+		t.Error("empty histograms after training")
+	}
+}
+
+func TestFig14VolumeRobustness(t *testing.T) {
+	// Fig. 14's point: the initialized error barely moves when the query
+	// volume doubles; the comparison against the 1% setting is asserted
+	// loosely since both runs use the reduced scale.
+	cfg := testConfig()
+	cfg.Buckets = []int{100}
+	one, err := Fig13(cfg) // Sky[1%], same machinery
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Fig14(cfg) // Sky[2%]
+	if err != nil {
+		t.Fatal(err)
+	}
+	init1 := one.Series[0].NAE[0]
+	init2 := two.Series[0].NAE[0]
+	if init2 > 2*init1+0.1 {
+		t.Errorf("initialized error doubled with query volume: %g (1%%) vs %g (2%%)", init1, init2)
+	}
+	// Initialization still wins at 2% volume.
+	if init2 >= two.Series[1].NAE[0] {
+		t.Errorf("at 2%% volume init %g not better than uninit %g", init2, two.Series[1].NAE[0])
+	}
+}
+
+func TestFig16HeavyTrainingStillLoses(t *testing.T) {
+	cfg := testConfig()
+	cfg.Buckets = []int{50}
+	cfg.TrainQueries, cfg.EvalQueries = 60, 80
+	r, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExtraFactor != 19 {
+		t.Errorf("extra factor = %d", r.ExtraFactor)
+	}
+	if r.Initialized[0] >= r.HeavyTrained[0] {
+		t.Errorf("initialized %g lost to 19x-trained %g", r.Initialized[0], r.HeavyTrained[0])
+	}
+}
+
+func TestFig15DimensionalityStaircase(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 0.005
+	cfg.Buckets = []int{100}
+	frs, err := Fig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frs) != 3 {
+		t.Fatalf("variants = %d", len(frs))
+	}
+	for _, fr := range frs {
+		init, uninit := fr.Series[0].NAE[0], fr.Series[1].NAE[0]
+		if init >= uninit {
+			t.Errorf("%s: init %g not better than uninit %g", fr.Name, init, uninit)
+		}
+	}
+	// The uninitialized error climbs with dimensionality (§3.3).
+	if frs[2].Series[1].NAE[0] <= frs[0].Series[1].NAE[0] {
+		t.Errorf("uninitialized error did not grow from 3d (%g) to 5d (%g)",
+			frs[0].Series[1].NAE[0], frs[2].Series[1].NAE[0])
+	}
+}
+
+func TestRenderersProduceStableLayout(t *testing.T) {
+	// Golden-format checks: the renderers feed EXPERIMENTS.md and the CLI;
+	// header rows and alignment must not drift silently.
+	fig := &FigureResult{
+		Name:    "Fig. X",
+		Buckets: []int{50, 100},
+		Series: []Series{
+			{Label: "Initialized", NAE: []float64{0.1, 0.2}},
+			{Label: "Uninitialized", NAE: []float64{0.3, 0.4}},
+		},
+	}
+	want := "Fig. X\n" +
+		"Buckets                  Initialized         Uninitialized\n" +
+		"50                            0.1000                0.3000\n" +
+		"100                           0.2000                0.4000\n"
+	if got := fig.String(); got != want {
+		t.Errorf("FigureResult layout drifted:\n%q\nwant\n%q", got, want)
+	}
+
+	pair := &PairResult{Name: "Pair", Buckets: 100, Rows: []PairRow{{Label: "A", NAE: 0.5}}}
+	if got := pair.String(); got != "Pair (100 buckets)\nA                                 0.5000\n" {
+		t.Errorf("PairResult layout drifted:\n%q", got)
+	}
+
+	t1 := RenderTable1([]Table1Row{{Name: "X", Type: "T", Dimensionality: 2, PaperTuples: 10, ActualTuples: 5}})
+	if !strings.Contains(t1, "Table 1") || !strings.Contains(t1, "X") {
+		t.Errorf("Table1 rendering broken:\n%s", t1)
+	}
+	t4 := RenderTable4([]Table4Row{{Name: "C0", UnusedDims: []int{1, 2}, Tuples: 7}, {Name: "C1", Tuples: 3}})
+	if !strings.Contains(t4, "1, 2") || !strings.Contains(t4, "none") {
+		t.Errorf("Table4 rendering broken:\n%s", t4)
+	}
+}

@@ -1,0 +1,344 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sthist/internal/core"
+	"sthist/internal/geom"
+	"sthist/internal/mineclus"
+	"sthist/internal/workload"
+)
+
+// Series is one line of an error-vs-buckets figure.
+type Series struct {
+	Label string
+	// NAE[i] corresponds to Config.Buckets[i].
+	NAE []float64
+}
+
+// FigureResult holds every series of one figure.
+type FigureResult struct {
+	Name    string
+	Buckets []int
+	Series  []Series
+}
+
+// String renders the figure as the table of values behind the plot.
+func (f *FigureResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s", f.Name, "Buckets")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for i, bk := range f.Buckets {
+		fmt.Fprintf(&b, "%-14d", bk)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%22.4f", s.NAE[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// errorFigure runs the init-vs-uninit bucket sweep shared by Figs. 11, 12,
+// 13 and 14. withReversed adds the "Initialized (Reversed)" series of
+// Fig. 13.
+func errorFigure(name, dsName string, cfg Config, withReversed bool) (*FigureResult, error) {
+	env, err := NewEnv(dsName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor(dsName, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{Name: name, Buckets: cfg.Buckets}
+	uninit := Series{Label: "Uninitialized", NAE: make([]float64, len(cfg.Buckets))}
+	init := Series{Label: "Initialized", NAE: make([]float64, len(cfg.Buckets))}
+	rev := Series{Label: "Initialized (Reversed)", NAE: make([]float64, len(cfg.Buckets))}
+	// Bucket budgets are independent given the shared clusters, workloads
+	// and (read-only) index, so they run concurrently.
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs error
+	)
+	for bi, bk := range cfg.Buckets {
+		wg.Add(1)
+		go func(bi, bk int) {
+			defer wg.Done()
+			fail := func(err error) {
+				mu.Lock()
+				if errs == nil {
+					errs = err
+				}
+				mu.Unlock()
+			}
+			u, i, err := env.RunPair(bk, clusters)
+			if err != nil {
+				fail(err)
+				return
+			}
+			uninit.NAE[bi] = u
+			init.NAE[bi] = i
+			if withReversed {
+				hr, err := env.NewInitialized(bk, clusters, core.Options{Order: core.Reversed})
+				if err != nil {
+					fail(err)
+					return
+				}
+				env.TrainHistogram(hr, env.Train)
+				r, err := env.NAE(hr, true)
+				if err != nil {
+					fail(err)
+					return
+				}
+				rev.NAE[bi] = r
+			}
+		}(bi, bk)
+	}
+	wg.Wait()
+	if errs != nil {
+		return nil, errs
+	}
+	res.Series = []Series{init, uninit}
+	if withReversed {
+		res.Series = []Series{init, rev, uninit}
+	}
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11: Cross[1%], initialized vs uninitialized.
+func Fig11(cfg Config) (*FigureResult, error) {
+	return errorFigure("Fig. 11: Cross[1%] normalized error", "cross", cfg, false)
+}
+
+// Fig12 reproduces Figure 12: Gauss[1%].
+func Fig12(cfg Config) (*FigureResult, error) {
+	return errorFigure("Fig. 12: Gauss[1%] normalized error", "gauss", cfg, false)
+}
+
+// Fig13 reproduces Figure 13: Sky[1%], including the reversed-importance
+// initialization series.
+func Fig13(cfg Config) (*FigureResult, error) {
+	return errorFigure("Fig. 13: Sky[1%] normalized error", "sky", cfg, true)
+}
+
+// Fig14 reproduces Figure 14: Sky[2%] (doubled query volume).
+func Fig14(cfg Config) (*FigureResult, error) {
+	cfg.VolumeFraction = 0.02
+	return errorFigure("Fig. 14: Sky[2%] normalized error", "sky", cfg, false)
+}
+
+// Fig15 reproduces Figure 15: the Cross3d/4d/5d dimensionality sweep. The
+// result contains one FigureResult per dataset variant.
+func Fig15(cfg Config) ([]*FigureResult, error) {
+	var out []*FigureResult
+	for _, dsName := range []string{"cross3d", "cross4d", "cross5d"} {
+		fr, err := errorFigure("Fig. 15: "+dsName+"[1%] normalized error", dsName, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// Fig16Result holds the heavy-training comparison of Figure 16.
+type Fig16Result struct {
+	Buckets      []int
+	Initialized  []float64 // trained with the normal workload
+	HeavyTrained []float64 // uninitialized, trained with extraFactor x queries
+	ExtraFactor  int
+}
+
+// String renders the figure table.
+func (r *Fig16Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 16: Sky[1%%] heavily-trained (x%d queries) vs initialized\n", r.ExtraFactor)
+	fmt.Fprintf(&b, "%-14s%22s%22s\n", "Buckets", "Initialized", "Heavy Trained")
+	for i, bk := range r.Buckets {
+		fmt.Fprintf(&b, "%-14d%22.4f%22.4f\n", bk, r.Initialized[i], r.HeavyTrained[i])
+	}
+	return b.String()
+}
+
+// Fig16 reproduces Figure 16: an uninitialized histogram trained with 19x
+// the workload still loses to the initialized one trained normally. The
+// extra training factor follows the paper (1,000 vs 1,000+18,000 queries).
+func Fig16(cfg Config) (*Fig16Result, error) {
+	const extraFactor = 19
+	env, err := NewEnv("sky", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("sky", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	// The heavy workload extends the shared training prefix, as in the
+	// paper's setup (same first 1,000 queries, then 18,000 more).
+	heavy, err := workload.Generate(env.DS.Domain, workload.Config{
+		VolumeFraction: cfg.VolumeFraction,
+		N:              cfg.TrainQueries * (extraFactor - 1),
+		Seed:           cfg.Seed + 3000,
+	}, env.DS.Table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{Buckets: cfg.Buckets, ExtraFactor: extraFactor}
+	for _, bk := range cfg.Buckets {
+		hu := env.NewHistogram(bk)
+		env.TrainHistogram(hu, env.Train)
+		env.TrainHistogram(hu, heavy)
+		u, err := env.NAE(hu, true)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := env.NewInitialized(bk, clusters, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		env.TrainHistogram(hi, env.Train)
+		i, err := env.NAE(hi, true)
+		if err != nil {
+			return nil, err
+		}
+		res.HeavyTrained = append(res.HeavyTrained, u)
+		res.Initialized = append(res.Initialized, i)
+	}
+	return res, nil
+}
+
+// Fig17Result holds the error-vs-training-amount sweep of Figure 17.
+type Fig17Result struct {
+	TrainingAmounts []int
+	Initialized     []float64
+	Uninitialized   []float64
+	Buckets         int
+}
+
+// String renders the figure table.
+func (r *Fig17Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 17: Cross4d[1%%], %d buckets, learning frozen after training\n", r.Buckets)
+	fmt.Fprintf(&b, "%-16s%22s%22s\n", "Train queries", "Initialized", "Uninitialized")
+	for i, n := range r.TrainingAmounts {
+		fmt.Fprintf(&b, "%-16d%22.4f%22.4f\n", n, r.Initialized[i], r.Uninitialized[i])
+	}
+	return b.String()
+}
+
+// Fig17 reproduces Figure 17: vary the number of training queries on
+// Cross4d with 100 buckets; unlike every other experiment, refinement stops
+// after training (the histogram is frozen during evaluation).
+func Fig17(cfg Config) (*Fig17Result, error) {
+	amounts := []int{50, 100, 250, cfg.TrainQueries}
+	sort.Ints(amounts)
+	// Deduplicate in case cfg.TrainQueries collides with a preset.
+	amounts = dedupInts(amounts)
+	buckets := 100
+	env, err := NewEnv("cross4d", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("cross4d", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig17Result{TrainingAmounts: amounts, Buckets: buckets}
+	for _, n := range amounts {
+		if n > len(env.Train) {
+			n = len(env.Train)
+		}
+		prefix := env.Train[:n]
+		hu := env.NewHistogram(buckets)
+		env.TrainHistogram(hu, prefix)
+		hu.SetFrozen(true)
+		u, err := env.NAE(hu, false)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := env.NewInitialized(buckets, clusters, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		env.TrainHistogram(hi, prefix)
+		hi.SetFrozen(true)
+		i, err := env.NAE(hi, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Uninitialized = append(res.Uninitialized, u)
+		res.Initialized = append(res.Initialized, i)
+	}
+	return res, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SurvivalResult tracks subspace-bucket counts during training (§5.3).
+type SurvivalResult struct {
+	Buckets     int
+	Checkpoints []int // query counts at which the histograms were dumped
+	Initialized []int // subspace buckets alive in the initialized histogram
+	Uninit      []int // subspace buckets alive in the uninitialized one
+}
+
+// String renders the survival table.
+func (r *SurvivalResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Subspace-bucket survival, Sky[1%%], %d buckets\n", r.Buckets)
+	fmt.Fprintf(&b, "%-12s%22s%22s\n", "Queries", "Initialized", "Uninitialized")
+	for i, q := range r.Checkpoints {
+		fmt.Fprintf(&b, "%-12d%22d%22d\n", q, r.Initialized[i], r.Uninit[i])
+	}
+	return b.String()
+}
+
+// SubspaceSurvival reproduces the §5.3 inspection: train both variants for
+// the full workload, dumping the number of live subspace buckets every
+// `every` queries. The paper's finding: the uninitialized histogram never
+// creates a single subspace bucket; the initialized one starts with several
+// and the higher the budget the longer they survive.
+func SubspaceSurvival(cfg Config, buckets, every int) (*SurvivalResult, error) {
+	env, err := NewEnv("sky", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("sky", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	hu := env.NewHistogram(buckets)
+	hi, err := env.NewInitialized(buckets, clusters, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &SurvivalResult{Buckets: buckets}
+	total := make([]geom.Rect, 0, len(env.Train)+len(env.Eval))
+	total = append(total, env.Train...)
+	total = append(total, env.Eval...)
+	for i, q := range total {
+		hu.Drill(q, env.Count)
+		hi.Drill(q, env.Count)
+		if (i+1)%every == 0 || i == len(total)-1 {
+			res.Checkpoints = append(res.Checkpoints, i+1)
+			res.Initialized = append(res.Initialized, len(hi.SubspaceBuckets()))
+			res.Uninit = append(res.Uninit, len(hu.SubspaceBuckets()))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"sthist/internal/core"
+	"sthist/internal/mineclus"
+	"sthist/internal/sthole"
+)
+
+// LearningCurveResult tracks NAE as training progresses — the trajectory
+// behind the stagnation story of §3.2/Fig. 16: the uninitialized histogram's
+// error flattens out (stagnates) well above the initialized histogram's
+// starting point.
+type LearningCurveResult struct {
+	Dataset     string
+	Buckets     int
+	Checkpoints []int
+	Initialized []float64
+	Uninit      []float64
+}
+
+// String renders the curve as a table.
+func (r *LearningCurveResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Learning curve, %s[1%%], %d buckets (NAE on the held-out workload)\n", r.Dataset, r.Buckets)
+	fmt.Fprintf(&b, "%-16s%14s%14s\n", "Train queries", "Initialized", "Uninitialized")
+	for i, c := range r.Checkpoints {
+		fmt.Fprintf(&b, "%-16d%14.4f%14.4f\n", c, r.Initialized[i], r.Uninit[i])
+	}
+	return b.String()
+}
+
+// LearningCurve trains both variants on Sky, evaluating the frozen error on
+// the held-out workload at regular checkpoints.
+func LearningCurve(cfg Config, checkpoints int) (*LearningCurveResult, error) {
+	if checkpoints < 1 {
+		return nil, fmt.Errorf("experiment: need at least one checkpoint")
+	}
+	env, err := NewEnv("sky", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("sky", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	const buckets = 100
+	hi, err := env.NewInitialized(buckets, clusters, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hu := env.NewHistogram(buckets)
+
+	res := &LearningCurveResult{Dataset: env.DS.Name, Buckets: buckets}
+	evalFrozen := func(h *sthole.Histogram) (float64, error) {
+		c := h.Clone()
+		c.SetFrozen(true)
+		return env.NAE(c, false)
+	}
+	step := len(env.Train) / checkpoints
+	if step < 1 {
+		step = 1
+	}
+	record := func(trained int) error {
+		i, err := evalFrozen(hi)
+		if err != nil {
+			return err
+		}
+		u, err := evalFrozen(hu)
+		if err != nil {
+			return err
+		}
+		res.Checkpoints = append(res.Checkpoints, trained)
+		res.Initialized = append(res.Initialized, i)
+		res.Uninit = append(res.Uninit, u)
+		return nil
+	}
+	if err := record(0); err != nil {
+		return nil, err
+	}
+	for i, q := range env.Train {
+		hi.Drill(q, env.Count)
+		hu.Drill(q, env.Count)
+		if (i+1)%step == 0 || i == len(env.Train)-1 {
+			if err := record(i + 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

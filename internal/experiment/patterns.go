@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"sthist/internal/core"
+	"sthist/internal/mineclus"
+	"sthist/internal/workload"
+)
+
+// PatternResult holds the workload-pattern comparison (§5.1: "We also have
+// conducted experiments with different workload-generation patterns, and
+// the trends have been the same").
+type PatternResult struct {
+	Buckets int
+	Rows    []PatternRow
+}
+
+// PatternRow is one (center distribution, volume) setting.
+type PatternRow struct {
+	Pattern string
+	Init    float64
+	Uninit  float64
+}
+
+// String renders the comparison.
+func (r *PatternResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Workload patterns, Sky, %d buckets\n", r.Buckets)
+	fmt.Fprintf(&b, "%-34s%14s%14s\n", "pattern", "Initialized", "Uninitialized")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-34s%14.4f%14.4f\n", row.Pattern, row.Init, row.Uninit)
+	}
+	return b.String()
+}
+
+// WorkloadPatterns verifies the §5.1 claim: the initialized-vs-uninitialized
+// trend holds for uniform centers, data-following centers, and both query
+// volumes (1% and 2%).
+func WorkloadPatterns(cfg Config) (*PatternResult, error) {
+	const buckets = 100
+	env, err := NewEnv("sky", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("sky", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &PatternResult{Buckets: buckets}
+	for _, p := range []struct {
+		label   string
+		centers workload.CenterMode
+		vol     float64
+	}{
+		{"uniform centers, 1% volume", workload.UniformCenters, 0.01},
+		{"data-following centers, 1% volume", workload.DataCenters, 0.01},
+		{"uniform centers, 2% volume", workload.UniformCenters, 0.02},
+		{"data-following centers, 2% volume", workload.DataCenters, 0.02},
+	} {
+		train, err := workload.Generate(env.DS.Domain, workload.Config{
+			VolumeFraction: p.vol, Centers: p.centers, N: cfg.TrainQueries, Seed: cfg.Seed + 7000,
+		}, env.DS.Table)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := workload.Generate(env.DS.Domain, workload.Config{
+			VolumeFraction: p.vol, Centers: p.centers, N: cfg.EvalQueries, Seed: cfg.Seed + 8000,
+		}, env.DS.Table)
+		if err != nil {
+			return nil, err
+		}
+		patternEnv := &Env{DS: env.DS, Index: env.Index, Train: train, Eval: eval}
+
+		hu := patternEnv.NewHistogram(buckets)
+		patternEnv.TrainHistogram(hu, train)
+		u, err := patternEnv.NAE(hu, true)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := patternEnv.NewInitialized(buckets, clusters, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		patternEnv.TrainHistogram(hi, train)
+		i, err := patternEnv.NAE(hi, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, PatternRow{Pattern: p.label, Init: i, Uninit: u})
+	}
+	return res, nil
+}

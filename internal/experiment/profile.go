@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sthist/internal/core"
+	"sthist/internal/geom"
+	"sthist/internal/mineclus"
+	"sthist/internal/sthole"
+	"sthist/internal/workload"
+)
+
+// ProfileResult breaks the estimation error down by true-selectivity band:
+// rare predicates are where bad synopses hurt optimizers most, so a flat
+// mean can hide the interesting failures.
+type ProfileResult struct {
+	Dataset string
+	Buckets int
+	Rows    []ProfileRow
+}
+
+// ProfileRow is one selectivity band.
+type ProfileRow struct {
+	Band        string
+	Queries     int
+	InitQErr    float64 // median multiplicative error (q-error)
+	UninitQErr  float64
+	InitMaxQErr float64
+}
+
+// String renders the profile.
+func (r *ProfileResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Error by selectivity band, %s, %d buckets (median q-error)\n", r.Dataset, r.Buckets)
+	fmt.Fprintf(&b, "%-22s%9s%14s%14s%16s\n", "true selectivity", "queries", "init", "uninit", "init max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s%9d%14.2f%14.2f%16.2f\n", row.Band, row.Queries, row.InitQErr, row.UninitQErr, row.InitMaxQErr)
+	}
+	return b.String()
+}
+
+// qerr is the multiplicative error floored at 1 tuple on both sides.
+func qerr(est, truth float64) float64 {
+	lo, hi := est, truth
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	return hi / lo
+}
+
+// SelectivityProfile trains init/uninit histograms on Sky, then evaluates
+// q-error per true-selectivity band over a mixed-volume workload.
+func SelectivityProfile(cfg Config) (*ProfileResult, error) {
+	env, err := NewEnv("sky", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("sky", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	const buckets = 100
+	hi, err := env.NewInitialized(buckets, clusters, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	env.TrainHistogram(hi, env.Train)
+	hu := env.NewHistogram(buckets)
+	env.TrainHistogram(hu, env.Train)
+
+	// Mixed-volume evaluation workload so every band is populated.
+	var eval []geom.Rect
+	for i, frac := range []float64{0.0001, 0.001, 0.01, 0.05} {
+		qs, err := workload.Generate(env.DS.Domain, workload.Config{
+			VolumeFraction: frac, N: cfg.EvalQueries / 4, Seed: cfg.Seed + int64(100+i),
+		}, env.DS.Table)
+		if err != nil {
+			return nil, err
+		}
+		eval = append(eval, qs...)
+	}
+
+	type obs struct{ sel, initQ, uninitQ float64 }
+	var all []obs
+	total := float64(env.DS.Table.Len())
+	for _, q := range eval {
+		truth := env.Count(q)
+		all = append(all, obs{
+			sel:     truth / total,
+			initQ:   qerr(hi.Estimate(q), truth),
+			uninitQ: qerr(hu.Estimate(q), truth),
+		})
+	}
+	bands := []struct {
+		label  string
+		lo, hi float64
+	}{
+		{"< 0.1%", 0, 0.001},
+		{"0.1% - 1%", 0.001, 0.01},
+		{"1% - 10%", 0.01, 0.1},
+		{">= 10%", 0.1, math.Inf(1)},
+	}
+	res := &ProfileResult{Dataset: env.DS.Name, Buckets: buckets}
+	for _, band := range bands {
+		var initQ, uninitQ []float64
+		for _, o := range all {
+			if o.sel >= band.lo && o.sel < band.hi {
+				initQ = append(initQ, o.initQ)
+				uninitQ = append(uninitQ, o.uninitQ)
+			}
+		}
+		if len(initQ) == 0 {
+			continue
+		}
+		sort.Float64s(initQ)
+		sort.Float64s(uninitQ)
+		res.Rows = append(res.Rows, ProfileRow{
+			Band:        band.label,
+			Queries:     len(initQ),
+			InitQErr:    initQ[len(initQ)/2],
+			UninitQErr:  uninitQ[len(uninitQ)/2],
+			InitMaxQErr: initQ[len(initQ)-1],
+		})
+	}
+	return res, nil
+}
+
+// AnatomyResult captures structural statistics of trained histograms — how
+// initialization changes the tree the self-tuner ends up with.
+type AnatomyResult struct {
+	Dataset string
+	Rows    []AnatomyRow
+}
+
+// AnatomyRow is one variant's structure summary.
+type AnatomyRow struct {
+	Label           string
+	Buckets         int
+	Depth           int
+	SubspaceBuckets int
+	MeanVolumeFrac  float64 // mean bucket volume as a fraction of the domain
+	Drills, Merges  int
+}
+
+// String renders the table.
+func (r *AnatomyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Histogram anatomy after training, %s\n", r.Dataset)
+	fmt.Fprintf(&b, "%-16s%9s%7s%10s%12s%8s%8s\n", "variant", "buckets", "depth", "subspace", "meanVol%", "drills", "merges")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s%9d%7d%10d%12.3f%8d%8d\n",
+			row.Label, row.Buckets, row.Depth, row.SubspaceBuckets, 100*row.MeanVolumeFrac, row.Drills, row.Merges)
+	}
+	return b.String()
+}
+
+// Anatomy trains both variants on Sky and reports tree structure statistics.
+func Anatomy(cfg Config) (*AnatomyResult, error) {
+	env, err := NewEnv("sky", cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := mineclus.Run(env.DS.Table, MineclusFor("sky", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	const buckets = 100
+	hi, err := env.NewInitialized(buckets, clusters, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hu := env.NewHistogram(buckets)
+	env.TrainHistogram(hi, env.Train)
+	env.TrainHistogram(hu, env.Train)
+
+	res := &AnatomyResult{Dataset: env.DS.Name}
+	for _, v := range []struct {
+		label string
+		h     *sthole.Histogram
+	}{{"initialized", hi}, {"uninitialized", hu}} {
+		row := AnatomyRow{
+			Label:           v.label,
+			Buckets:         v.h.BucketCount(),
+			SubspaceBuckets: len(v.h.SubspaceBuckets()),
+			Drills:          v.h.Stats.Drills,
+			Merges:          v.h.Stats.ParentChildMerges + v.h.Stats.SiblingMerges,
+		}
+		domVol := env.DS.Domain.Volume()
+		sumVol := 0.0
+		n := 0
+		for _, b := range v.h.Buckets() {
+			if b == v.h.Root() {
+				continue
+			}
+			sumVol += b.Box().Volume() / domVol
+			n++
+			if d := bucketDepth(b); d > row.Depth {
+				row.Depth = d
+			}
+		}
+		if n > 0 {
+			row.MeanVolumeFrac = sumVol / float64(n)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func bucketDepth(b *sthole.Bucket) int {
+	d := 0
+	for x := b; x != nil; x = x.Parent() {
+		d++
+	}
+	return d
+}

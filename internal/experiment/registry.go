@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment and writes its rendered result to w.
+type Runner func(cfg Config, w io.Writer) error
+
+// Registry maps experiment ids (the ones in DESIGN.md's per-experiment
+// index) to runners.
+var Registry = map[string]Runner{
+	"table1": func(cfg Config, w io.Writer) error {
+		rows, err := Table1(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, RenderTable1(rows))
+		return err
+	},
+	"table2": func(cfg Config, w io.Writer) error {
+		rows, uninit, err := Table2(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, RenderTable2(rows, uninit))
+		return err
+	},
+	"table3": func(cfg Config, w io.Writer) error {
+		rows, err := Table3(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, RenderTable3(rows))
+		return err
+	},
+	"table4": func(cfg Config, w io.Writer) error {
+		rows, err := Table4(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, RenderTable4(rows))
+		return err
+	},
+	"fig11": figRunner(Fig11),
+	"fig12": figRunner(Fig12),
+	"fig13": figRunner(Fig13),
+	"fig14": figRunner(Fig14),
+	"fig15": func(cfg Config, w io.Writer) error {
+		frs, err := Fig15(cfg)
+		if err != nil {
+			return err
+		}
+		for _, fr := range frs {
+			if _, err := fmt.Fprintln(w, fr); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"fig16": func(cfg Config, w io.Writer) error {
+		r, err := Fig16(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"fig17": func(cfg Config, w io.Writer) error {
+		r, err := Fig17(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"subspace-buckets": func(cfg Config, w io.Writer) error {
+		for _, buckets := range cfg.Buckets {
+			r, err := SubspaceSurvival(cfg, buckets, (cfg.TrainQueries+cfg.EvalQueries)/10)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"extra-highdim":       pairRunner(ExtraHighDim),
+	"ablation-order":      pairRunner(AblationInitOrder),
+	"ablation-ebr":        pairRunner(AblationExtendedBR),
+	"ablation-clusterer":  pairRunner(AblationClusterer),
+	"baseline-selftuning": pairRunner(BaselineSelfTuning),
+	"baseline-static":     pairRunner(BaselineStatic),
+	"selectivity-profile": func(cfg Config, w io.Writer) error {
+		r, err := SelectivityProfile(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"anatomy": func(cfg Config, w io.Writer) error {
+		r, err := Anatomy(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"learning-curve": func(cfg Config, w io.Writer) error {
+		r, err := LearningCurve(cfg, 10)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"plan-quality": func(cfg Config, w io.Writer) error {
+		r, err := PlanQuality(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"cluster-quality": func(cfg Config, w io.Writer) error {
+		r, err := ClusterQuality(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+	"workload-patterns": func(cfg Config, w io.Writer) error {
+		r, err := WorkloadPatterns(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
+}
+
+func figRunner(f func(Config) (*FigureResult, error)) Runner {
+	return func(cfg Config, w io.Writer) error {
+		fr, err := f(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, fr)
+		return err
+	}
+}
+
+func pairRunner(f func(Config) (*PairResult, error)) Runner {
+	return func(cfg Config, w io.Writer) error {
+		pr, err := f(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, pr)
+		return err
+	}
+}
+
+// Names returns the registered experiment ids, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the named experiment.
+func Run(name string, cfg Config, w io.Writer) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiment: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(cfg, w)
+}

@@ -1,0 +1,187 @@
+// Package genhist implements a GENHIST-style static histogram (Gunopulos,
+// Kollios, Tsotras, Domeniconi — SIGMOD 2000, reference [8] of the paper):
+// dense regions are carved out iteratively on progressively coarser grids.
+// At each iteration the remaining points are bucketed on a regular grid,
+// cells clearly denser than average become histogram buckets and their
+// points are removed, then the grid coarsens; whatever remains ends up in a
+// catch-all bucket spanning the domain. Because points are removed as
+// buckets are created, bucket frequencies are disjoint even where boxes
+// overlap, and estimation just sums per-bucket uniform contributions.
+package genhist
+
+import (
+	"fmt"
+	"sort"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// Config tunes construction.
+type Config struct {
+	// MaxBuckets caps the bucket count, including the catch-all (default
+	// 100).
+	MaxBuckets int
+	// InitialXi is the starting grid resolution per dimension (default 16).
+	InitialXi int
+	// XiDecay multiplies the resolution between iterations (default 0.5,
+	// i.e. each iteration halves it) until it reaches 2.
+	XiDecay float64
+	// DensityFactor: a cell is carved out when its count exceeds this
+	// multiple of the current average occupied-cell count (default 2).
+	DensityFactor float64
+}
+
+// DefaultConfig returns the defaults above.
+func DefaultConfig() Config {
+	return Config{MaxBuckets: 100, InitialXi: 16, XiDecay: 0.5, DensityFactor: 2}
+}
+
+// Histogram is a built GENHIST synopsis.
+type Histogram struct {
+	domain  geom.Rect
+	buckets []bucket
+}
+
+type bucket struct {
+	box   geom.Rect
+	count float64
+}
+
+// Build scans the table and constructs the histogram.
+func Build(tab *dataset.Table, domain geom.Rect, cfg Config) (*Histogram, error) {
+	if cfg.MaxBuckets < 1 {
+		return nil, fmt.Errorf("genhist: maxBuckets must be >= 1")
+	}
+	if cfg.InitialXi < 2 {
+		return nil, fmt.Errorf("genhist: initial xi must be >= 2")
+	}
+	if cfg.XiDecay <= 0 || cfg.XiDecay >= 1 {
+		return nil, fmt.Errorf("genhist: xi decay must be in (0,1)")
+	}
+	if cfg.DensityFactor <= 0 {
+		return nil, fmt.Errorf("genhist: density factor must be positive")
+	}
+	if tab.Len() == 0 {
+		return nil, fmt.Errorf("genhist: empty table")
+	}
+	if tab.Dims() != domain.Dims() {
+		return nil, fmt.Errorf("genhist: table dims %d != domain dims %d", tab.Dims(), domain.Dims())
+	}
+	dims := domain.Dims()
+	h := &Histogram{domain: domain.Clone()}
+
+	remaining := make([]int, tab.Len())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	row := make([]float64, dims)
+	for xi := cfg.InitialXi; xi >= 2 && len(remaining) > 0 && len(h.buckets) < cfg.MaxBuckets-1; xi = int(float64(xi) * cfg.XiDecay) {
+		// Count remaining points per occupied cell.
+		cells := make(map[string][]int)
+		key := make([]byte, 2*dims)
+		for _, r := range remaining {
+			tab.Row(r, row)
+			for d := 0; d < dims; d++ {
+				c := 0
+				if side := domain.Side(d); side > 0 {
+					c = int(float64(xi) * (row[d] - domain.Lo[d]) / side)
+				}
+				if c < 0 {
+					c = 0
+				}
+				if c >= xi {
+					c = xi - 1
+				}
+				key[2*d] = byte(c >> 8)
+				key[2*d+1] = byte(c)
+			}
+			cells[string(key)] = append(cells[string(key)], r)
+		}
+		avg := float64(len(remaining)) / float64(len(cells))
+		// Deterministic order: densest cells first, ties by key.
+		keys := make([]string, 0, len(cells))
+		for k := range cells {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if len(cells[keys[i]]) != len(cells[keys[j]]) {
+				return len(cells[keys[i]]) > len(cells[keys[j]])
+			}
+			return keys[i] < keys[j]
+		})
+		removed := make(map[int]bool)
+		for _, k := range keys {
+			rows := cells[k]
+			if float64(len(rows)) < cfg.DensityFactor*avg {
+				break // keys are sorted by density
+			}
+			if len(h.buckets) >= cfg.MaxBuckets-1 {
+				break
+			}
+			box := cellBox(k, domain, xi)
+			h.buckets = append(h.buckets, bucket{box: box, count: float64(len(rows))})
+			for _, r := range rows {
+				removed[r] = true
+			}
+		}
+		if len(removed) > 0 {
+			kept := remaining[:0]
+			for _, r := range remaining {
+				if !removed[r] {
+					kept = append(kept, r)
+				}
+			}
+			remaining = kept
+		}
+	}
+	// Catch-all for the residue.
+	h.buckets = append(h.buckets, bucket{box: domain.Clone(), count: float64(len(remaining))})
+	return h, nil
+}
+
+// cellBox decodes a cell key back to its rectangle.
+func cellBox(key string, domain geom.Rect, xi int) geom.Rect {
+	dims := domain.Dims()
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for d := 0; d < dims; d++ {
+		c := int(key[2*d])<<8 | int(key[2*d+1])
+		w := domain.Side(d) / float64(xi)
+		lo[d] = domain.Lo[d] + float64(c)*w
+		hi[d] = lo[d] + w
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// Buckets returns the bucket count (including the catch-all).
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Total returns the captured tuple count.
+func (h *Histogram) Total() float64 {
+	s := 0.0
+	for _, b := range h.buckets {
+		s += b.count
+	}
+	return s
+}
+
+// Estimate sums per-bucket uniform contributions.
+func (h *Histogram) Estimate(q geom.Rect) float64 {
+	if q.Dims() != h.domain.Dims() {
+		return 0
+	}
+	est := 0.0
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		vol := b.box.Volume()
+		if vol <= 0 {
+			if q.Contains(b.box) {
+				est += b.count
+			}
+			continue
+		}
+		est += b.count * b.box.IntersectionVolume(q) / vol
+	}
+	return est
+}

@@ -1,0 +1,100 @@
+package genhist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+)
+
+func TestBuildValidation(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	dom := geom.MustRect([]float64{0, 0}, []float64{10, 10})
+	if _, err := Build(tab, dom, DefaultConfig()); err == nil {
+		t.Error("empty table accepted")
+	}
+	tab.MustAppend([]float64{1, 1})
+	bad := []Config{
+		{MaxBuckets: 0, InitialXi: 8, XiDecay: 0.5, DensityFactor: 2},
+		{MaxBuckets: 10, InitialXi: 1, XiDecay: 0.5, DensityFactor: 2},
+		{MaxBuckets: 10, InitialXi: 8, XiDecay: 1, DensityFactor: 2},
+		{MaxBuckets: 10, InitialXi: 8, XiDecay: 0.5, DensityFactor: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(tab, dom, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Build(tab, geom.MustRect([]float64{0}, []float64{1}), DefaultConfig()); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestBuildConservesMassAndBudget(t *testing.T) {
+	ds := datagen.Cross(0.2, 1)
+	cfg := DefaultConfig()
+	cfg.MaxBuckets = 60
+	h, err := Build(ds.Table, ds.Domain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() > 60 {
+		t.Errorf("Buckets = %d exceeds budget", h.Buckets())
+	}
+	if math.Abs(h.Total()-float64(ds.Table.Len())) > 1e-9 {
+		t.Errorf("Total = %g, want %d", h.Total(), ds.Table.Len())
+	}
+	if got := h.Estimate(ds.Domain); math.Abs(got-float64(ds.Table.Len())) > 1e-6*float64(ds.Table.Len()) {
+		t.Errorf("domain estimate = %g", got)
+	}
+}
+
+func TestBuildBeatsTrivialOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 8000; i++ {
+		tab.MustAppend([]float64{100 + rng.Float64()*150, 700 + rng.Float64()*150})
+	}
+	for i := 0; i < 800; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	dom := geom.MustRect([]float64{0, 0}, []float64{1000, 1000})
+	h, err := Build(tab, dom, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, _ := index.BuildKDTree(tab)
+	total := float64(tab.Len())
+	genErr, trivErr := 0.0, 0.0
+	for i := 0; i < 200; i++ {
+		c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		q := geom.CubeAt(c, 120, dom)
+		truth := float64(kt.Count(q))
+		genErr += math.Abs(h.Estimate(q) - truth)
+		trivErr += math.Abs(total*q.Volume()/dom.Volume() - truth)
+	}
+	if genErr > 0.5*trivErr {
+		t.Errorf("GENHIST error %g not clearly below trivial %g", genErr, trivErr)
+	}
+}
+
+func TestBuildSingleBucketDegenerates(t *testing.T) {
+	tab := dataset.MustNew("x")
+	for i := 0; i < 50; i++ {
+		tab.MustAppend([]float64{float64(i)})
+	}
+	dom := geom.MustRect([]float64{0}, []float64{50})
+	cfg := DefaultConfig()
+	cfg.MaxBuckets = 1
+	h, err := Build(tab, dom, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 1 {
+		t.Errorf("Buckets = %d, want 1 (catch-all only)", h.Buckets())
+	}
+}

@@ -1,0 +1,179 @@
+// Package httpapi exposes a catalog of self-tuning estimators over HTTP, so
+// non-Go clients (an optimizer prototype, a notebook, a dashboard) can ask
+// for cardinality estimates and stream query feedback back. JSON in, JSON
+// out; one estimator per registered table.
+//
+//	GET  /tables                         -> ["orders", "sensors"]
+//	POST /estimate {"table","lo","hi"}   -> {"estimate","selectivity"}
+//	POST /feedback {"table","lo","hi","actual"} -> {"ok":true}
+//	GET  /stats?table=orders             -> histogram maintenance counters
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"sthist"
+	"sthist/internal/geom"
+)
+
+// Server routes estimator traffic. Register tables before serving; handlers
+// are safe for concurrent use (the Estimator itself is synchronized).
+type Server struct {
+	mu     sync.RWMutex
+	tables map[string]*sthist.Estimator
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{tables: make(map[string]*sthist.Estimator)}
+}
+
+// Register adds an estimator under the given table name.
+func (s *Server) Register(name string, est *sthist.Estimator) error {
+	if name == "" {
+		return fmt.Errorf("httpapi: empty table name")
+	}
+	if est == nil {
+		return fmt.Errorf("httpapi: nil estimator for %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("httpapi: table %q already registered", name)
+	}
+	s.tables[name] = est
+	return nil
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/feedback", s.handleFeedback)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) lookup(name string) (*sthist.Estimator, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	est, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+	return est, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // client gone: nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}
+
+// queryRequest is the shared body of /estimate and /feedback.
+type queryRequest struct {
+	Table  string    `json:"table"`
+	Lo     []float64 `json:"lo"`
+	Hi     []float64 `json:"hi"`
+	Actual *float64  `json:"actual,omitempty"` // feedback only
+}
+
+func (s *Server) decodeQuery(r *http.Request) (*sthist.Estimator, geom.Rect, *queryRequest, error) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, geom.Rect{}, nil, fmt.Errorf("decoding request: %w", err)
+	}
+	est, err := s.lookup(req.Table)
+	if err != nil {
+		return nil, geom.Rect{}, nil, err
+	}
+	q, err := geom.NewRect(req.Lo, req.Hi)
+	if err != nil {
+		return nil, geom.Rect{}, nil, err
+	}
+	if q.Dims() != est.Domain().Dims() {
+		return nil, geom.Rect{}, nil, fmt.Errorf("query has %d dimensions, table %q has %d", q.Dims(), req.Table, est.Domain().Dims())
+	}
+	return est, q, &req, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	est, q, _, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{
+		"estimate":    est.Estimate(q),
+		"selectivity": est.Selectivity(q),
+	})
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	est, q, req, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Actual == nil || *req.Actual < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback needs a non-negative \"actual\" row count"))
+		return
+	}
+	est.Feedback(q, *req.Actual)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	est, err := s.lookup(r.URL.Query().Get("table"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h := est.Histogram()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"buckets":              h.BucketCount(),
+		"max_buckets":          h.MaxBuckets(),
+		"queries":              h.Stats.Queries,
+		"drills":               h.Stats.Drills,
+		"skipped_exact_drills": h.Stats.SkippedExactDrills,
+		"parent_child_merges":  h.Stats.ParentChildMerges,
+		"sibling_merges":       h.Stats.SiblingMerges,
+		"subspace_buckets":     len(h.SubspaceBuckets()),
+	})
+}

@@ -1,0 +1,220 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// randomTable builds an n-tuple, d-dimensional table of uniform points in
+// [0,100]^d with a deterministic seed.
+func randomTable(n, d int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tab := dataset.MustNew(dataset.GenericNames(d)...)
+	tab.Grow(n)
+	tuple := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range tuple {
+			tuple[j] = rng.Float64() * 100
+		}
+		tab.MustAppend(tuple)
+	}
+	return tab
+}
+
+func randomBox(rng *rand.Rand, d int) geom.Rect {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		a, b := rng.Float64()*100, rng.Float64()*100
+		if a > b {
+			a, b = b, a
+		}
+		lo[j], hi[j] = a, b
+	}
+	return geom.MustRect(lo, hi)
+}
+
+func TestBuildKDTreeEmpty(t *testing.T) {
+	tab := dataset.MustNew("x")
+	if _, err := BuildKDTree(tab); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestKDTreeTotalAndBounds(t *testing.T) {
+	tab := randomTable(1000, 3, 7)
+	kt, err := BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt.Total() != 1000 {
+		t.Errorf("Total = %d", kt.Total())
+	}
+	want, _ := tab.Bounds()
+	if !kt.Bounds().Equal(want) {
+		t.Errorf("Bounds = %v, want %v", kt.Bounds(), want)
+	}
+	if kt.Count(kt.Bounds()) != 1000 {
+		t.Errorf("Count(bounds) = %d", kt.Count(kt.Bounds()))
+	}
+	if kt.Depth() < 2 {
+		t.Errorf("Depth = %d, suspiciously shallow for 1000 points", kt.Depth())
+	}
+}
+
+func TestKDTreeDimensionMismatch(t *testing.T) {
+	kt, err := BuildKDTree(randomTable(100, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kt.Count(geom.MustRect([]float64{0}, []float64{100})); got != 0 {
+		t.Errorf("mismatched-dimension query counted %d", got)
+	}
+}
+
+func TestKDTreeMatchesScanCounter(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 7} {
+		tab := randomTable(3000, d, int64(d))
+		kt, err := BuildKDTree(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScanCounter(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + d)))
+		for i := 0; i < 100; i++ {
+			q := randomBox(rng, d)
+			if got, want := kt.Count(q), sc.Count(q); got != want {
+				t.Fatalf("d=%d query %v: kdtree=%d scan=%d", d, q, got, want)
+			}
+		}
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	// Degenerate data (all identical points) exercises the depth-cycled axis
+	// fallback and must not recurse forever.
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 500; i++ {
+		tab.MustAppend([]float64{5, 5})
+	}
+	kt, err := BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MustRect([]float64{5, 5}, []float64{5, 5})
+	if got := kt.Count(q); got != 500 {
+		t.Errorf("Count(point box) = %d, want 500", got)
+	}
+	if got := kt.Count(geom.MustRect([]float64{6, 6}, []float64{7, 7})); got != 0 {
+		t.Errorf("Count(empty region) = %d, want 0", got)
+	}
+}
+
+func TestKDTreeCollect(t *testing.T) {
+	tab := randomTable(2000, 3, 11)
+	kt, err := BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20; i++ {
+		q := randomBox(rng, 3)
+		pts := kt.Collect(q)
+		if len(pts) != kt.Count(q) {
+			t.Fatalf("Collect returned %d points, Count says %d", len(pts), kt.Count(q))
+		}
+		for _, p := range pts {
+			if !q.ContainsPoint(p) {
+				t.Fatalf("collected point %v outside query %v", p, q)
+			}
+		}
+	}
+}
+
+func TestNthElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+		}
+		k := rng.Intn(n)
+		axis := rng.Intn(2)
+		nthElement(pts, k, axis)
+		if !verifyPartition(pts, k, axis) {
+			t.Fatalf("trial %d: partition invariant violated (n=%d k=%d)", trial, n, k)
+		}
+	}
+}
+
+func TestNthElementSortedInput(t *testing.T) {
+	// Pre-sorted input exercises the median-of-three path.
+	n := 1000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i)}
+	}
+	nthElement(pts, n/4, 0)
+	if !verifyPartition(pts, n/4, 0) {
+		t.Error("partition invariant violated on sorted input")
+	}
+}
+
+func TestQuickKDTreeCountMatchesScan(t *testing.T) {
+	tab := randomTable(5000, 4, 31)
+	kt, err := BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := NewScanCounter(tab)
+	rng := rand.New(rand.NewSource(32))
+	f := func() bool {
+		q := randomBox(rng, 4)
+		return kt.Count(q) == sc.Count(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKDTreeCount(b *testing.B) {
+	tab := randomTable(100000, 4, 99)
+	kt, err := BuildKDTree(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	queries := make([]geom.Rect, 128)
+	for i := range queries {
+		queries[i] = randomBox(rng, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kt.Count(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkScanCount(b *testing.B) {
+	tab := randomTable(100000, 4, 99)
+	sc, err := NewScanCounter(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	queries := make([]geom.Rect, 128)
+	for i := range queries {
+		queries[i] = randomBox(rng, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Count(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,168 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// RTree is a bulk-loaded (Sort-Tile-Recursive) R-tree over points with
+// subtree counts, the index family the paper compares STHoles' structural
+// problems to ([9], [26]). It implements the same Counter interface as the
+// k-d tree; the benchmarks compare the two.
+type RTree struct {
+	dims   int
+	root   *rtNode
+	total  int
+	bounds geom.Rect
+}
+
+type rtNode struct {
+	box      geom.Rect
+	count    int
+	children []*rtNode    // nil for leaves
+	points   []geom.Point // leaf payload
+}
+
+// rtFanout is both the leaf capacity and the internal node fanout.
+const rtFanout = 16
+
+// BuildRTree bulk-loads an R-tree from the table's rows using STR packing:
+// points are sorted by the first dimension, tiled into vertical slabs, each
+// slab sorted by the next dimension, and so on; packed leaves are then
+// grouped bottom-up.
+func BuildRTree(tab *dataset.Table) (*RTree, error) {
+	n := tab.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("index: cannot index an empty table")
+	}
+	dims := tab.Dims()
+	pts := make([]geom.Point, n)
+	flat := make([]float64, n*dims)
+	for i := 0; i < n; i++ {
+		p := flat[i*dims : (i+1)*dims]
+		tab.Row(i, p)
+		pts[i] = p
+	}
+	t := &RTree{dims: dims, total: n}
+	leaves := strPack(pts, dims, 0)
+	t.root = packUp(leaves)
+	t.bounds = t.root.box
+	return t, nil
+}
+
+// strPack recursively tiles points into packed leaves.
+func strPack(pts []geom.Point, dims, axis int) []*rtNode {
+	if len(pts) <= rtFanout {
+		box, _ := geom.BoundingRect(pts)
+		return []*rtNode{{box: box, count: len(pts), points: pts}}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][axis] < pts[j][axis] })
+	if axis == dims-1 {
+		// Final axis: cut into runs of leaf capacity.
+		var leaves []*rtNode
+		for i := 0; i < len(pts); i += rtFanout {
+			j := i + rtFanout
+			if j > len(pts) {
+				j = len(pts)
+			}
+			box, _ := geom.BoundingRect(pts[i:j])
+			leaves = append(leaves, &rtNode{box: box, count: j - i, points: pts[i:j]})
+		}
+		return leaves
+	}
+	// Tile into slabs sized so each slab fills a roughly square sub-grid of
+	// leaves, then recurse on the next axis.
+	leavesNeeded := (len(pts) + rtFanout - 1) / rtFanout
+	slabs := intSqrtCeil(leavesNeeded)
+	slabSize := (len(pts) + slabs - 1) / slabs
+	var leaves []*rtNode
+	for i := 0; i < len(pts); i += slabSize {
+		j := i + slabSize
+		if j > len(pts) {
+			j = len(pts)
+		}
+		leaves = append(leaves, strPack(pts[i:j], dims, axis+1)...)
+	}
+	return leaves
+}
+
+// intSqrtCeil returns ceil(sqrt(n)) for small positive n.
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// packUp groups nodes into parents of rtFanout until a single root remains.
+func packUp(nodes []*rtNode) *rtNode {
+	for len(nodes) > 1 {
+		var parents []*rtNode
+		for i := 0; i < len(nodes); i += rtFanout {
+			j := i + rtFanout
+			if j > len(nodes) {
+				j = len(nodes)
+			}
+			group := nodes[i:j]
+			box := group[0].box.Clone()
+			count := 0
+			for _, c := range group {
+				box = box.Enclose(c.box)
+				count += c.count
+			}
+			parents = append(parents, &rtNode{box: box, count: count, children: append([]*rtNode(nil), group...)})
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Count implements Counter.
+func (t *RTree) Count(r geom.Rect) int {
+	if r.Dims() != t.dims {
+		return 0
+	}
+	return rtCount(t.root, r)
+}
+
+func rtCount(n *rtNode, r geom.Rect) int {
+	if !r.Intersects(n.box) {
+		return 0
+	}
+	if r.Contains(n.box) {
+		return n.count
+	}
+	if n.children == nil {
+		c := 0
+		for _, p := range n.points {
+			if r.ContainsPoint(p) {
+				c++
+			}
+		}
+		return c
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += rtCount(ch, r)
+	}
+	return c
+}
+
+// Total implements Counter.
+func (t *RTree) Total() int { return t.total }
+
+// Bounds implements Counter.
+func (t *RTree) Bounds() geom.Rect { return t.bounds }
+
+// Depth returns the tree height (root = 1), for diagnostics.
+func (t *RTree) Depth() int {
+	d := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		d++
+	}
+	return d
+}

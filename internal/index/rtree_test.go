@@ -1,0 +1,120 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+func TestBuildRTreeEmpty(t *testing.T) {
+	if _, err := BuildRTree(dataset.MustNew("x")); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestRTreeTotalsAndBounds(t *testing.T) {
+	tab := randomTable(2000, 3, 17)
+	rt, err := BuildRTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Total() != 2000 {
+		t.Errorf("Total = %d", rt.Total())
+	}
+	want, _ := tab.Bounds()
+	if !rt.Bounds().Equal(want) {
+		t.Errorf("Bounds = %v, want %v", rt.Bounds(), want)
+	}
+	if rt.Count(rt.Bounds()) != 2000 {
+		t.Errorf("Count(bounds) = %d", rt.Count(rt.Bounds()))
+	}
+	if rt.Depth() < 2 {
+		t.Errorf("Depth = %d for 2000 points", rt.Depth())
+	}
+	if rt.Count(geom.MustRect([]float64{0}, []float64{1})) != 0 {
+		t.Error("dimension mismatch not rejected")
+	}
+}
+
+func TestRTreeMatchesScanCounter(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 7} {
+		tab := randomTable(3000, d, int64(40+d))
+		rt, err := BuildRTree(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScanCounter(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(50 + d)))
+		for i := 0; i < 100; i++ {
+			q := randomBox(rng, d)
+			if got, want := rt.Count(q), sc.Count(q); got != want {
+				t.Fatalf("d=%d query %v: rtree=%d scan=%d", d, q, got, want)
+			}
+		}
+	}
+}
+
+func TestRTreeMatchesKDTree(t *testing.T) {
+	tab := randomTable(5000, 4, 61)
+	rt, err := BuildRTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	f := func() bool {
+		q := randomBox(rng, 4)
+		return rt.Count(q) == kt.Count(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTreeDuplicatePoints(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 300; i++ {
+		tab.MustAppend([]float64{7, 7})
+	}
+	rt, err := BuildRTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Count(geom.MustRect([]float64{7, 7}, []float64{7, 7})); got != 300 {
+		t.Errorf("Count(point) = %d", got)
+	}
+}
+
+func TestIntSqrtCeil(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 1}, {2, 2}, {4, 2}, {5, 3}, {9, 3}, {10, 4}} {
+		if got := intSqrtCeil(c.n); got != c.want {
+			t.Errorf("intSqrtCeil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkRTreeCount(b *testing.B) {
+	tab := randomTable(100000, 4, 99)
+	rt, err := BuildRTree(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	queries := make([]geom.Rect, 128)
+	for i := range queries {
+		queries[i] = randomBox(rng, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Count(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,300 @@
+// Package isomer implements an ISOMER-style maximum-entropy feedback
+// histogram (Srivastava, Haas, Markl, Kutsch, Tran — ICDE 2006, reference
+// [27] of the paper). Where STHoles updates bucket frequencies locally and
+// greedily, ISOMER keeps the set of observed query-feedback records as
+// CONSTRAINTS and maintains the maximum-entropy distribution consistent with
+// all of them.
+//
+// This implementation partitions the domain into rectangular atoms: every
+// new feedback box splits the atoms it partially overlaps (box minus box
+// decomposes into at most 2·dims slabs), so each atom is either fully inside
+// or fully outside every active constraint. Bucket frequencies then follow
+// from iterative proportional fitting (IPF) over the atoms, which from a
+// uniform start converges to the maximum-entropy solution — ISOMER's
+// defining property. Old constraints are evicted FIFO once the budget is
+// reached, and atom growth is capped (further feedback still adjusts
+// frequencies, it just stops refining the partition).
+package isomer
+
+import (
+	"fmt"
+	"math"
+
+	"sthist/internal/geom"
+)
+
+// Config bounds the histogram's resource usage.
+type Config struct {
+	// MaxConstraints is the feedback-record budget (default 64; oldest
+	// evicted first).
+	MaxConstraints int
+	// MaxAtoms caps the partition size (default 1024).
+	MaxAtoms int
+	// IPFSweeps bounds the fitting sweeps per feedback (default 32).
+	IPFSweeps int
+	// Tolerance stops fitting when every constraint is satisfied within
+	// this relative error (default 1e-3).
+	Tolerance float64
+}
+
+// DefaultConfig returns the defaults above.
+func DefaultConfig() Config {
+	return Config{MaxConstraints: 64, MaxAtoms: 1024, IPFSweeps: 32, Tolerance: 1e-3}
+}
+
+type atom struct {
+	box  geom.Rect
+	freq float64
+}
+
+type constraint struct {
+	box   geom.Rect
+	count float64
+}
+
+// Histogram is the max-entropy feedback histogram.
+type Histogram struct {
+	domain      geom.Rect
+	cfg         Config
+	atoms       []atom
+	constraints []constraint
+}
+
+// New creates a histogram over the domain with totalTuples spread uniformly.
+func New(domain geom.Rect, cfg Config, totalTuples float64) (*Histogram, error) {
+	if domain.Dims() == 0 || domain.Volume() <= 0 {
+		return nil, fmt.Errorf("isomer: domain has no volume")
+	}
+	if totalTuples < 0 || math.IsNaN(totalTuples) {
+		return nil, fmt.Errorf("isomer: invalid total %g", totalTuples)
+	}
+	if cfg.MaxConstraints < 1 {
+		return nil, fmt.Errorf("isomer: constraint budget must be >= 1")
+	}
+	if cfg.MaxAtoms < 1 {
+		return nil, fmt.Errorf("isomer: atom budget must be >= 1")
+	}
+	if cfg.IPFSweeps < 1 {
+		return nil, fmt.Errorf("isomer: need at least one IPF sweep")
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("isomer: tolerance must be positive")
+	}
+	return &Histogram{
+		domain: domain.Clone(),
+		cfg:    cfg,
+		atoms:  []atom{{box: domain.Clone(), freq: totalTuples}},
+	}, nil
+}
+
+// MustNew panics on error.
+func MustNew(domain geom.Rect, cfg Config, totalTuples float64) *Histogram {
+	h, err := New(domain, cfg, totalTuples)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Atoms returns the current partition size.
+func (h *Histogram) Atoms() int { return len(h.atoms) }
+
+// Constraints returns the number of active feedback constraints.
+func (h *Histogram) Constraints() int { return len(h.constraints) }
+
+// TotalTuples returns the stored mass.
+func (h *Histogram) TotalTuples() float64 {
+	s := 0.0
+	for i := range h.atoms {
+		s += h.atoms[i].freq
+	}
+	return s
+}
+
+// Estimate returns the estimated cardinality of q under per-atom uniformity.
+func (h *Histogram) Estimate(q geom.Rect) float64 {
+	if q.Dims() != h.domain.Dims() {
+		return 0
+	}
+	est := 0.0
+	for i := range h.atoms {
+		a := &h.atoms[i]
+		vol := a.box.Volume()
+		if vol <= 0 {
+			if q.Contains(a.box) {
+				est += a.freq
+			}
+			continue
+		}
+		est += a.freq * a.box.IntersectionVolume(q) / vol
+	}
+	return est
+}
+
+// Feedback records the true cardinality of an executed query and refits the
+// maximum-entropy distribution.
+func (h *Histogram) Feedback(q geom.Rect, actual float64) {
+	if q.Dims() != h.domain.Dims() || actual < 0 || math.IsNaN(actual) || math.IsInf(actual, 0) {
+		return
+	}
+	qc, ok := q.Intersect(h.domain)
+	if !ok || qc.Volume() <= 0 {
+		return
+	}
+	h.refine(qc)
+	h.constraints = append(h.constraints, constraint{box: qc, count: actual})
+	if len(h.constraints) > h.cfg.MaxConstraints {
+		h.constraints = h.constraints[len(h.constraints)-h.cfg.MaxConstraints:]
+	}
+	h.fit()
+}
+
+// refine splits atoms partially overlapping box so that afterwards every
+// atom is fully inside or fully outside it (until the atom budget is hit).
+func (h *Histogram) refine(box geom.Rect) {
+	if len(h.atoms) >= h.cfg.MaxAtoms {
+		return
+	}
+	out := make([]atom, 0, len(h.atoms)+8)
+	for i, a := range h.atoms {
+		remaining := len(h.atoms) - i - 1
+		// A split adds up to 2*dims slabs; stop splitting once the budget
+		// cannot absorb the still-unprocessed atoms plus this split.
+		roomFor := h.cfg.MaxAtoms - len(out) - remaining - 1
+		if !a.box.IntersectsOpen(box) || box.Contains(a.box) || roomFor < 2*a.box.Dims() {
+			out = append(out, a)
+			continue
+		}
+		out = append(out, splitAtom(a, box)...)
+	}
+	h.atoms = out
+}
+
+// splitAtom decomposes atom a into a∩box plus the remainder slabs, dividing
+// the frequency by volume (uniformity within the atom).
+func splitAtom(a atom, box geom.Rect) []atom {
+	inter, ok := a.box.Intersect(box)
+	if !ok {
+		return []atom{a}
+	}
+	vol := a.box.Volume()
+	var pieces []atom
+	// Remainder: peel one slab per dimension side that sticks out.
+	rest := a.box.Clone()
+	for d := 0; d < a.box.Dims(); d++ {
+		if rest.Lo[d] < inter.Lo[d] {
+			slab := rest.Clone()
+			slab.Hi[d] = inter.Lo[d]
+			pieces = append(pieces, atom{box: slab})
+			rest.Lo[d] = inter.Lo[d]
+		}
+		if rest.Hi[d] > inter.Hi[d] {
+			slab := rest.Clone()
+			slab.Lo[d] = inter.Hi[d]
+			pieces = append(pieces, atom{box: slab})
+			rest.Hi[d] = inter.Hi[d]
+		}
+	}
+	pieces = append(pieces, atom{box: inter})
+	if vol > 0 {
+		for i := range pieces {
+			pieces[i].freq = a.freq * pieces[i].box.Volume() / vol
+		}
+	} else {
+		pieces[len(pieces)-1].freq = a.freq
+	}
+	return pieces
+}
+
+// fit runs IPF sweeps over the active constraints.
+func (h *Histogram) fit() {
+	for sweep := 0; sweep < h.cfg.IPFSweeps; sweep++ {
+		worst := 0.0
+		for _, c := range h.constraints {
+			est := 0.0
+			for i := range h.atoms {
+				a := &h.atoms[i]
+				vol := a.box.Volume()
+				if vol <= 0 {
+					if c.box.Contains(a.box) {
+						est += a.freq
+					}
+					continue
+				}
+				est += a.freq * a.box.IntersectionVolume(c.box) / vol
+			}
+			var rel float64
+			switch {
+			case est <= 1e-9 && c.count == 0:
+				continue
+			case est <= 1e-9:
+				// (Near-)zero mass where the constraint demands some: scaling
+				// would need an astronomically large factor that overflows
+				// the frequencies; re-seed the covered atoms instead.
+				h.seed(c)
+				rel = 1
+			default:
+				f := c.count / est
+				// Clamp the correction factor: a single sweep never needs to
+				// move mass by more than a few orders of magnitude, and
+				// unbounded factors can overflow to Inf (and then to NaN via
+				// Inf*0 in a later sweep).
+				if f > 1e6 {
+					f = 1e6
+				}
+				rel = math.Abs(f - 1)
+				h.scale(c, f)
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+		if worst <= h.cfg.Tolerance {
+			return
+		}
+	}
+}
+
+// scale multiplies the portion of each atom inside the constraint box by f.
+// Atoms are fully inside or outside active constraints except when the atom
+// budget stopped refinement; those are scaled on their covered fraction.
+func (h *Histogram) scale(c constraint, f float64) {
+	for i := range h.atoms {
+		a := &h.atoms[i]
+		vol := a.box.Volume()
+		if vol <= 0 {
+			if c.box.Contains(a.box) {
+				a.freq *= f
+			}
+			continue
+		}
+		cov := a.box.IntersectionVolume(c.box) / vol
+		if cov <= 0 {
+			continue
+		}
+		inside := a.freq * cov
+		next := a.freq - inside + inside*f
+		if math.IsNaN(next) || math.IsInf(next, 0) || next < 0 {
+			next = 0
+		}
+		a.freq = next
+	}
+}
+
+// seed distributes the constraint's count over its covered atoms by volume.
+func (h *Histogram) seed(c constraint) {
+	covered := 0.0
+	for i := range h.atoms {
+		covered += h.atoms[i].box.IntersectionVolume(c.box)
+	}
+	if covered <= 0 {
+		return
+	}
+	for i := range h.atoms {
+		a := &h.atoms[i]
+		ov := a.box.IntersectionVolume(c.box)
+		if ov > 0 {
+			a.freq += c.count * ov / covered
+		}
+	}
+}

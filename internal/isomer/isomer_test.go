@@ -1,0 +1,245 @@
+package isomer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sthist/internal/geom"
+)
+
+func dom2() geom.Rect { return geom.MustRect([]float64{0, 0}, []float64{100, 100}) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.MustRect([]float64{0}, []float64{0}), DefaultConfig(), 1); err == nil {
+		t.Error("zero-volume domain accepted")
+	}
+	if _, err := New(dom2(), DefaultConfig(), -1); err == nil {
+		t.Error("negative total accepted")
+	}
+	for _, cfg := range []Config{
+		{MaxConstraints: 0, MaxAtoms: 10, IPFSweeps: 1, Tolerance: 0.1},
+		{MaxConstraints: 1, MaxAtoms: 0, IPFSweeps: 1, Tolerance: 0.1},
+		{MaxConstraints: 1, MaxAtoms: 10, IPFSweeps: 0, Tolerance: 0.1},
+		{MaxConstraints: 1, MaxAtoms: 10, IPFSweeps: 1, Tolerance: 0},
+	} {
+		if _, err := New(dom2(), cfg, 1); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestEstimateUniformStart(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 400)
+	if got := h.Estimate(dom2()); math.Abs(got-400) > 1e-9 {
+		t.Errorf("domain estimate = %g", got)
+	}
+	if got := h.Estimate(geom.MustRect([]float64{0, 0}, []float64{50, 50})); math.Abs(got-100) > 1e-9 {
+		t.Errorf("quarter estimate = %g", got)
+	}
+	if got := h.Estimate(geom.MustRect([]float64{0}, []float64{1})); got != 0 {
+		t.Errorf("dim mismatch estimate = %g", got)
+	}
+}
+
+func TestFeedbackSatisfiesConstraint(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 1000)
+	q := geom.MustRect([]float64{10, 10}, []float64{30, 30})
+	h.Feedback(q, 600)
+	if got := h.Estimate(q); math.Abs(got-600) > 600*0.01 {
+		t.Errorf("constraint not satisfied: estimate %g, want 600", got)
+	}
+	// Total mass should be preserved only where constraints say otherwise;
+	// the complement of q keeps its uniform share.
+	if h.Atoms() < 2 {
+		t.Errorf("no refinement happened: %d atoms", h.Atoms())
+	}
+	if h.Constraints() != 1 {
+		t.Errorf("Constraints = %d", h.Constraints())
+	}
+}
+
+func TestFeedbackMultipleConstraintsConsistent(t *testing.T) {
+	// Two overlapping constraints: IPF must satisfy both simultaneously.
+	h := MustNew(dom2(), DefaultConfig(), 1000)
+	q1 := geom.MustRect([]float64{0, 0}, []float64{50, 100})  // left half: 800
+	q2 := geom.MustRect([]float64{25, 0}, []float64{75, 100}) // middle: 500
+	for i := 0; i < 3; i++ {
+		h.Feedback(q1, 800)
+		h.Feedback(q2, 500)
+	}
+	if got := h.Estimate(q1); math.Abs(got-800) > 800*0.05 {
+		t.Errorf("q1 estimate %g, want ~800", got)
+	}
+	if got := h.Estimate(q2); math.Abs(got-500) > 500*0.05 {
+		t.Errorf("q2 estimate %g, want ~500", got)
+	}
+}
+
+func TestFeedbackZeroCount(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 1000)
+	empty := geom.MustRect([]float64{60, 60}, []float64{90, 90})
+	h.Feedback(empty, 0)
+	if got := h.Estimate(empty); got > 1e-6 {
+		t.Errorf("empty-region estimate %g after zero feedback", got)
+	}
+}
+
+func TestFeedbackSeedsEmptyRegion(t *testing.T) {
+	// Zero mass then positive feedback: the seeding path must re-introduce
+	// mass.
+	h := MustNew(dom2(), DefaultConfig(), 1000)
+	box := geom.MustRect([]float64{60, 60}, []float64{90, 90})
+	h.Feedback(box, 0)
+	h.Feedback(box, 300)
+	if got := h.Estimate(box); math.Abs(got-300) > 30 {
+		t.Errorf("re-seeded estimate %g, want ~300", got)
+	}
+}
+
+func TestConstraintEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxConstraints = 4
+	h := MustNew(dom2(), cfg, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		lo := geom.Point{rng.Float64() * 80, rng.Float64() * 80}
+		q := geom.MustRect(lo, geom.Point{lo[0] + 10, lo[1] + 10})
+		h.Feedback(q, rng.Float64()*100)
+	}
+	if h.Constraints() != 4 {
+		t.Errorf("Constraints = %d, want 4 (budget)", h.Constraints())
+	}
+}
+
+func TestAtomBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxAtoms = 16
+	h := MustNew(dom2(), cfg, 1000)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		lo := geom.Point{rng.Float64() * 80, rng.Float64() * 80}
+		q := geom.MustRect(lo, geom.Point{lo[0] + 15, lo[1] + 15})
+		h.Feedback(q, 10)
+	}
+	if h.Atoms() > 16 {
+		t.Errorf("Atoms = %d exceeds budget 16", h.Atoms())
+	}
+}
+
+func TestLearnsCluster(t *testing.T) {
+	// An idealized cluster; feedback queries tile the domain; ISOMER should
+	// converge to low error on random probes.
+	cluster := geom.MustRect([]float64{20, 30}, []float64{50, 70})
+	truth := func(r geom.Rect) float64 {
+		return 2000 * cluster.IntersectionVolume(r) / cluster.Volume()
+	}
+	h := MustNew(dom2(), DefaultConfig(), 2000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		q := geom.CubeAt(c, 20, dom2())
+		h.Feedback(q, truth(q))
+	}
+	errSum, n := 0.0, 0
+	for i := 0; i < 100; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		q := geom.CubeAt(c, 15, dom2())
+		errSum += math.Abs(h.Estimate(q) - truth(q))
+		n++
+	}
+	if mean := errSum / float64(n); mean > 60 {
+		t.Errorf("mean error %g after training; expected convergence", mean)
+	}
+}
+
+func TestQuickSplitAtomPreservesMassAndVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a := atom{box: geom.MustRect([]float64{0, 0}, []float64{10 + rng.Float64()*10, 10 + rng.Float64()*10}), freq: rng.Float64() * 100}
+		lo := geom.Point{rng.Float64() * 8, rng.Float64() * 8}
+		cut := geom.MustRect(lo, geom.Point{lo[0] + 1 + rng.Float64()*5, lo[1] + 1 + rng.Float64()*5})
+		pieces := splitAtom(a, cut)
+		var vol, mass float64
+		for i, p := range pieces {
+			vol += p.box.Volume()
+			mass += p.freq
+			if !a.box.Contains(p.box) {
+				return false
+			}
+			for _, q := range pieces[i+1:] {
+				if p.box.IntersectsOpen(q.box) {
+					return false
+				}
+			}
+		}
+		return math.Abs(vol-a.box.Volume()) < 1e-9*a.box.Volume() &&
+			math.Abs(mass-a.freq) < 1e-9*math.Max(a.freq, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFeedbackKeepsNonNegativeMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := MustNew(dom2(), DefaultConfig(), 500)
+	f := func() bool {
+		lo := geom.Point{rng.Float64() * 90, rng.Float64() * 90}
+		q := geom.MustRect(lo, geom.Point{lo[0] + rng.Float64()*10, lo[1] + rng.Float64()*10})
+		h.Feedback(q, rng.Float64()*200)
+		if h.TotalTuples() < 0 {
+			return false
+		}
+		probe := geom.CubeAt(geom.Point{rng.Float64() * 100, rng.Float64() * 100}, 10, dom2())
+		return h.Estimate(probe) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeedbackIgnoresNonFinite(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 100)
+	h.Feedback(geom.MustRect([]float64{0, 0}, []float64{10, 10}), math.NaN())
+	h.Feedback(geom.MustRect([]float64{0, 0}, []float64{10, 10}), math.Inf(1))
+	if h.Constraints() != 0 {
+		t.Errorf("non-finite feedback recorded %d constraints", h.Constraints())
+	}
+	if got := h.TotalTuples(); math.IsNaN(got) || math.Abs(got-100) > 1e-9 {
+		t.Errorf("mass changed to %g", got)
+	}
+}
+
+// TestQuickExtremeFeedbackStaysFinite: wildly varying feedback magnitudes
+// (the failure seen in the baseline-selftuning sweep, where IPF factors
+// overflowed to Inf and then NaN) must never leak non-finite values into
+// estimates.
+func TestQuickExtremeFeedbackStaysFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := MustNew(dom2(), DefaultConfig(), 1000)
+	f := func() bool {
+		lo := geom.Point{rng.Float64() * 95, rng.Float64() * 95}
+		q := geom.MustRect(lo, geom.Point{lo[0] + 0.1 + rng.Float64()*30, lo[1] + 0.1 + rng.Float64()*30})
+		var actual float64
+		switch rng.Intn(4) {
+		case 0:
+			actual = 0
+		case 1:
+			actual = 1e12
+		case 2:
+			actual = rng.Float64() * 1e-6
+		default:
+			actual = rng.Float64() * 1000
+		}
+		h.Feedback(q, actual)
+		est := h.Estimate(q)
+		total := h.TotalTuples()
+		return !math.IsNaN(est) && !math.IsInf(est, 0) && est >= 0 &&
+			!math.IsNaN(total) && !math.IsInf(total, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

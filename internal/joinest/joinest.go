@@ -1,0 +1,170 @@
+// Package joinest estimates equi-join cardinalities from per-table
+// histograms, completing the optimizer picture ([4] in the paper): given
+// R ⋈ S on R.a = S.b, the expected join size under per-table independence
+// of the non-join attributes is
+//
+//	|R ⋈ S| = ∫ fR(x) · fS(x) dx
+//
+// where fR and fS are the marginal frequency DENSITIES of the join
+// attributes (tuples per unit of attribute value). The marginals are
+// extracted from any Estimator by differencing prefix-range estimates on a
+// regular grid; the integral is then a dot product of per-cell counts
+// divided by the cell width.
+//
+// Discrete join attributes: the density model matches the classic
+// per-bucket formula count_R * count_S / V (V = distinct values per bucket)
+// only when a grid cell's width equals the key spacing. For integer keys,
+// pass a domain of [min-0.5, max+0.5] with (max-min+1) steps so every cell
+// is centered on one key with unit width.
+package joinest
+
+import (
+	"fmt"
+	"math"
+
+	"sthist/internal/geom"
+)
+
+// Estimator supplies range-cardinality estimates for one table.
+type Estimator interface {
+	Estimate(q geom.Rect) float64
+}
+
+// Marginal is a per-attribute frequency vector over a regular grid.
+type Marginal struct {
+	Lo, Hi float64
+	Counts []float64
+}
+
+// CellWidth returns the grid resolution.
+func (m *Marginal) CellWidth() float64 {
+	return (m.Hi - m.Lo) / float64(len(m.Counts))
+}
+
+// ExtractMarginal reads the marginal distribution of dimension dim from an
+// estimator over the given domain, using steps grid cells: cell i holds the
+// estimated number of tuples whose attribute value falls into that slice of
+// the domain.
+func ExtractMarginal(est Estimator, domain geom.Rect, dim, steps int) (*Marginal, error) {
+	if dim < 0 || dim >= domain.Dims() {
+		return nil, fmt.Errorf("joinest: dimension %d out of range for %d-dimensional domain", dim, domain.Dims())
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("joinest: steps must be >= 1, got %d", steps)
+	}
+	lo, hi := domain.Lo[dim], domain.Hi[dim]
+	if hi <= lo {
+		return nil, fmt.Errorf("joinest: domain has no extent on dimension %d", dim)
+	}
+	m := &Marginal{Lo: lo, Hi: hi, Counts: make([]float64, steps)}
+	width := (hi - lo) / float64(steps)
+	// Prefix differencing keeps the cells disjoint even though range
+	// estimates use closed intervals: cell i gets
+	// est([lo, lo+(i+1)w]) - est([lo, lo+iw]), so a tuple sitting exactly on
+	// a grid line is attributed to one cell only.
+	slab := domain.Clone()
+	prev := 0.0
+	for i := 0; i < steps; i++ {
+		slab.Lo[dim] = lo
+		slab.Hi[dim] = lo + float64(i+1)*width
+		cum := est.Estimate(slab)
+		c := cum - prev
+		prev = cum
+		if c < 0 {
+			c = 0
+		}
+		m.Counts[i] = c
+	}
+	return m, nil
+}
+
+// JoinSize estimates |R ⋈ S| on a single equi-join attribute from the two
+// marginals, which must be re-gridded to a common range first (AlignGrids).
+// Under within-cell uniformity the contribution of cell i is
+// rCount[i]*sCount[i]/width.
+func JoinSize(r, s *Marginal) (float64, error) {
+	if len(r.Counts) != len(s.Counts) || r.Lo != s.Lo || r.Hi != s.Hi {
+		return 0, fmt.Errorf("joinest: marginals not aligned (use AlignGrids)")
+	}
+	width := r.CellWidth()
+	if width <= 0 {
+		return 0, fmt.Errorf("joinest: degenerate grid")
+	}
+	total := 0.0
+	for i := range r.Counts {
+		total += r.Counts[i] * s.Counts[i] / width
+	}
+	return total, nil
+}
+
+// AlignGrids re-samples both marginals onto a shared grid covering the union
+// of their ranges with the given number of steps (mass-preserving, assuming
+// uniformity within source cells).
+func AlignGrids(a, b *Marginal, steps int) (*Marginal, *Marginal, error) {
+	if steps < 1 {
+		return nil, nil, fmt.Errorf("joinest: steps must be >= 1")
+	}
+	lo := math.Min(a.Lo, b.Lo)
+	hi := math.Max(a.Hi, b.Hi)
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("joinest: empty union range")
+	}
+	return resample(a, lo, hi, steps), resample(b, lo, hi, steps), nil
+}
+
+// resample redistributes counts onto a new grid proportionally to interval
+// overlap.
+func resample(m *Marginal, lo, hi float64, steps int) *Marginal {
+	out := &Marginal{Lo: lo, Hi: hi, Counts: make([]float64, steps)}
+	outWidth := (hi - lo) / float64(steps)
+	srcWidth := m.CellWidth()
+	for i, c := range m.Counts {
+		if c == 0 {
+			continue
+		}
+		sLo := m.Lo + float64(i)*srcWidth
+		sHi := sLo + srcWidth
+		// Distribute c over out cells overlapping [sLo, sHi).
+		first := int((sLo - lo) / outWidth)
+		last := int((sHi - lo) / outWidth)
+		if last >= steps {
+			last = steps - 1
+		}
+		if first < 0 {
+			first = 0
+		}
+		for j := first; j <= last; j++ {
+			oLo := lo + float64(j)*outWidth
+			oHi := oLo + outWidth
+			l := math.Max(sLo, oLo)
+			r := math.Min(sHi, oHi)
+			if r <= l {
+				continue
+			}
+			if srcWidth > 0 {
+				out.Counts[j] += c * (r - l) / srcWidth
+			} else {
+				out.Counts[j] += c
+			}
+		}
+	}
+	return out
+}
+
+// EstimateEquiJoin is the one-call convenience: extract both marginals at
+// the given resolution, align, and integrate.
+func EstimateEquiJoin(r Estimator, rDomain geom.Rect, rDim int, s Estimator, sDomain geom.Rect, sDim int, steps int) (float64, error) {
+	mr, err := ExtractMarginal(r, rDomain, rDim, steps)
+	if err != nil {
+		return 0, err
+	}
+	ms, err := ExtractMarginal(s, sDomain, sDim, steps)
+	if err != nil {
+		return 0, err
+	}
+	ar, as, err := AlignGrids(mr, ms, steps)
+	if err != nil {
+		return 0, err
+	}
+	return JoinSize(ar, as)
+}

@@ -1,0 +1,134 @@
+// Package metrics implements the histogram quality measures of §5.1: the
+// mean absolute error E(H,W) over a workload (Eq. 9) and the normalized
+// absolute error NAE (Eq. 10), which divides by the error of the trivial
+// single-bucket histogram so numbers are comparable across datasets.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"sthist/internal/geom"
+)
+
+// Estimator is anything that can estimate the cardinality of a range query;
+// sthole.Histogram and baseline histograms implement it.
+type Estimator interface {
+	Estimate(q geom.Rect) float64
+}
+
+// TrueCounter returns the exact cardinality of a query.
+type TrueCounter func(q geom.Rect) float64
+
+// MeanAbsoluteError computes E(H,W) = (1/|W|) * sum |est(q) - real(q)|.
+func MeanAbsoluteError(h Estimator, queries []geom.Rect, real TrueCounter) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("metrics: empty workload")
+	}
+	sum := 0.0
+	for _, q := range queries {
+		sum += math.Abs(h.Estimate(q) - real(q))
+	}
+	return sum / float64(len(queries)), nil
+}
+
+// TrivialEstimator is the 1-bucket reference histogram H0 of Eq. 10: it
+// knows only the total tuple count and assumes uniformity over the domain.
+type TrivialEstimator struct {
+	Domain geom.Rect
+	Total  float64
+}
+
+// Estimate implements Estimator under global uniformity.
+func (t TrivialEstimator) Estimate(q geom.Rect) float64 {
+	return t.Total * t.Domain.IntersectionVolume(q) / t.Domain.Volume()
+}
+
+// NormalizedAbsoluteError computes NAE(H,W) = E(H,W) / E(H0,W) where H0 is
+// the trivial histogram over the domain with the given total tuple count.
+func NormalizedAbsoluteError(h Estimator, queries []geom.Rect, real TrueCounter, domain geom.Rect, total float64) (float64, error) {
+	e, err := MeanAbsoluteError(h, queries, real)
+	if err != nil {
+		return 0, err
+	}
+	e0, err := MeanAbsoluteError(TrivialEstimator{Domain: domain, Total: total}, queries, real)
+	if err != nil {
+		return 0, err
+	}
+	if e0 == 0 {
+		if e == 0 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("metrics: trivial histogram has zero error but H does not; NAE undefined")
+	}
+	return e / e0, nil
+}
+
+// Summary aggregates absolute errors of a run.
+type Summary struct {
+	Mean   float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes per-query absolute errors and returns their summary.
+func Summarize(h Estimator, queries []geom.Rect, real TrueCounter) (Summary, error) {
+	if len(queries) == 0 {
+		return Summary{}, fmt.Errorf("metrics: empty workload")
+	}
+	errs := make([]float64, len(queries))
+	var sum, max float64
+	for i, q := range queries {
+		e := math.Abs(h.Estimate(q) - real(q))
+		errs[i] = e
+		sum += e
+		if e > max {
+			max = e
+		}
+	}
+	// Median via partial selection.
+	mid := len(errs) / 2
+	quickSelect(errs, mid)
+	med := errs[mid]
+	if len(errs)%2 == 0 {
+		// Lower-median convention would be fine; average with the max of the
+		// left half for the conventional even-length median.
+		lo := errs[0]
+		for _, v := range errs[:mid] {
+			if v > lo {
+				lo = v
+			}
+		}
+		med = (med + lo) / 2
+	}
+	return Summary{Mean: sum / float64(len(queries)), Median: med, Max: max}, nil
+}
+
+// quickSelect partitions xs so xs[k] holds the k-th smallest value.
+func quickSelect(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		pivot := xs[lo+(hi-lo)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package mhist implements an MHIST-style static multidimensional histogram
+// (Poosala & Ioannidis, VLDB 1997 — reference [23] of the paper): the data
+// space is partitioned greedily by repeatedly splitting the "most critical"
+// bucket along the dimension whose marginal distribution is most in need of
+// partitioning (MaxDiff). Unlike STHoles it scans the full dataset at build
+// time and never adapts — the static counterpoint the paper's introduction
+// argues against.
+package mhist
+
+import (
+	"fmt"
+	"sort"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// Histogram is a static MHIST-2 (MaxDiff) histogram: a flat list of disjoint
+// buckets covering the domain.
+type Histogram struct {
+	domain  geom.Rect
+	buckets []bucket
+}
+
+type bucket struct {
+	box   geom.Rect
+	count float64
+	rows  []int // row indices, only kept during construction
+}
+
+// marginalBins is the resolution of the per-dimension marginal distribution
+// used to pick split points.
+const marginalBins = 64
+
+// Build scans the table and constructs a histogram with at most maxBuckets
+// buckets over the given domain.
+func Build(tab *dataset.Table, domain geom.Rect, maxBuckets int) (*Histogram, error) {
+	if maxBuckets < 1 {
+		return nil, fmt.Errorf("mhist: maxBuckets must be >= 1, got %d", maxBuckets)
+	}
+	if tab.Len() == 0 {
+		return nil, fmt.Errorf("mhist: empty table")
+	}
+	if tab.Dims() != domain.Dims() {
+		return nil, fmt.Errorf("mhist: table dims %d != domain dims %d", tab.Dims(), domain.Dims())
+	}
+	if domain.Volume() <= 0 {
+		return nil, fmt.Errorf("mhist: domain has no volume")
+	}
+	h := &Histogram{domain: domain.Clone()}
+	rows := make([]int, tab.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	h.buckets = []bucket{{box: domain.Clone(), count: float64(len(rows)), rows: rows}}
+
+	for len(h.buckets) < maxBuckets {
+		// Pick the bucket/dimension with the largest MaxDiff criticality.
+		bi, dim, split, ok := h.mostCritical(tab)
+		if !ok {
+			break
+		}
+		h.split(tab, bi, dim, split)
+	}
+	// Free construction state.
+	for i := range h.buckets {
+		h.buckets[i].rows = nil
+	}
+	return h, nil
+}
+
+// mostCritical returns the bucket index, split dimension and split value with
+// the largest adjacent-bin marginal frequency difference.
+func (h *Histogram) mostCritical(tab *dataset.Table) (bi, dim int, split float64, ok bool) {
+	best := -1.0
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if len(b.rows) < 2 {
+			continue
+		}
+		for d := 0; d < tab.Dims(); d++ {
+			side := b.box.Side(d)
+			if side <= 0 {
+				continue
+			}
+			bins := make([]int, marginalBins)
+			for _, r := range b.rows {
+				v := tab.Value(r, d)
+				c := int(float64(marginalBins) * (v - b.box.Lo[d]) / side)
+				if c < 0 {
+					c = 0
+				}
+				if c >= marginalBins {
+					c = marginalBins - 1
+				}
+				bins[c]++
+			}
+			for c := 0; c+1 < marginalBins; c++ {
+				diff := float64(bins[c] - bins[c+1])
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > best {
+					// Split between bins c and c+1.
+					cand := b.box.Lo[d] + side*float64(c+1)/float64(marginalBins)
+					// Reject splits that would produce an empty side (all
+					// rows in one half).
+					left := 0
+					for _, r := range b.rows {
+						if tab.Value(r, d) < cand {
+							left++
+						}
+					}
+					if left == 0 || left == len(b.rows) {
+						continue
+					}
+					best = diff
+					bi, dim, split, ok = i, d, cand, true
+				}
+			}
+		}
+	}
+	return bi, dim, split, ok
+}
+
+// split divides bucket bi at value split on dimension dim.
+func (h *Histogram) split(tab *dataset.Table, bi, dim int, split float64) {
+	b := h.buckets[bi]
+	loBox := b.box.Clone()
+	hiBox := b.box.Clone()
+	loBox.Hi[dim] = split
+	hiBox.Lo[dim] = split
+	var loRows, hiRows []int
+	for _, r := range b.rows {
+		if tab.Value(r, dim) < split {
+			loRows = append(loRows, r)
+		} else {
+			hiRows = append(hiRows, r)
+		}
+	}
+	h.buckets[bi] = bucket{box: loBox, count: float64(len(loRows)), rows: loRows}
+	h.buckets = append(h.buckets, bucket{box: hiBox, count: float64(len(hiRows)), rows: hiRows})
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Total returns the tuple count captured by the histogram.
+func (h *Histogram) Total() float64 {
+	s := 0.0
+	for _, b := range h.buckets {
+		s += b.count
+	}
+	return s
+}
+
+// Estimate returns the estimated cardinality of q under per-bucket
+// uniformity.
+func (h *Histogram) Estimate(q geom.Rect) float64 {
+	if q.Dims() != h.domain.Dims() {
+		return 0
+	}
+	est := 0.0
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		vol := b.box.Volume()
+		if vol <= 0 {
+			if q.Contains(b.box) {
+				est += b.count
+			}
+			continue
+		}
+		est += b.count * b.box.IntersectionVolume(q) / vol
+	}
+	return est
+}
+
+// BucketBoxes returns the bucket boxes sorted by descending count, for
+// inspection.
+func (h *Histogram) BucketBoxes() []geom.Rect {
+	idx := make([]int, len(h.buckets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.buckets[idx[a]].count > h.buckets[idx[b]].count })
+	out := make([]geom.Rect, len(idx))
+	for i, j := range idx {
+		out[i] = h.buckets[j].box.Clone()
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package mhist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+)
+
+func TestBuildValidation(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	dom := geom.MustRect([]float64{0, 0}, []float64{10, 10})
+	if _, err := Build(tab, dom, 10); err == nil {
+		t.Error("empty table accepted")
+	}
+	tab.MustAppend([]float64{1, 1})
+	if _, err := Build(tab, dom, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Build(tab, geom.MustRect([]float64{0}, []float64{10}), 4); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Build(tab, geom.MustRect([]float64{0, 0}, []float64{0, 10}), 4); err == nil {
+		t.Error("zero-volume domain accepted")
+	}
+}
+
+func TestBuildSingleBucket(t *testing.T) {
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 100; i++ {
+		tab.MustAppend([]float64{float64(i % 10), float64(i / 10)})
+	}
+	dom := geom.MustRect([]float64{0, 0}, []float64{10, 10})
+	h, err := Build(tab, dom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 1 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+	if got := h.Estimate(dom); math.Abs(got-100) > 1e-9 {
+		t.Errorf("domain estimate = %g", got)
+	}
+}
+
+func TestBuildCapturesCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 5000; i++ {
+		tab.MustAppend([]float64{200 + rng.Float64()*100, 600 + rng.Float64()*100})
+	}
+	for i := 0; i < 500; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	dom := geom.MustRect([]float64{0, 0}, []float64{1000, 1000})
+	h, err := Build(tab, dom, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() > 30 {
+		t.Errorf("budget exceeded: %d", h.Buckets())
+	}
+	if math.Abs(h.Total()-5500) > 1e-9 {
+		t.Errorf("Total = %g", h.Total())
+	}
+	// The static histogram should estimate the cluster box well.
+	kt, _ := index.BuildKDTree(tab)
+	q := geom.MustRect([]float64{200, 600}, []float64{300, 700})
+	truth := float64(kt.Count(q))
+	if got := h.Estimate(q); math.Abs(got-truth) > 0.2*truth {
+		t.Errorf("cluster estimate %g vs truth %g", got, truth)
+	}
+	// Empty region stays near zero.
+	empty := geom.MustRect([]float64{600, 100}, []float64{700, 200})
+	if got := h.Estimate(empty); got > 50 {
+		t.Errorf("empty-region estimate %g", got)
+	}
+}
+
+func TestBucketsDisjointAndCovering(t *testing.T) {
+	ds := datagen.Cross(0.1, 2)
+	h, err := Build(ds.Table, ds.Domain, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := h.BucketBoxes()
+	if len(boxes) != h.Buckets() {
+		t.Fatalf("BucketBoxes returned %d of %d", len(boxes), h.Buckets())
+	}
+	vol := 0.0
+	for i, a := range boxes {
+		vol += a.Volume()
+		for _, b := range boxes[i+1:] {
+			if a.IntersectsOpen(b) {
+				t.Fatalf("buckets %v and %v overlap", a, b)
+			}
+		}
+	}
+	if math.Abs(vol-ds.Domain.Volume()) > 1e-6*ds.Domain.Volume() {
+		t.Errorf("bucket volumes sum to %g, domain is %g", vol, ds.Domain.Volume())
+	}
+}
+
+func TestEstimateMatchesTruthOnAverage(t *testing.T) {
+	ds := datagen.Cross(0.1, 3)
+	kt, err := index.BuildKDTree(ds.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(ds.Table, ds.Domain, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	// The static histogram must clearly beat the trivial estimator.
+	trivialErr, mhistErr := 0.0, 0.0
+	total := float64(ds.Table.Len())
+	for i := 0; i < 100; i++ {
+		c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		q := geom.CubeAt(c, 100, ds.Domain)
+		truth := float64(kt.Count(q))
+		mhistErr += math.Abs(h.Estimate(q) - truth)
+		trivialErr += math.Abs(total*q.Volume()/ds.Domain.Volume() - truth)
+	}
+	if mhistErr > 0.6*trivialErr {
+		t.Errorf("MHIST error %g not clearly below trivial %g", mhistErr, trivialErr)
+	}
+}

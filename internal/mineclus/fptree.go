@@ -1,0 +1,226 @@
+// Package mineclus implements the MineClus projected clustering algorithm of
+// Yiu and Mamoulis (ICDM 2003), the subspace clustering method the paper
+// selects as the best histogram initializer.
+//
+// MineClus casts the DOC-style "find the best projected cluster around a
+// medoid" problem as frequent-itemset mining: for a sampled medoid p, every
+// point q yields the itemset D(q,p) = { d : |q_d - p_d| <= w } of dimensions
+// on which q is close to p. A dimension set D with support s describes a
+// projected cluster of s points and |D| relevant dimensions; its quality is
+//
+//	mu(s, |D|) = s * (1/beta)^|D|
+//
+// and the best cluster is the itemset maximizing mu subject to s >= alpha*n.
+// This file provides the FP-tree and the branch-and-bound search for that
+// best itemset; mineclus.go drives the medoid sampling and iterative
+// extraction.
+package mineclus
+
+import "sort"
+
+// fpNode is one node of the FP-tree. Children are kept in a small slice
+// (dimension alphabets are tiny) rather than a map.
+type fpNode struct {
+	item     int
+	count    int
+	parent   *fpNode
+	children []*fpNode
+	next     *fpNode // header-list threading
+}
+
+func (n *fpNode) child(item int) *fpNode {
+	for _, c := range n.children {
+		if c.item == item {
+			return c
+		}
+	}
+	return nil
+}
+
+// fpTree is an FP-tree over dimension itemsets.
+type fpTree struct {
+	root    *fpNode
+	headers map[int]*fpNode // item -> head of node list
+	counts  map[int]int     // item -> total support in this tree
+	order   map[int]int     // item -> global insertion rank (desc frequency)
+}
+
+// newFPTree builds a tree from transactions, keeping only items with support
+// >= minSup. Transactions are slices of item ids (dimensions); order within
+// a transaction is irrelevant.
+func newFPTree(transactions [][]int, minSup int) *fpTree {
+	counts := make(map[int]int)
+	for _, tx := range transactions {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	var items []int
+	for it, c := range counts {
+		if c >= minSup {
+			items = append(items, it)
+		}
+	}
+	// Descending frequency, ties by item id for determinism.
+	sort.Slice(items, func(i, j int) bool {
+		if counts[items[i]] != counts[items[j]] {
+			return counts[items[i]] > counts[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	order := make(map[int]int, len(items))
+	for rank, it := range items {
+		order[it] = rank
+	}
+	t := &fpTree{
+		root:    &fpNode{item: -1},
+		headers: make(map[int]*fpNode),
+		counts:  make(map[int]int),
+		order:   order,
+	}
+	buf := make([]int, 0, 16)
+	for _, tx := range transactions {
+		buf = buf[:0]
+		for _, it := range tx {
+			if _, ok := order[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return order[buf[i]] < order[buf[j]] })
+		t.insert(buf, 1)
+	}
+	return t
+}
+
+// insert adds one (ordered, filtered) transaction with the given count.
+func (t *fpTree) insert(tx []int, count int) {
+	node := t.root
+	for _, it := range tx {
+		t.counts[it] += count
+		c := node.child(it)
+		if c == nil {
+			c = &fpNode{item: it, parent: node}
+			node.children = append(node.children, c)
+			c.next = t.headers[it]
+			t.headers[it] = c
+		}
+		c.count += count
+		node = c
+	}
+}
+
+// conditional builds the conditional FP-tree for item: the prefix paths of
+// every node carrying item, filtered by minSup.
+func (t *fpTree) conditional(item, minSup int) *fpTree {
+	// First pass: support of each item in the prefix paths.
+	counts := make(map[int]int)
+	for n := t.headers[item]; n != nil; n = n.next {
+		for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+			counts[p.item] += n.count
+		}
+	}
+	cond := &fpTree{
+		root:    &fpNode{item: -1},
+		headers: make(map[int]*fpNode),
+		counts:  make(map[int]int),
+		order:   t.order,
+	}
+	for n := t.headers[item]; n != nil; n = n.next {
+		var path []int
+		for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+			if counts[p.item] >= minSup {
+				path = append(path, p.item)
+			}
+		}
+		// path is leaf-to-root; reverse to root-to-leaf (already in global
+		// order because tree paths follow it).
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		cond.insert(path, n.count)
+	}
+	return cond
+}
+
+// itemsByRank returns the tree's frequent items ordered by ascending global
+// rank (most frequent first).
+func (t *fpTree) itemsByRank() []int {
+	items := make([]int, 0, len(t.counts))
+	for it := range t.counts {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return t.order[items[i]] < t.order[items[j]] })
+	return items
+}
+
+// bestItemset searches the itemset lattice via FP-growth for the set
+// maximizing mu(support, size) = support * gain^size, subject to
+// support >= minSup and size >= 1. gain = 1/beta > 1 rewards extra
+// dimensions. Branch-and-bound: extending an itemset can only shrink its
+// support, so an upper bound for any extension of (X, s) inside a tree with
+// r remaining candidate items is s * gain^(|X| + r); branches below the
+// incumbent are pruned.
+//
+// It returns the best itemset (ascending item ids), its support, and its mu
+// score; found is false when no item meets minSup.
+func bestItemset(transactions [][]int, minSup int, gain float64) (items []int, support int, score float64, found bool) {
+	if minSup < 1 {
+		minSup = 1
+	}
+	t := newFPTree(transactions, minSup)
+	var best struct {
+		items   []int
+		support int
+		score   float64
+		ok      bool
+	}
+	var grow func(t *fpTree, suffix []int)
+	grow = func(t *fpTree, suffix []int) {
+		items := t.itemsByRank()
+		// Process least-frequent first, FP-growth style (iterate reversed).
+		for i := len(items) - 1; i >= 0; i-- {
+			it := items[i]
+			s := t.counts[it]
+			if s < minSup {
+				continue
+			}
+			cur := append(append([]int(nil), suffix...), it)
+			sc := float64(s) * pow(gain, len(cur))
+			if !best.ok || sc > best.score || (sc == best.score && len(cur) > len(best.items)) {
+				best.items = cur
+				best.support = s
+				best.score = sc
+				best.ok = true
+			}
+			// Upper bound for any superset mined from the conditional tree:
+			// the i items ranked above `it` can still join.
+			bound := float64(s) * pow(gain, len(cur)+i)
+			if bound <= best.score {
+				continue
+			}
+			cond := t.conditional(it, minSup)
+			if len(cond.counts) > 0 {
+				grow(cond, cur)
+			}
+		}
+	}
+	grow(t, nil)
+	if !best.ok {
+		return nil, 0, 0, false
+	}
+	sort.Ints(best.items)
+	return best.items, best.support, best.score, true
+}
+
+// pow is a small integer-exponent power helper (math.Pow is slower and this
+// sits on the mining hot path).
+func pow(base float64, exp int) float64 {
+	r := 1.0
+	for ; exp > 0; exp >>= 1 {
+		if exp&1 == 1 {
+			r *= base
+		}
+		base *= base
+	}
+	return r
+}

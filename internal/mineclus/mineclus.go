@@ -1,0 +1,323 @@
+package mineclus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+)
+
+// Config holds the MineClus parameters the paper tunes in Table 2.
+type Config struct {
+	// Alpha is the minimal cluster size as a fraction of the full dataset
+	// (the "minimal density threshold"). Typical values 0.01 .. 0.1.
+	Alpha float64
+	// Beta trades cluster size against dimensionality in the quality
+	// function mu(s,d) = s * (1/Beta)^d. Must be in (0, 1).
+	Beta float64
+	// Width is the half-width w: point q supports dimension d for medoid p
+	// when |q_d - p_d| <= Width.
+	Width float64
+	// Widths optionally overrides Width per dimension, for relations whose
+	// attributes have heterogeneous scales (the paper's datasets are
+	// uniformly scaled, so it uses a single w). When set, its length must
+	// equal the table's dimensionality.
+	Widths []float64
+	// MedoidSamples is the number of random medoids tried per extracted
+	// cluster (default 20).
+	MedoidSamples int
+	// MaxTransactions caps how many of the remaining points are turned into
+	// transactions per medoid trial (uniform subsample; 0 = all). The paper
+	// notes (§5.2) that approximate cluster boundaries suffice for
+	// initialization, so subsampling is a legitimate speedup.
+	MaxTransactions int
+	// MaxClusters stops extraction after this many clusters (0 = run until
+	// no cluster reaches the Alpha threshold).
+	MaxClusters int
+	// MinDims discards mined dimension sets smaller than this (default 1).
+	MinDims int
+	// Seed drives medoid sampling; runs are deterministic given a seed.
+	Seed int64
+}
+
+// DefaultConfig returns the parameter set used by most experiments in the
+// reproduction: alpha 0.01, beta 0.25, width 60 (our synthetic datasets have
+// cluster extents of 60-240 on a 0..1000 domain; see EXPERIMENTS.md for the
+// mapping to the paper's width=10 on raw SDSS units).
+func DefaultConfig() Config {
+	return Config{Alpha: 0.01, Beta: 0.25, Width: 60, MedoidSamples: 20, MaxTransactions: 20000}
+}
+
+func (c *Config) validate() error {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("mineclus: alpha must be in (0,1], got %g", c.Alpha)
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("mineclus: beta must be in (0,1), got %g", c.Beta)
+	}
+	if c.Width <= 0 && len(c.Widths) == 0 {
+		return fmt.Errorf("mineclus: width must be positive, got %g", c.Width)
+	}
+	for d, w := range c.Widths {
+		if w <= 0 {
+			return fmt.Errorf("mineclus: widths[%d] must be positive, got %g", d, w)
+		}
+	}
+	if c.MedoidSamples == 0 {
+		c.MedoidSamples = 20
+	}
+	if c.MedoidSamples < 0 {
+		return fmt.Errorf("mineclus: negative medoid samples")
+	}
+	if c.MinDims <= 0 {
+		c.MinDims = 1
+	}
+	return nil
+}
+
+// Cluster is one projected cluster found by MineClus.
+type Cluster struct {
+	// Dims are the relevant (constrained) dimensions, ascending.
+	Dims []int
+	// Rows are the member row indices into the clustered table.
+	Rows []int
+	// Box bounds the members tightly on Dims and spans the members' extent
+	// on the other dimensions too (it is the plain MBR of the members; use
+	// core.ExtendedBR for the subspace-aware bucket box).
+	Box geom.Rect
+	// Medoid is the medoid the cluster was grown from.
+	Medoid geom.Point
+	// Score is the mu quality; clusters are returned in descending Score
+	// order, which the paper uses as the initialization importance order.
+	Score float64
+}
+
+// UnusedDims returns the dimensions (0-based) the cluster does not use,
+// given the dimensionality of the data space.
+func (c *Cluster) UnusedDims(dims int) []int {
+	used := make([]bool, dims)
+	for _, d := range c.Dims {
+		used[d] = true
+	}
+	var out []int
+	for d := 0; d < dims; d++ {
+		if !used[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// widthFor returns the half-width for dimension d.
+func (c *Config) widthFor(d int) float64 {
+	if len(c.Widths) > 0 {
+		return c.Widths[d]
+	}
+	return c.Width
+}
+
+// Run executes MineClus over the table and returns the clusters in
+// descending importance (mu score) order.
+//
+// The algorithm iterates: sample medoids from the not-yet-clustered points;
+// for each medoid, mine the dimension set maximizing mu via FP-growth over
+// the points' dimension itemsets; keep the best cluster across medoids;
+// remove its points and repeat until no cluster reaches alpha * n points.
+func Run(tab *dataset.Table, cfg Config) ([]Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := tab.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("mineclus: empty table")
+	}
+	if len(cfg.Widths) > 0 && len(cfg.Widths) != tab.Dims() {
+		return nil, fmt.Errorf("mineclus: %d per-dimension widths for a %d-dimensional table", len(cfg.Widths), tab.Dims())
+	}
+	dims := tab.Dims()
+	minSup := int(math.Ceil(cfg.Alpha * float64(n)))
+	if minSup < 2 {
+		minSup = 2
+	}
+	gain := 1 / cfg.Beta
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var clusters []Cluster
+	row := make([]float64, dims)
+	medoid := make([]float64, dims)
+
+	for len(remaining) >= minSup {
+		if cfg.MaxClusters > 0 && len(clusters) >= cfg.MaxClusters {
+			break
+		}
+		best, ok := bestClusterAround(tab, remaining, cfg, minSup, gain, rng, row, medoid)
+		if !ok {
+			break
+		}
+		clusters = append(clusters, best)
+		// Remove the cluster's rows from the remaining set.
+		inCluster := make(map[int]bool, len(best.Rows))
+		for _, r := range best.Rows {
+			inCluster[r] = true
+		}
+		kept := remaining[:0]
+		for _, r := range remaining {
+			if !inCluster[r] {
+				kept = append(kept, r)
+			}
+		}
+		remaining = kept
+	}
+	sort.SliceStable(clusters, func(i, j int) bool { return clusters[i].Score > clusters[j].Score })
+	return clusters, nil
+}
+
+// bestClusterAround samples medoids from remaining and returns the best
+// cluster found, materialized with its member rows and bounding box.
+func bestClusterAround(tab *dataset.Table, remaining []int, cfg Config, minSup int, gain float64, rng *rand.Rand, row, medoid []float64) (Cluster, bool) {
+	dims := tab.Dims()
+	// Choose the transaction subsample once per extraction round so every
+	// medoid trial sees the same points (fair comparison of mu scores).
+	txRows := remaining
+	if cfg.MaxTransactions > 0 && len(remaining) > cfg.MaxTransactions {
+		perm := rng.Perm(len(remaining))[:cfg.MaxTransactions]
+		txRows = make([]int, cfg.MaxTransactions)
+		for i, j := range perm {
+			txRows[i] = remaining[j]
+		}
+		// Scale the support threshold to the subsample.
+		minSup = int(math.Ceil(float64(minSup) * float64(cfg.MaxTransactions) / float64(len(remaining))))
+		if minSup < 2 {
+			minSup = 2
+		}
+	}
+
+	// Draw every medoid up front (sequential, so runs stay deterministic for
+	// a given seed), then evaluate the trials in parallel: each trial builds
+	// its own transaction set and mines it independently. Ties are broken by
+	// trial index so the parallel result matches the sequential one.
+	medoidRows := make([]int, cfg.MedoidSamples)
+	for t := range medoidRows {
+		medoidRows[t] = remaining[rng.Intn(len(remaining))]
+	}
+	type trialResult struct {
+		items  []int
+		score  float64
+		medoid geom.Point
+		ok     bool
+	}
+	results := make([]trialResult, cfg.MedoidSamples)
+	workers := runtime.NumCPU()
+	if workers > cfg.MedoidSamples {
+		workers = cfg.MedoidSamples
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	trialCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rowBuf := make([]float64, dims)
+			medoidBuf := make([]float64, dims)
+			transactions := make([][]int, len(txRows))
+			txBuf := make([]int, 0, dims)
+			for trial := range trialCh {
+				copy(medoidBuf, tab.Row(medoidRows[trial], medoidBuf))
+				for i, r := range txRows {
+					tab.Row(r, rowBuf)
+					txBuf = txBuf[:0]
+					for d := 0; d < dims; d++ {
+						if math.Abs(rowBuf[d]-medoidBuf[d]) <= cfg.widthFor(d) {
+							txBuf = append(txBuf, d)
+						}
+					}
+					transactions[i] = append(transactions[i][:0], txBuf...)
+				}
+				items, _, score, ok := bestItemset(transactions, minSup, gain)
+				if !ok || len(items) < cfg.MinDims {
+					continue
+				}
+				results[trial] = trialResult{items: items, score: score, medoid: geom.Point(medoidBuf).Clone(), ok: true}
+			}
+		}()
+	}
+	for t := 0; t < cfg.MedoidSamples; t++ {
+		trialCh <- t
+	}
+	close(trialCh)
+	wg.Wait()
+
+	var (
+		bestScore  = math.Inf(-1)
+		bestDims   []int
+		bestMedoid geom.Point
+		found      bool
+	)
+	for _, r := range results {
+		if r.ok && r.score > bestScore {
+			bestScore = r.score
+			bestDims = r.items
+			bestMedoid = r.medoid
+			found = true
+		}
+	}
+	if !found {
+		return Cluster{}, false
+	}
+
+	// Materialize the cluster over the FULL remaining set (not just the
+	// subsample): members are the points within Width of the winning medoid
+	// on every relevant dimension.
+	var rows []int
+	for _, r := range remaining {
+		tab.Row(r, row)
+		member := true
+		for _, d := range bestDims {
+			if math.Abs(row[d]-bestMedoid[d]) > cfg.widthFor(d) {
+				member = false
+				break
+			}
+		}
+		if member {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) < minSup {
+		return Cluster{}, false
+	}
+	// Tight bounding box over the members.
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	tab.Row(rows[0], lo)
+	copy(hi, lo)
+	for _, r := range rows[1:] {
+		tab.Row(r, row)
+		for d := 0; d < dims; d++ {
+			if row[d] < lo[d] {
+				lo[d] = row[d]
+			}
+			if row[d] > hi[d] {
+				hi[d] = row[d]
+			}
+		}
+	}
+	return Cluster{
+		Dims:   bestDims,
+		Rows:   rows,
+		Box:    geom.Rect{Lo: lo, Hi: hi},
+		Medoid: bestMedoid,
+		Score:  float64(len(rows)) * pow(gain, len(bestDims)),
+	}, true
+}

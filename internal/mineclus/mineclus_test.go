@@ -1,0 +1,214 @@
+package mineclus
+
+import (
+	"math"
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/dataset"
+)
+
+func TestConfigValidation(t *testing.T) {
+	tab := dataset.MustNew("x")
+	tab.MustAppend([]float64{1})
+	bad := []Config{
+		{Alpha: 0, Beta: 0.3, Width: 10},
+		{Alpha: 1.5, Beta: 0.3, Width: 10},
+		{Alpha: 0.1, Beta: 0, Width: 10},
+		{Alpha: 0.1, Beta: 1, Width: 10},
+		{Alpha: 0.1, Beta: 0.3, Width: 0},
+		{Alpha: 0.1, Beta: 0.3, Width: 10, MedoidSamples: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(tab, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Run(dataset.MustNew("x"), DefaultConfig()); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestRunFindsFullDimensionalClusters(t *testing.T) {
+	// Two well-separated dense 2d blobs plus noise.
+	ds := dataset.MustNew("x", "y")
+	rngAppend := func(cx, cy float64, n int, spread float64, seed *uint64) {
+		for i := 0; i < n; i++ {
+			*seed = *seed*6364136223846793005 + 1442695040888963407
+			fx := float64(*seed%1000) / 1000
+			*seed = *seed*6364136223846793005 + 1442695040888963407
+			fy := float64(*seed%1000) / 1000
+			ds.MustAppend([]float64{cx + (fx-0.5)*spread, cy + (fy-0.5)*spread})
+		}
+	}
+	var seed uint64 = 1
+	rngAppend(200, 200, 400, 80, &seed)
+	rngAppend(700, 700, 400, 80, &seed)
+	rngAppend(500, 500, 100, 1000, &seed) // noise
+
+	cfg := Config{Alpha: 0.05, Beta: 0.25, Width: 60, MedoidSamples: 30, Seed: 1}
+	clusters, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("found %d clusters, want >= 2", len(clusters))
+	}
+	// The two largest clusters should sit near the two blobs and be
+	// 2-dimensional.
+	centers := [][2]float64{{200, 200}, {700, 700}}
+	matched := 0
+	for _, want := range centers {
+		for _, c := range clusters[:2] {
+			cx := (c.Box.Lo[0] + c.Box.Hi[0]) / 2
+			cy := (c.Box.Lo[1] + c.Box.Hi[1]) / 2
+			if math.Abs(cx-want[0]) < 80 && math.Abs(cy-want[1]) < 80 {
+				matched++
+				break
+			}
+		}
+	}
+	if matched != 2 {
+		t.Errorf("top clusters do not match the blobs: %+v", clusters[:2])
+	}
+	// Importance order: scores non-increasing.
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i].Score > clusters[i-1].Score {
+			t.Errorf("scores not sorted: %g before %g", clusters[i-1].Score, clusters[i].Score)
+		}
+	}
+}
+
+func TestRunFindsSubspaceCluster(t *testing.T) {
+	// A 1-dimensional bar in 3d space: constrained on dim 1, spanning dims
+	// 0 and 2 fully — MineClus must report Dims = [1].
+	ds := datagen.CrossN(3, 0.5, 3) // 3 bars, each constrained on one dim
+	cfg := Config{Alpha: 0.05, Beta: 0.25, Width: 30, MedoidSamples: 30, Seed: 2}
+	clusters, err := Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("no clusters found on Cross3d")
+	}
+	// Among the top-3 clusters, expect single-dimension subspace clusters.
+	subspace := 0
+	for _, c := range clusters {
+		if len(c.Dims) == 1 {
+			subspace++
+			// The cluster must span nearly the full domain on unused dims.
+			for _, d := range c.UnusedDims(3) {
+				if span := c.Box.Side(d); span < 0.9*datagen.DomainSide {
+					t.Errorf("subspace cluster spans only %g on unused dim %d", span, d)
+				}
+			}
+			// And be narrow on its used dim.
+			if side := c.Box.Side(c.Dims[0]); side > 2.5*cfg.Width {
+				t.Errorf("cluster side %g on used dim exceeds medoid box", side)
+			}
+		}
+	}
+	if subspace == 0 {
+		t.Error("no subspace (1-dim) clusters found on Cross3d")
+	}
+}
+
+func TestRunClusterInvariants(t *testing.T) {
+	ds := datagen.Gauss(0.02, 5) // 2,200 tuples
+	cfg := Config{Alpha: 0.02, Beta: 0.25, Width: 80, MedoidSamples: 15, Seed: 3}
+	clusters, err := Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("no clusters found on Gauss")
+	}
+	minSup := int(math.Ceil(cfg.Alpha * float64(ds.Table.Len())))
+	seen := map[int]bool{}
+	for ci, c := range clusters {
+		if len(c.Rows) < minSup {
+			t.Errorf("cluster %d has %d rows < alpha*n = %d", ci, len(c.Rows), minSup)
+		}
+		if len(c.Dims) < 1 {
+			t.Errorf("cluster %d has no relevant dimensions", ci)
+		}
+		for _, r := range c.Rows {
+			if seen[r] {
+				t.Fatalf("row %d assigned to two clusters", r)
+			}
+			seen[r] = true
+			// Every member is inside the cluster box.
+			p := ds.Table.Point(r)
+			if !c.Box.ContainsPoint(p) {
+				t.Fatalf("cluster %d: member %d outside box", ci, r)
+			}
+			// And within Width of the medoid on relevant dims.
+			for _, d := range c.Dims {
+				if math.Abs(p[d]-c.Medoid[d]) > cfg.Width+1e-9 {
+					t.Fatalf("cluster %d: member %d further than width on dim %d", ci, r, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	ds := datagen.Cross(0.1, 7)
+	cfg := Config{Alpha: 0.05, Beta: 0.25, Width: 30, MedoidSamples: 10, Seed: 42}
+	a, err := Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different cluster counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || len(a[i].Rows) != len(b[i].Rows) {
+			t.Errorf("cluster %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestRunMaxClusters(t *testing.T) {
+	ds := datagen.Gauss(0.02, 9)
+	cfg := Config{Alpha: 0.02, Beta: 0.25, Width: 80, MedoidSamples: 10, MaxClusters: 3, Seed: 4}
+	clusters, err := Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) > 3 {
+		t.Errorf("MaxClusters=3 but got %d clusters", len(clusters))
+	}
+}
+
+func TestRunAlphaControlsClusterCount(t *testing.T) {
+	// Table 2 shape: larger alpha -> fewer (only denser) clusters.
+	ds := datagen.Gauss(0.05, 11)
+	low, err := Run(ds.Table, Config{Alpha: 0.01, Beta: 0.25, Width: 80, MedoidSamples: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(ds.Table, Config{Alpha: 0.2, Beta: 0.25, Width: 80, MedoidSamples: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high) > len(low) {
+		t.Errorf("alpha=0.2 found %d clusters, alpha=0.01 found %d; expected fewer at higher alpha", len(high), len(low))
+	}
+}
+
+func TestRunSubsampledTransactions(t *testing.T) {
+	ds := datagen.Cross(0.2, 13)
+	cfg := Config{Alpha: 0.05, Beta: 0.25, Width: 30, MedoidSamples: 10, MaxTransactions: 500, Seed: 6}
+	clusters, err := Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Error("subsampled run found no clusters")
+	}
+}

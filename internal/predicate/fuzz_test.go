@@ -1,0 +1,29 @@
+package predicate
+
+import (
+	"testing"
+
+	"sthist/internal/geom"
+)
+
+// FuzzParse asserts the parser never panics and never emits a rectangle
+// outside the domain.
+func FuzzParse(f *testing.F) {
+	f.Add("x BETWEEN 10 AND 20")
+	f.Add("x >= 1 AND y <= 2 AND price = 3")
+	f.Add("x < -1.5e3 AND x > +2")
+	f.Add(`}{"!@#$%^&*()`)
+	f.Add("x between and and and")
+	f.Add("price price price")
+	cols := []string{"x", "y", "price"}
+	domain := geom.MustRect([]float64{0, 0, 0}, []float64{100, 100, 1000})
+	f.Fuzz(func(t *testing.T, input string) {
+		box, err := Parse(input, cols, domain)
+		if err != nil {
+			return
+		}
+		if !domain.Contains(box) {
+			t.Errorf("Parse(%q) escaped the domain: %v", input, box)
+		}
+	})
+}

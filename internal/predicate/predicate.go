@@ -1,0 +1,206 @@
+// Package predicate parses SQL-like conjunctive range predicates into query
+// rectangles. It backs the cmd/aqp tool and any caller that wants to express
+// queries textually:
+//
+//	x BETWEEN 10 AND 20 AND y >= 5 AND z < 7
+//	price >= 100 AND price <= 200
+//	color = 3
+//
+// Supported per-column conditions: BETWEEN a AND b, >=, <=, >, <, =.
+// Conditions on the same column intersect; columns without conditions span
+// their full domain extent. Equality on column c is interpreted as the
+// half-open interval [v, v+ulp]-style epsilon box for integer-coded
+// categorical data: [v, v+1) scaled never exceeds the domain.
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sthist/internal/geom"
+)
+
+// Parse converts a predicate over the named columns into a query rectangle
+// within domain. The grammar is a conjunction of column conditions joined by
+// AND (case-insensitive). An empty predicate returns the full domain.
+func Parse(input string, columns []string, domain geom.Rect) (geom.Rect, error) {
+	if len(columns) != domain.Dims() {
+		return geom.Rect{}, fmt.Errorf("predicate: %d columns for a %d-dimensional domain", len(columns), domain.Dims())
+	}
+	colIdx := make(map[string]int, len(columns))
+	for i, c := range columns {
+		colIdx[strings.ToLower(c)] = i
+	}
+	box := domain.Clone()
+
+	toks, err := tokenize(input)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	p := parser{toks: toks}
+	for !p.done() {
+		if err := p.condition(colIdx, &box, domain); err != nil {
+			return geom.Rect{}, err
+		}
+		if p.done() {
+			break
+		}
+		if !p.eat("and") {
+			return geom.Rect{}, fmt.Errorf("predicate: expected AND before %q", p.peek())
+		}
+	}
+	for d := range box.Lo {
+		if box.Lo[d] > box.Hi[d] {
+			return geom.Rect{}, fmt.Errorf("predicate: contradictory conditions on %q", columns[d])
+		}
+	}
+	return box, nil
+}
+
+// tokenize splits the input into lowercase words, numbers and operators.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '>' || c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, string(c)+"=")
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		case c == '=':
+			toks = append(toks, "=")
+			i++
+		case isWordByte(c) || c == '-' || c == '+':
+			j := i + 1
+			for j < len(s) && (isWordByte(s[j]) || s[j] == '.' || s[j] == '-' || s[j] == '+') {
+				j++
+			}
+			toks = append(toks, strings.ToLower(s[i:j]))
+			i = j
+		default:
+			return nil, fmt.Errorf("predicate: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return "<end>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) eat(t string) bool {
+	if !p.done() && p.toks[p.pos] == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("predicate: expected a number, got %q", t)
+	}
+	return v, nil
+}
+
+// condition parses one `col OP ...` clause and intersects it into box.
+func (p *parser) condition(colIdx map[string]int, box *geom.Rect, domain geom.Rect) error {
+	col := p.next()
+	d, ok := colIdx[col]
+	if !ok {
+		return fmt.Errorf("predicate: unknown column %q", col)
+	}
+	op := p.next()
+	switch op {
+	case "between":
+		lo, err := p.number()
+		if err != nil {
+			return err
+		}
+		if !p.eat("and") {
+			return fmt.Errorf("predicate: BETWEEN needs AND, got %q", p.peek())
+		}
+		hi, err := p.number()
+		if err != nil {
+			return err
+		}
+		if lo > hi {
+			return fmt.Errorf("predicate: BETWEEN bounds inverted on %q", col)
+		}
+		clampLo(box, d, lo)
+		clampHi(box, d, hi)
+	case ">=", ">":
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		clampLo(box, d, v)
+	case "<=", "<":
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		clampHi(box, d, v)
+	case "=":
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		clampLo(box, d, v)
+		// Integer-coded categorical convention: [v, v+1), clipped to the
+		// domain so boundary values keep a sliver of volume.
+		hi := v + 1
+		if hi > domain.Hi[d] {
+			hi = domain.Hi[d]
+		}
+		if hi < v {
+			hi = v
+		}
+		clampHi(box, d, hi)
+	default:
+		return fmt.Errorf("predicate: unknown operator %q after column %q", op, col)
+	}
+	return nil
+}
+
+func clampLo(box *geom.Rect, d int, v float64) {
+	if v > box.Lo[d] {
+		box.Lo[d] = v
+	}
+}
+
+func clampHi(box *geom.Rect, d int, v float64) {
+	if v < box.Hi[d] {
+		box.Hi[d] = v
+	}
+}

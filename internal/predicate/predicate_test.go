@@ -1,0 +1,140 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"sthist/internal/geom"
+)
+
+var cols = []string{"x", "y", "price"}
+
+func dom() geom.Rect {
+	return geom.MustRect([]float64{0, 0, 0}, []float64{100, 100, 1000})
+}
+
+func TestParseEmpty(t *testing.T) {
+	box, err := Parse("", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !box.Equal(dom()) {
+		t.Errorf("empty predicate = %v, want full domain", box)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	box, err := Parse("x BETWEEN 10 AND 20", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.MustRect([]float64{10, 0, 0}, []float64{20, 100, 1000})
+	if !box.Equal(want) {
+		t.Errorf("got %v, want %v", box, want)
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	box, err := Parse("x >= 10 AND x < 30 AND y <= 50 AND price BETWEEN 100 AND 200", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.MustRect([]float64{10, 0, 100}, []float64{30, 50, 200})
+	if !box.Equal(want) {
+		t.Errorf("got %v, want %v", box, want)
+	}
+}
+
+func TestParseEquality(t *testing.T) {
+	box, err := Parse("y = 7", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Lo[1] != 7 || box.Hi[1] != 8 {
+		t.Errorf("equality mapped to [%g, %g], want [7, 8]", box.Lo[1], box.Hi[1])
+	}
+	// Equality at the domain edge clips.
+	box, err = Parse("y = 100", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Hi[1] != 100 || box.Lo[1] != 100 {
+		t.Errorf("edge equality = [%g, %g]", box.Lo[1], box.Hi[1])
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	d := geom.MustRect([]float64{-50, -50, -50}, []float64{50, 50, 50})
+	box, err := Parse("x between -10 and -5 and y >= -2.5", cols, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Lo[0] != -10 || box.Hi[0] != -5 || box.Lo[1] != -2.5 {
+		t.Errorf("got %v", box)
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	a, err := Parse("X Between 1 AND 2 and PRICE >= 10", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("x between 1 and 2 and price >= 10", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("case sensitivity detected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"nope >= 1", "unknown column"},
+		{"x ~ 3", "unexpected character"},
+		{"x like 3", "unknown operator"},
+		{"x >= abc", "expected a number"},
+		{"x between 5 and 1", "inverted"},
+		{"x between 5 or 9", "BETWEEN needs AND"},
+		{"x >= 1 y <= 2", "expected AND"},
+		{"x >= 50 and x <= 10", "contradictory"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in, cols, dom())
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.in, err, c.want)
+		}
+	}
+	if _, err := Parse("x >= 1", []string{"x"}, dom()); err == nil {
+		t.Error("column/domain mismatch accepted")
+	}
+}
+
+func TestParseRepeatedColumnIntersects(t *testing.T) {
+	box, err := Parse("x >= 10 and x >= 20 and x <= 90 and x <= 80", cols, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Lo[0] != 20 || box.Hi[0] != 80 {
+		t.Errorf("repeated conditions gave [%g, %g], want [20, 80]", box.Lo[0], box.Hi[0])
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize("x>=1.5 AND y<-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x", ">=", "1.5", "and", "y", "<", "-2"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package quality evaluates subspace clustering output against generator
+// ground truth. The paper's predecessor work ([14], SSDBM 2011) selected
+// MineClus by comparing clustering algorithms as histogram initializers;
+// this package provides the standard object-based precision/recall/F1
+// measures (cf. Müller et al., PVLDB 2009) so the reproduction can sanity-
+// check that the clustering step finds the structure the generators planted.
+package quality
+
+import (
+	"fmt"
+	"sort"
+
+	"sthist/internal/datagen"
+	"sthist/internal/mineclus"
+)
+
+// Match describes how well one found cluster covers one true cluster.
+type Match struct {
+	Found     int     // index into the found slice
+	Truth     int     // index into the ground-truth slice
+	Precision float64 // fraction of found rows inside the true cluster's box
+	Recall    float64 // fraction of the true cluster's rows covered
+	F1        float64
+	DimsEqual bool // relevant-dimension sets match exactly
+}
+
+// Report aggregates clustering quality over a dataset.
+type Report struct {
+	Matches []Match
+	// CoveredTruth is the number of ground-truth clusters matched with
+	// F1 >= 0.5.
+	CoveredTruth int
+	// MeanF1 averages each truth cluster's best F1 (0 when unmatched).
+	MeanF1 float64
+	// DimPrecision is the fraction of matched clusters whose relevant
+	// dimension set equals the ground truth's.
+	DimPrecision float64
+}
+
+// Evaluate matches found clusters against the generator's ground truth.
+// Membership is judged geometrically: a table row belongs to a true cluster
+// when the generator assigned it there (rows are laid out contiguously per
+// cluster, noise last), and to a found cluster when MineClus listed it.
+func Evaluate(ds *datagen.Dataset, found []mineclus.Cluster) (*Report, error) {
+	if ds == nil || len(ds.Clusters) == 0 {
+		return nil, fmt.Errorf("quality: dataset has no ground-truth clusters")
+	}
+	// Row ranges per truth cluster (generators append clusters in order,
+	// noise at the end).
+	type span struct{ lo, hi int }
+	spans := make([]span, len(ds.Clusters))
+	at := 0
+	for i, c := range ds.Clusters {
+		spans[i] = span{at, at + c.Tuples}
+		at += c.Tuples
+	}
+
+	report := &Report{}
+	bestF1 := make([]float64, len(ds.Clusters))
+	bestMatch := make([]int, len(ds.Clusters))
+	for i := range bestMatch {
+		bestMatch[i] = -1
+	}
+	for fi, fc := range found {
+		// Count this found cluster's rows per truth cluster.
+		counts := make([]int, len(ds.Clusters))
+		for _, r := range fc.Rows {
+			// Binary search the spans (they are sorted, contiguous).
+			t := sort.Search(len(spans), func(i int) bool { return spans[i].hi > r })
+			if t < len(spans) && r >= spans[t].lo {
+				counts[t]++
+			}
+		}
+		for ti, n := range counts {
+			if n == 0 {
+				continue
+			}
+			prec := float64(n) / float64(len(fc.Rows))
+			rec := float64(n) / float64(ds.Clusters[ti].Tuples)
+			f1 := 0.0
+			if prec+rec > 0 {
+				f1 = 2 * prec * rec / (prec + rec)
+			}
+			if f1 > bestF1[ti] {
+				bestF1[ti] = f1
+				bestMatch[ti] = fi
+				_ = prec
+			}
+			if f1 >= 0.1 { // record non-trivial overlaps
+				report.Matches = append(report.Matches, Match{
+					Found: fi, Truth: ti,
+					Precision: prec, Recall: rec, F1: f1,
+					DimsEqual: dimsEqual(fc.Dims, ds.Clusters[ti].UsedDims),
+				})
+			}
+		}
+	}
+	sumF1 := 0.0
+	dimHits, matched := 0, 0
+	for ti, f1 := range bestF1 {
+		sumF1 += f1
+		if f1 >= 0.5 {
+			report.CoveredTruth++
+		}
+		if bestMatch[ti] >= 0 {
+			matched++
+			if dimsEqual(found[bestMatch[ti]].Dims, ds.Clusters[ti].UsedDims) {
+				dimHits++
+			}
+		}
+	}
+	report.MeanF1 = sumF1 / float64(len(ds.Clusters))
+	if matched > 0 {
+		report.DimPrecision = float64(dimHits) / float64(matched)
+	}
+	return report, nil
+}
+
+func dimsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

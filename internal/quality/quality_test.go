@@ -1,0 +1,120 @@
+package quality
+
+import (
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/mineclus"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	ds := &datagen.Dataset{}
+	if _, err := Evaluate(ds, nil); err == nil {
+		t.Error("dataset without ground truth accepted")
+	}
+}
+
+func TestEvaluatePerfectRecovery(t *testing.T) {
+	ds := datagen.Cross(0.1, 41) // 2 bars of 1000 rows, 200 noise
+	// Hand-build "found" clusters that exactly match the ground truth row
+	// spans.
+	var found []mineclus.Cluster
+	at := 0
+	for _, c := range ds.Clusters {
+		rows := make([]int, c.Tuples)
+		for i := range rows {
+			rows[i] = at + i
+		}
+		at += c.Tuples
+		found = append(found, mineclus.Cluster{
+			Dims: append([]int(nil), c.UsedDims...),
+			Rows: rows,
+			Box:  c.Box,
+		})
+	}
+	r, err := Evaluate(ds, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoveredTruth != len(ds.Clusters) {
+		t.Errorf("covered %d of %d truth clusters", r.CoveredTruth, len(ds.Clusters))
+	}
+	if r.MeanF1 < 0.999 {
+		t.Errorf("mean F1 = %g, want ~1", r.MeanF1)
+	}
+	if r.DimPrecision != 1 {
+		t.Errorf("dim precision = %g, want 1", r.DimPrecision)
+	}
+}
+
+func TestEvaluateHalfCluster(t *testing.T) {
+	ds := datagen.Cross(0.1, 42)
+	// One found cluster covering only half of truth cluster 0.
+	half := ds.Clusters[0].Tuples / 2
+	rows := make([]int, half)
+	for i := range rows {
+		rows[i] = i
+	}
+	found := []mineclus.Cluster{{Dims: ds.Clusters[0].UsedDims, Rows: rows}}
+	r, err := Evaluate(ds, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision 1, recall 0.5 -> F1 = 2/3 >= 0.5, so one truth covered.
+	if r.CoveredTruth != 1 {
+		t.Errorf("covered = %d, want 1", r.CoveredTruth)
+	}
+	var m *Match
+	for i := range r.Matches {
+		if r.Matches[i].Truth == 0 {
+			m = &r.Matches[i]
+		}
+	}
+	if m == nil {
+		t.Fatal("no match recorded for truth cluster 0")
+	}
+	if m.Precision < 0.999 || m.Recall < 0.49 || m.Recall > 0.51 {
+		t.Errorf("precision=%g recall=%g, want 1.0/0.5", m.Precision, m.Recall)
+	}
+}
+
+func TestEvaluateMineclusOnCross(t *testing.T) {
+	// End to end: MineClus should recover the Cross bars with decent F1 and
+	// the right subspace dimensions.
+	ds := datagen.Cross(0.25, 43) // 5,500 tuples
+	cfg := mineclus.Config{Alpha: 0.05, Beta: 0.25, Width: 30, MedoidSamples: 30, Seed: 1}
+	found, err := mineclus.Run(ds.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Evaluate(ds, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoveredTruth < 2 {
+		t.Errorf("covered %d of 2 bars (meanF1 %g)", r.CoveredTruth, r.MeanF1)
+	}
+	if r.DimPrecision < 0.5 {
+		t.Errorf("dim precision = %g; expected the bars' 1-dim subspaces found", r.DimPrecision)
+	}
+}
+
+func TestDimsEqual(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2}, []int{2, 1}, true},
+		{[]int{1}, []int{1, 2}, false},
+		{nil, nil, true},
+		{[]int{3}, []int{4}, false},
+	}
+	for _, c := range cases {
+		if got := dimsEqual(c.a, c.b); got != c.want {
+			t.Errorf("dimsEqual(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package stgrid implements a multidimensional ST-histogram in the spirit of
+// Aboulnaga and Chaudhuri ("Self-tuning histograms: building histograms
+// without looking at data", SIGMOD 1999) — the self-tuning predecessor that
+// STHoles was originally evaluated against. It serves as the second
+// self-tuning baseline of this reproduction: a fixed grid whose bucket
+// frequencies are refined from query feedback, with periodic restructuring
+// that splits high-frequency rows of buckets and merges low-frequency ones.
+//
+// The grid keeps per-dimension partition boundaries (a "grid histogram"):
+// bucket (i1,...,id) covers the cross product of per-dimension intervals.
+// After each query, the estimation error is distributed over the buckets
+// overlapping the query proportionally to their current frequency (the
+// paper's heuristic), damped by a learning rate. Restructuring every R
+// queries merges adjacent low-frequency partitions per dimension and splits
+// high-frequency ones to keep the partition count constant.
+package stgrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sthist/internal/geom"
+)
+
+// Config holds ST-histogram parameters.
+type Config struct {
+	// PartitionsPerDim is the grid resolution per dimension (default 8).
+	PartitionsPerDim int
+	// LearningRate damps frequency updates (paper's alpha, default 0.5).
+	LearningRate float64
+	// RestructureEvery triggers restructuring after that many feedback
+	// queries (default 200; 0 disables restructuring).
+	RestructureEvery int
+	// SplitThreshold: partitions holding more than this fraction of the
+	// total frequency are split during restructuring (default 0.1).
+	SplitThreshold float64
+}
+
+// DefaultConfig returns the defaults above.
+func DefaultConfig() Config {
+	return Config{PartitionsPerDim: 8, LearningRate: 0.5, RestructureEvery: 200, SplitThreshold: 0.1}
+}
+
+// Histogram is a self-tuning grid histogram.
+type Histogram struct {
+	domain geom.Rect
+	cfg    Config
+	// bounds[d] holds the partition boundaries of dimension d:
+	// len = partitions+1, ascending, bounds[d][0] = domain.Lo[d].
+	bounds [][]float64
+	// freq is the flattened bucket frequency array, row-major over
+	// dimensions in order.
+	freq    []float64
+	queries int
+}
+
+// New creates an ST-histogram over the domain holding totalTuples spread
+// uniformly.
+func New(domain geom.Rect, cfg Config, totalTuples float64) (*Histogram, error) {
+	if cfg.PartitionsPerDim < 2 {
+		return nil, fmt.Errorf("stgrid: partitions per dim must be >= 2, got %d", cfg.PartitionsPerDim)
+	}
+	if cfg.LearningRate <= 0 || cfg.LearningRate > 1 {
+		return nil, fmt.Errorf("stgrid: learning rate must be in (0,1], got %g", cfg.LearningRate)
+	}
+	if cfg.SplitThreshold <= 0 || cfg.SplitThreshold > 1 {
+		return nil, fmt.Errorf("stgrid: split threshold must be in (0,1], got %g", cfg.SplitThreshold)
+	}
+	if totalTuples < 0 || math.IsNaN(totalTuples) {
+		return nil, fmt.Errorf("stgrid: invalid total %g", totalTuples)
+	}
+	dims := domain.Dims()
+	if dims == 0 || domain.Volume() <= 0 {
+		return nil, fmt.Errorf("stgrid: domain %v has no volume", domain)
+	}
+	size := 1
+	for d := 0; d < dims; d++ {
+		size *= cfg.PartitionsPerDim
+		if size > 1<<22 {
+			return nil, fmt.Errorf("stgrid: %d^%d buckets too large", cfg.PartitionsPerDim, dims)
+		}
+	}
+	h := &Histogram{domain: domain.Clone(), cfg: cfg, bounds: make([][]float64, dims), freq: make([]float64, size)}
+	for d := 0; d < dims; d++ {
+		h.bounds[d] = make([]float64, cfg.PartitionsPerDim+1)
+		for i := 0; i <= cfg.PartitionsPerDim; i++ {
+			h.bounds[d][i] = domain.Lo[d] + domain.Side(d)*float64(i)/float64(cfg.PartitionsPerDim)
+		}
+	}
+	per := totalTuples / float64(size)
+	for i := range h.freq {
+		h.freq[i] = per
+	}
+	return h, nil
+}
+
+// MustNew panics on error.
+func MustNew(domain geom.Rect, cfg Config, totalTuples float64) *Histogram {
+	h, err := New(domain, cfg, totalTuples)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Buckets returns the total number of grid buckets.
+func (h *Histogram) Buckets() int { return len(h.freq) }
+
+// TotalTuples returns the stored frequency mass.
+func (h *Histogram) TotalTuples() float64 {
+	s := 0.0
+	for _, f := range h.freq {
+		s += f
+	}
+	return s
+}
+
+// cellWindow is the inclusive index window of partitions overlapping [lo,hi]
+// on dimension d, plus per-cell fractional overlaps.
+func (h *Histogram) window(d int, lo, hi float64) (int, int) {
+	b := h.bounds[d]
+	i := sort.SearchFloat64s(b, lo) - 1
+	if i < 0 {
+		i = 0
+	}
+	// SearchFloat64s returns first >= lo; partition i covers [b[i], b[i+1]).
+	for i > 0 && b[i] > lo {
+		i--
+	}
+	j := sort.SearchFloat64s(b, hi) - 1
+	if j >= len(b)-1 {
+		j = len(b) - 2
+	}
+	if j < i {
+		j = i
+	}
+	return i, j
+}
+
+// overlapFrac returns the fraction of partition p of dimension d covered by
+// [lo,hi].
+func (h *Histogram) overlapFrac(d, p int, lo, hi float64) float64 {
+	bLo, bHi := h.bounds[d][p], h.bounds[d][p+1]
+	l, r := math.Max(lo, bLo), math.Min(hi, bHi)
+	if r <= l {
+		if bHi == bLo && lo <= bLo && bLo <= hi {
+			return 1
+		}
+		return 0
+	}
+	if bHi == bLo {
+		return 1
+	}
+	return (r - l) / (bHi - bLo)
+}
+
+// forEachOverlap visits every bucket overlapping q with its fractional
+// volume overlap.
+func (h *Histogram) forEachOverlap(q geom.Rect, visit func(flat int, frac float64)) {
+	dims := h.domain.Dims()
+	los := make([]int, dims)
+	his := make([]int, dims)
+	for d := 0; d < dims; d++ {
+		if q.Hi[d] < h.domain.Lo[d] || q.Lo[d] > h.domain.Hi[d] {
+			return
+		}
+		los[d], his[d] = h.window(d, q.Lo[d], q.Hi[d])
+	}
+	idx := append([]int(nil), los...)
+	for {
+		frac := 1.0
+		flat := 0
+		for d := 0; d < dims; d++ {
+			frac *= h.overlapFrac(d, idx[d], q.Lo[d], q.Hi[d])
+			flat = flat*h.partitions(d) + idx[d]
+		}
+		if frac > 0 {
+			visit(flat, frac)
+		}
+		d := dims - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= his[d] {
+				break
+			}
+			idx[d] = los[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func (h *Histogram) partitions(d int) int { return len(h.bounds[d]) - 1 }
+
+// Estimate returns the estimated cardinality of q under per-bucket
+// uniformity.
+func (h *Histogram) Estimate(q geom.Rect) float64 {
+	if q.Dims() != h.domain.Dims() {
+		return 0
+	}
+	est := 0.0
+	h.forEachOverlap(q, func(flat int, frac float64) {
+		est += h.freq[flat] * frac
+	})
+	return est
+}
+
+// Feedback refines the bucket frequencies with the true cardinality of an
+// executed query: the estimation error is distributed over the overlapping
+// buckets proportionally to their contribution, damped by the learning rate
+// (the ST-histogram update rule).
+func (h *Histogram) Feedback(q geom.Rect, actual float64) {
+	if q.Dims() != h.domain.Dims() || actual < 0 || math.IsNaN(actual) || math.IsInf(actual, 0) {
+		return
+	}
+	est := 0.0
+	var hits []bucketHit
+	h.forEachOverlap(q, func(flat int, frac float64) {
+		est += h.freq[flat] * frac
+		hits = append(hits, bucketHit{flat, frac})
+	})
+	if len(hits) == 0 {
+		return
+	}
+	diff := h.cfg.LearningRate * (actual - est)
+	// Distribute proportionally to each bucket's current contribution; when
+	// every contribution is zero, distribute by fractional overlap.
+	weight := 0.0
+	for _, x := range hits {
+		weight += h.freq[x.flat] * x.frac
+	}
+	for _, x := range hits {
+		var share float64
+		if weight > 0 {
+			share = h.freq[x.flat] * x.frac / weight
+		} else {
+			share = x.frac / fracSum(hits)
+		}
+		h.freq[x.flat] += diff * share
+		if h.freq[x.flat] < 0 {
+			h.freq[x.flat] = 0
+		}
+	}
+
+	h.queries++
+	if h.cfg.RestructureEvery > 0 && h.queries%h.cfg.RestructureEvery == 0 {
+		h.restructure()
+	}
+}
+
+// bucketHit records one bucket's fractional overlap with a query.
+type bucketHit struct {
+	flat int
+	frac float64
+}
+
+func fracSum(hits []bucketHit) float64 {
+	s := 0.0
+	for _, x := range hits {
+		s += x.frac
+	}
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// restructure rebalances each dimension's partitioning: the marginal
+// frequency distribution per dimension is computed, runs of low-frequency
+// partitions are merged and high-frequency partitions split, keeping the
+// partition count fixed.
+func (h *Histogram) restructure() {
+	dims := h.domain.Dims()
+	total := h.TotalTuples()
+	if total <= 0 {
+		return
+	}
+	for d := 0; d < dims; d++ {
+		k := h.partitions(d)
+		marg := h.marginal(d)
+		// Build the empirical CDF over the current partitioning and re-cut
+		// it into k equal-mass partitions (equivalent to iterated
+		// merge/split until balanced).
+		newBounds := make([]float64, k+1)
+		newBounds[0] = h.domain.Lo[d]
+		newBounds[k] = h.domain.Hi[d]
+		cum := 0.0
+		target := 1
+		for p := 0; p < k && target < k; p++ {
+			pLo, pHi := h.bounds[d][p], h.bounds[d][p+1]
+			for target < k && cum+marg[p] >= total*float64(target)/float64(k) {
+				want := total*float64(target)/float64(k) - cum
+				fr := 0.0
+				if marg[p] > 0 {
+					fr = want / marg[p]
+				}
+				newBounds[target] = pLo + fr*(pHi-pLo)
+				target++
+			}
+			cum += marg[p]
+		}
+		for t := target; t < k; t++ {
+			newBounds[t] = h.domain.Hi[d]
+		}
+		sort.Float64s(newBounds)
+		h.repartition(d, newBounds)
+	}
+}
+
+// marginal returns the per-partition frequency sums along dimension d.
+func (h *Histogram) marginal(d int) []float64 {
+	k := h.partitions(d)
+	out := make([]float64, k)
+	dims := h.domain.Dims()
+	idx := make([]int, dims)
+	for flat, f := range h.freq {
+		// Decode index d of flat.
+		rest := flat
+		for dd := dims - 1; dd >= 0; dd-- {
+			idx[dd] = rest % h.partitions(dd)
+			rest /= h.partitions(dd)
+		}
+		out[idx[d]] += f
+	}
+	return out
+}
+
+// repartition redistributes frequencies onto new boundaries for dimension d
+// assuming uniformity inside old partitions.
+func (h *Histogram) repartition(d int, newBounds []float64) {
+	dims := h.domain.Dims()
+	k := h.partitions(d)
+	newFreq := make([]float64, len(h.freq))
+	// For every old bucket, split its frequency over the new partitions of
+	// dimension d proportionally to interval overlap.
+	idx := make([]int, dims)
+	for flat, f := range h.freq {
+		if f == 0 {
+			continue
+		}
+		rest := flat
+		for dd := dims - 1; dd >= 0; dd-- {
+			idx[dd] = rest % h.partitions(dd)
+			rest /= h.partitions(dd)
+		}
+		oldLo, oldHi := h.bounds[d][idx[d]], h.bounds[d][idx[d]+1]
+		width := oldHi - oldLo
+		for np := 0; np < k; np++ {
+			l := math.Max(oldLo, newBounds[np])
+			r := math.Min(oldHi, newBounds[np+1])
+			if r <= l {
+				continue
+			}
+			fr := 1.0
+			if width > 0 {
+				fr = (r - l) / width
+			}
+			// Rebuild the flat index with partition np on dimension d.
+			nf := 0
+			for dd := 0; dd < dims; dd++ {
+				p := idx[dd]
+				if dd == d {
+					p = np
+				}
+				nf = nf*h.partitions(dd) + p
+			}
+			newFreq[nf] += f * fr
+			if width <= 0 {
+				break // degenerate old partition: all mass to the first overlap
+			}
+		}
+	}
+	h.bounds[d] = newBounds
+	h.freq = newFreq
+}

@@ -1,0 +1,159 @@
+package stgrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sthist/internal/geom"
+)
+
+func dom2() geom.Rect { return geom.MustRect([]float64{0, 0}, []float64{100, 100}) }
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{PartitionsPerDim: 1, LearningRate: 0.5, SplitThreshold: 0.1},
+		{PartitionsPerDim: 8, LearningRate: 0, SplitThreshold: 0.1},
+		{PartitionsPerDim: 8, LearningRate: 1.5, SplitThreshold: 0.1},
+		{PartitionsPerDim: 8, LearningRate: 0.5, SplitThreshold: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(dom2(), cfg, 100); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(dom2(), DefaultConfig(), -1); err == nil {
+		t.Error("negative total accepted")
+	}
+	if _, err := New(geom.MustRect([]float64{0}, []float64{0}), DefaultConfig(), 1); err == nil {
+		t.Error("zero-volume domain accepted")
+	}
+	// Too many buckets.
+	big := DefaultConfig()
+	big.PartitionsPerDim = 64
+	if _, err := New(geom.UnitRect(6), big, 1); err == nil {
+		t.Error("oversized grid accepted")
+	}
+}
+
+func TestEstimateUniformStart(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 400)
+	if got := h.Estimate(dom2()); math.Abs(got-400) > 1e-9 {
+		t.Errorf("domain estimate = %g, want 400", got)
+	}
+	if got := h.Estimate(geom.MustRect([]float64{0, 0}, []float64{50, 50})); math.Abs(got-100) > 1e-9 {
+		t.Errorf("quarter estimate = %g, want 100", got)
+	}
+	if got := h.Estimate(geom.MustRect([]float64{200, 200}, []float64{300, 300})); got != 0 {
+		t.Errorf("outside estimate = %g, want 0", got)
+	}
+	if got := h.Estimate(geom.MustRect([]float64{0}, []float64{1})); got != 0 {
+		t.Errorf("dim mismatch estimate = %g, want 0", got)
+	}
+	if h.Buckets() != 64 {
+		t.Errorf("Buckets = %d, want 64", h.Buckets())
+	}
+}
+
+func TestFeedbackMovesTowardTruth(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 1000)
+	q := geom.MustRect([]float64{0, 0}, []float64{25, 25})
+	truth := 800.0 // the corner actually holds most of the data
+	before := math.Abs(h.Estimate(q) - truth)
+	for i := 0; i < 30; i++ {
+		h.Feedback(q, truth)
+	}
+	after := math.Abs(h.Estimate(q) - truth)
+	if after > before/4 {
+		t.Errorf("feedback did not converge: error %g -> %g", before, after)
+	}
+}
+
+func TestFeedbackIgnoresInvalid(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 100)
+	h.Feedback(geom.MustRect([]float64{0}, []float64{1}), 10)
+	h.Feedback(geom.MustRect([]float64{0, 0}, []float64{10, 10}), -5)
+	if got := h.Estimate(dom2()); math.Abs(got-100) > 1e-9 {
+		t.Errorf("invalid feedback changed the histogram: %g", got)
+	}
+}
+
+func TestRestructureAdaptsBoundaries(t *testing.T) {
+	// All mass sits in a thin slab x in [0,5]. A fixed grid cannot separate
+	// it from the rest of its first column (partial-overlap feedback
+	// inflates the whole bucket — the very weakness STHoles fixes), but
+	// restructuring must shrink that error by moving partition boundaries
+	// toward the slab.
+	train := func(every int) *Histogram {
+		cfg := DefaultConfig()
+		cfg.RestructureEvery = every
+		h := MustNew(dom2(), cfg, 1000)
+		slab := geom.MustRect([]float64{0, 0}, []float64{5, 100})
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				h.Feedback(slab, 1000)
+			} else {
+				lo := 5 + rng.Float64()*80
+				h.Feedback(geom.MustRect([]float64{lo, 0}, []float64{lo + 10, 100}), 0)
+			}
+		}
+		return h
+	}
+	fixed := train(0)
+	adaptive := train(50)
+	slab := geom.MustRect([]float64{0, 0}, []float64{5, 100})
+	rest := geom.MustRect([]float64{5, 0}, []float64{100, 100})
+	if got := adaptive.Estimate(slab); got < 500 {
+		t.Errorf("slab estimate = %g after training, want most of the mass", got)
+	}
+	if fa, ff := adaptive.Estimate(rest), fixed.Estimate(rest); fa >= ff {
+		t.Errorf("restructuring did not reduce the spill-over error: %g (adaptive) vs %g (fixed)", fa, ff)
+	}
+	// Boundaries on dimension 0 concentrated near the slab: the first
+	// partition must end well before the uniform cut at 12.5.
+	if adaptive.bounds[0][1] > 12.5 {
+		t.Errorf("restructuring did not move boundaries toward the slab: %v", adaptive.bounds[0][:3])
+	}
+}
+
+func TestQuickMassConservedWithoutFeedbackError(t *testing.T) {
+	// Feeding back the histogram's own estimates must not change anything.
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		h := MustNew(dom2(), DefaultConfig(), 500)
+		for i := 0; i < 20; i++ {
+			lo := geom.Point{rng.Float64() * 90, rng.Float64() * 90}
+			q := geom.MustRect(lo, geom.Point{lo[0] + 10, lo[1] + 10})
+			h.Feedback(q, h.Estimate(q))
+		}
+		return math.Abs(h.TotalTuples()-500) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEstimateNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := MustNew(dom2(), DefaultConfig(), 300)
+	f := func() bool {
+		lo := geom.Point{rng.Float64() * 90, rng.Float64() * 90}
+		q := geom.MustRect(lo, geom.Point{lo[0] + rng.Float64()*10, lo[1] + rng.Float64()*10})
+		h.Feedback(q, rng.Float64()*100)
+		return h.Estimate(q) >= 0 && h.TotalTuples() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeedbackIgnoresNonFinite(t *testing.T) {
+	h := MustNew(dom2(), DefaultConfig(), 100)
+	h.Feedback(geom.MustRect([]float64{0, 0}, []float64{10, 10}), math.NaN())
+	h.Feedback(geom.MustRect([]float64{0, 0}, []float64{10, 10}), math.Inf(1))
+	if got := h.TotalTuples(); math.IsNaN(got) || math.Abs(got-100) > 1e-9 {
+		t.Errorf("non-finite feedback changed mass to %g", got)
+	}
+}

@@ -1,0 +1,67 @@
+package sthole
+
+import (
+	"math/rand"
+	"testing"
+
+	"sthist/internal/geom"
+)
+
+// trained builds a histogram with the given budget over a clustered
+// idealized distribution.
+func trained(budget, queries int) (*Histogram, geom.Rect, CountFunc) {
+	dom := rect2(0, 0, 1000, 1000)
+	cl := rect2(200, 300, 500, 700)
+	count := uniformCluster(cl, 100000)
+	h := MustNew(dom, budget, 100000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < queries; i++ {
+		c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		h.Drill(geom.CubeAt(c, 30+rng.Float64()*100, dom), count)
+	}
+	return h, dom, count
+}
+
+// BenchmarkEstimate measures cardinality estimation against a full
+// (budget-saturated) histogram — the optimizer-facing hot path.
+func BenchmarkEstimate(b *testing.B) {
+	for _, budget := range []int{50, 250} {
+		b.Run(benchName(budget), func(b *testing.B) {
+			h, dom, _ := trained(budget, 400)
+			rng := rand.New(rand.NewSource(2))
+			qs := make([]geom.Rect, 256)
+			for i := range qs {
+				c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+				qs[i] = geom.CubeAt(c, 100, dom)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Estimate(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+// BenchmarkDrill measures one feedback round (drill + budget enforcement).
+func BenchmarkDrill(b *testing.B) {
+	for _, budget := range []int{50, 250} {
+		b.Run(benchName(budget), func(b *testing.B) {
+			h, dom, count := trained(budget, 400)
+			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+				h.Drill(geom.CubeAt(c, 30+rng.Float64()*100, dom), count)
+			}
+		})
+	}
+}
+
+func benchName(budget int) string {
+	if budget == 50 {
+		return "buckets=50"
+	}
+	return "buckets=250"
+}

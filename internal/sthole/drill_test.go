@@ -1,0 +1,282 @@
+package sthole
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+)
+
+// counterFunc adapts an index.Counter to CountFunc.
+func counterFunc(c index.Counter) CountFunc {
+	return func(r geom.Rect) float64 { return float64(c.Count(r)) }
+}
+
+// uniformCluster returns a CountFunc describing an idealized continuous
+// uniform cluster: count(r) = freq * vol(r ∩ box) / vol(box).
+func uniformCluster(box geom.Rect, freq float64) CountFunc {
+	return func(r geom.Rect) float64 {
+		return freq * box.IntersectionVolume(r) / box.Volume()
+	}
+}
+
+func TestDrillFirstQuery(t *testing.T) {
+	h := MustNew(rect2(0, 0, 10, 10), 5, 100)
+	q := rect2(0, 0, 5, 5)
+	h.Drill(q, func(geom.Rect) float64 { return 80 })
+	if h.BucketCount() != 1 {
+		t.Fatalf("BucketCount = %d, want 1", h.BucketCount())
+	}
+	b := h.root.children[0]
+	if !b.box.Equal(q) {
+		t.Errorf("drilled box = %v, want %v", b.box, q)
+	}
+	if b.freq != 80 {
+		t.Errorf("drilled freq = %g, want 80", b.freq)
+	}
+	if h.root.freq != 20 {
+		t.Errorf("root freq = %g, want 20", h.root.freq)
+	}
+	if got := h.Estimate(q); math.Abs(got-80) > 1e-9 {
+		t.Errorf("Estimate(q) = %g after drilling", got)
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrillSkipsExactEstimates(t *testing.T) {
+	h := MustNew(rect2(0, 0, 10, 10), 5, 100)
+	// The estimate for this query is exactly 25 under uniformity; feedback
+	// agreeing with it must not spend a bucket.
+	h.Drill(rect2(0, 0, 5, 5), func(geom.Rect) float64 { return 25 })
+	if h.BucketCount() != 0 {
+		t.Errorf("BucketCount = %d, want 0 (drill should be skipped)", h.BucketCount())
+	}
+	if h.Stats.SkippedExactDrills == 0 {
+		t.Error("skip counter not incremented")
+	}
+}
+
+func TestDrillWholeDomainRefreshesRoot(t *testing.T) {
+	h := MustNew(rect2(0, 0, 10, 10), 5, 0)
+	h.Drill(rect2(0, 0, 10, 10), func(geom.Rect) float64 { return 500 })
+	if h.BucketCount() != 0 {
+		t.Errorf("BucketCount = %d, want 0 (whole-bucket refresh)", h.BucketCount())
+	}
+	if h.root.freq != 500 {
+		t.Errorf("root freq = %g, want 500", h.root.freq)
+	}
+}
+
+func TestDrillShrinksAgainstChildren(t *testing.T) {
+	// Existing hole [0,4]x[0,4]; query [2,6]x[0,4] partially overlaps it.
+	// The candidate in the root must be shrunk to [4,6]x[0,4].
+	h := MustNew(rect2(0, 0, 10, 10), 5, 90)
+	h.addChild(h.root, rect2(0, 0, 4, 4), 10)
+	counts := func(r geom.Rect) float64 {
+		// 10 tuples uniform in the hole, 90 uniform in the rest.
+		inHole := 10 * r.IntersectionVolume(rect2(0, 0, 4, 4)) / 16
+		rest := 90 * (r.Volume() - r.IntersectionVolume(rect2(0, 0, 4, 4))) / 84
+		return inHole + rest
+	}
+	h.Drill(rect2(2, 0, 6, 4), counts)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The new bucket (if any) must not overlap the pre-existing hole.
+	hole := rect2(0, 0, 4, 4)
+	for _, b := range h.Buckets() {
+		if b == h.root || b.box.Equal(hole) {
+			continue
+		}
+		if b.box.IntersectsOpen(hole) {
+			t.Errorf("drilled bucket %v overlaps existing hole", b.box)
+		}
+		if !rect2(4, 0, 6, 4).Contains(b.box) {
+			t.Errorf("drilled bucket %v outside shrunk candidate [4,6]x[0,4]", b.box)
+		}
+	}
+}
+
+func TestDrillMovesEnclosedChildren(t *testing.T) {
+	// An existing small hole inside the query area becomes a child of the
+	// new bucket.
+	h := MustNew(rect2(0, 0, 10, 10), 5, 90)
+	small := h.addChild(h.root, rect2(1, 1, 2, 2), 10)
+	h.Drill(rect2(0, 0, 5, 5), func(r geom.Rect) float64 {
+		// All 100 tuples inside [0,5]x[0,5]: 10 in the small hole, 90 around.
+		if r.Contains(rect2(0, 0, 5, 5)) || r.Equal(rect2(0, 0, 5, 5)) {
+			return 100
+		}
+		in := 10 * r.IntersectionVolume(rect2(1, 1, 2, 2))
+		out := 90 * (r.IntersectionVolume(rect2(0, 0, 5, 5)) - r.IntersectionVolume(rect2(1, 1, 2, 2))) / 24
+		return in + out
+	})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if small.parent == h.root {
+		t.Error("enclosed child was not moved under the new bucket")
+	}
+	if small.parent == nil || !small.parent.box.Equal(rect2(0, 0, 5, 5)) {
+		t.Errorf("small hole re-parented to %v", small.parent)
+	}
+	// New bucket freq excludes the moved child's tuples: 100 - 10 = 90.
+	if got := small.parent.freq; math.Abs(got-90) > 1e-9 {
+		t.Errorf("new bucket freq = %g, want 90", got)
+	}
+}
+
+func TestDrillRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := dataset.MustNew("x", "y")
+	for i := 0; i < 2000; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	kt, err := index.BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustNew(rect2(0, 0, 10, 10), 8, float64(tab.Len()))
+	count := counterFunc(kt)
+	for i := 0; i < 200; i++ {
+		c := geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+		q := geom.CubeAt(c, 1+rng.Float64()*2, rect2(0, 0, 10, 10))
+		h.Drill(q, count)
+		if h.BucketCount() > h.MaxBuckets() {
+			t.Fatalf("budget violated after query %d: %d > %d", i, h.BucketCount(), h.MaxBuckets())
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("after query %d: %v", i, err)
+		}
+	}
+	if h.Stats.Drills == 0 || h.Stats.Queries != 200 {
+		t.Errorf("stats: %+v", h.Stats)
+	}
+}
+
+func TestDrillLearnsUniformCluster(t *testing.T) {
+	// A single dense cluster with idealized uniform feedback: after training
+	// with queries that tile the cluster, the estimate for the cluster
+	// improves dramatically over the untrained histogram.
+	dom := rect2(0, 0, 100, 100)
+	cluster := rect2(40, 40, 60, 60)
+	count := uniformCluster(cluster, 10000)
+	h := MustNew(dom, 20, 10000)
+	before := math.Abs(h.Estimate(cluster) - 10000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		h.Drill(geom.CubeAt(c, 10, dom), count)
+	}
+	after := math.Abs(h.Estimate(cluster) - 10000)
+	if after > before/4 {
+		t.Errorf("error before=%g after=%g: self-tuning failed to learn the cluster", before, after)
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrillOutsideDomainIgnored(t *testing.T) {
+	h := MustNew(rect2(0, 0, 10, 10), 5, 100)
+	h.Drill(rect2(20, 20, 30, 30), func(geom.Rect) float64 { return 50 })
+	if h.BucketCount() != 0 || h.Stats.Queries != 0 {
+		t.Error("query outside the domain was processed")
+	}
+	h.Drill(geom.MustRect([]float64{0}, []float64{1}), func(geom.Rect) float64 { return 1 })
+	if h.Stats.Queries != 0 {
+		t.Error("dimension-mismatched query was processed")
+	}
+}
+
+func TestDrillNegativeFeedbackClamped(t *testing.T) {
+	h := MustNew(rect2(0, 0, 10, 10), 5, 10)
+	h.Drill(rect2(0, 0, 5, 5), func(geom.Rect) float64 { return -3 })
+	if err := h.Validate(); err != nil {
+		t.Errorf("negative feedback corrupted the histogram: %v", err)
+	}
+}
+
+// TestGoldenDrillSequence pins the exact tree produced by a fixed drill
+// sequence, guarding the drilling/merging implementation against silent
+// behavioral drift.
+func TestGoldenDrillSequence(t *testing.T) {
+	h := MustNew(rect2(0, 0, 100, 100), 3, 1000)
+	cluster := rect2(20, 20, 60, 60)
+	count := uniformCluster(cluster, 1000)
+	for _, q := range []geom.Rect{
+		rect2(0, 0, 50, 50),
+		rect2(25, 25, 75, 75),
+		rect2(10, 10, 30, 30),
+		rect2(40, 40, 80, 80),
+		rect2(20, 20, 60, 60),
+	} {
+		h.Drill(q, count)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h.Dump(&buf)
+	got := buf.String()
+	want := `[0,100]x[0,100] freq=187.5
+  [0,50]x[0,50] freq=0.0
+    [20,50]x[20,50] freq=562.5
+  [50,60]x[20,60] freq=250.0
+` // pinned from the current, validated implementation
+	if got != want {
+		t.Errorf("tree drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDrillIgnoresNonFiniteFeedback(t *testing.T) {
+	h := MustNew(rect2(0, 0, 10, 10), 5, 100)
+	h.Drill(rect2(0, 0, 5, 5), func(geom.Rect) float64 { return math.NaN() })
+	h.Drill(rect2(5, 5, 9, 9), func(geom.Rect) float64 { return math.Inf(1) })
+	if h.BucketCount() != 0 {
+		t.Errorf("non-finite feedback created %d buckets", h.BucketCount())
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("non-finite feedback corrupted the histogram: %v", err)
+	}
+	if got := h.Estimate(rect2(0, 0, 10, 10)); math.IsNaN(got) {
+		t.Error("NaN leaked into estimates")
+	}
+}
+
+// TestDrillAdversarialFeedback: a feedback source returning contradictory
+// garbage (counts inconsistent across overlapping queries, larger than the
+// table, wildly varying) must never violate the structural invariants.
+func TestDrillAdversarialFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	dom := rect2(0, 0, 100, 100)
+	h := MustNew(dom, 12, 500)
+	adversary := func(r geom.Rect) float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return -1e9
+		case 1:
+			return 1e12
+		case 2:
+			return rng.Float64()
+		default:
+			return rng.NormFloat64() * 1e6
+		}
+	}
+	for i := 0; i < 300; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		h.Drill(geom.CubeAt(c, 1+rng.Float64()*40, dom), adversary)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("after adversarial query %d: %v", i, err)
+		}
+	}
+	if est := h.Estimate(dom); est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+		t.Errorf("estimate degenerated to %g", est)
+	}
+}

@@ -1,0 +1,163 @@
+package sthole
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sthist/internal/geom"
+)
+
+// This file provides the introspection the §5.3 experiments need (dumping
+// the histogram structure and looking for subspace buckets) plus JSON
+// serialization so histograms can be stored and reloaded.
+
+// subspaceTol is the relative tolerance for "spans the full domain": a
+// bucket side counts as full-span when it covers at least this fraction of
+// the root's extent on that dimension.
+const subspaceTol = 0.999
+
+// SubspaceDims returns the 0-based dimensions on which bucket b spans
+// (almost) the full domain, i.e. the dimensions the bucket does not use. A
+// non-root bucket with at least one such dimension is a subspace bucket.
+func (h *Histogram) SubspaceDims(b *Bucket) []int {
+	var dims []int
+	for d := 0; d < h.dims; d++ {
+		rootSide := h.root.box.Side(d)
+		if rootSide <= 0 {
+			continue
+		}
+		if b.box.Side(d) >= subspaceTol*rootSide {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+// SubspaceBuckets returns the non-root buckets that span the full domain on
+// at least one (but not every) dimension — the "subspace buckets" whose
+// survival §5.3 tracks.
+func (h *Histogram) SubspaceBuckets() []*Bucket {
+	var out []*Bucket
+	for _, b := range h.Buckets() {
+		if b == h.root {
+			continue
+		}
+		if n := len(h.SubspaceDims(b)); n >= 1 && n < h.dims {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable rendering of the bucket tree to w.
+func (h *Histogram) Dump(w io.Writer) {
+	var walk func(b *Bucket, depth int)
+	walk = func(b *Bucket, depth int) {
+		fmt.Fprintf(w, "%s%s freq=%.1f\n", strings.Repeat("  ", depth), b.box, b.freq)
+		for _, c := range b.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(h.root, 0)
+}
+
+// bucketJSON is the serialized form of one bucket.
+type bucketJSON struct {
+	Lo       []float64    `json:"lo"`
+	Hi       []float64    `json:"hi"`
+	Freq     float64      `json:"freq"`
+	Children []bucketJSON `json:"children,omitempty"`
+}
+
+// histogramJSON is the serialized form of a histogram.
+type histogramJSON struct {
+	MaxBuckets int        `json:"max_buckets"`
+	Root       bucketJSON `json:"root"`
+}
+
+func toJSON(b *Bucket) bucketJSON {
+	j := bucketJSON{Lo: b.box.Lo, Hi: b.box.Hi, Freq: b.freq}
+	for _, c := range b.children {
+		j.Children = append(j.Children, toJSON(c))
+	}
+	return j
+}
+
+// MarshalJSON serializes the histogram structure.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{MaxBuckets: h.maxBuckets, Root: toJSON(h.root)})
+}
+
+// UnmarshalJSON reconstructs a histogram serialized by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.MaxBuckets < 1 {
+		return fmt.Errorf("sthole: serialized budget %d invalid", j.MaxBuckets)
+	}
+	root, n, err := fromJSON(j.Root)
+	if err != nil {
+		return err
+	}
+	h.root = root
+	h.maxBuckets = j.MaxBuckets
+	h.count = n - 1
+	h.dims = root.box.Dims()
+	h.frozen = false
+	h.mergeCache = make(map[*Bucket]*parentMergeEntry)
+	h.sibCache = make(map[*Bucket]*siblingMergeEntry)
+	h.Stats = Stats{}
+	return h.Validate()
+}
+
+func fromJSON(j bucketJSON) (*Bucket, int, error) {
+	box, err := geom.NewRect(j.Lo, j.Hi)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sthole: deserializing bucket: %w", err)
+	}
+	b := &Bucket{box: box, freq: j.Freq}
+	n := 1
+	for _, cj := range j.Children {
+		c, cn, err := fromJSON(cj)
+		if err != nil {
+			return nil, 0, err
+		}
+		b.attach(c)
+		n += cn
+	}
+	return b, n, nil
+}
+
+// GobEncode implements gob.GobEncoder via the JSON form, so histograms can
+// be persisted with encoding/gob despite their unexported tree fields.
+func (h *Histogram) GobEncode() ([]byte, error) { return h.MarshalJSON() }
+
+// GobDecode implements gob.GobDecoder.
+func (h *Histogram) GobDecode(data []byte) error { return h.UnmarshalJSON(data) }
+
+// Clone returns a deep copy of the histogram (structure and frequencies;
+// stats and caches start fresh). Used by experiments that train one
+// histogram several ways from the same starting point.
+func (h *Histogram) Clone() *Histogram {
+	var cp func(b *Bucket) *Bucket
+	cp = func(b *Bucket) *Bucket {
+		nb := &Bucket{box: b.box.Clone(), freq: b.freq}
+		for _, c := range b.children {
+			nb.attach(cp(c))
+		}
+		return nb
+	}
+	return &Histogram{
+		root:       cp(h.root),
+		maxBuckets: h.maxBuckets,
+		count:      h.count,
+		dims:       h.dims,
+		frozen:     h.frozen,
+		mergeCache: make(map[*Bucket]*parentMergeEntry),
+		sibCache:   make(map[*Bucket]*siblingMergeEntry),
+	}
+}

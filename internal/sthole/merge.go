@@ -1,0 +1,306 @@
+package sthole
+
+import (
+	"math"
+
+	"sthist/internal/geom"
+)
+
+// This file implements STHoles bucket merging (§2.3 of the paper, §4.2.2 of
+// Bruno et al.). When drilling pushes the histogram over its budget, the
+// merge with the lowest penalty (Eq. 2, evaluated in closed form under the
+// uniformity assumption) is applied repeatedly until the budget holds.
+//
+// Two merge kinds exist:
+//
+//   - parent-child: the child's tuples are absorbed into the parent and the
+//     child's children are promoted.
+//   - sibling-sibling: two children of the same parent are replaced by a new
+//     bucket covering the minimal rectangle that encloses both, extended
+//     until it does not partially intersect any other sibling (Fig. 3);
+//     enclosed siblings become children of the new bucket.
+//
+// Finding the cheapest merge naively costs O(B^2) penalty evaluations per
+// merge. The histogram instead caches, per bucket, the penalty of merging it
+// into its parent, and per parent, the best sibling merge among its
+// children; drills and merges invalidate only the entries they affect
+// (touch), so steady-state maintenance is cheap. For parents with very many
+// children the sibling search is restricted to each child's nearest sibling
+// by box-center distance — with hundreds of siblings the exhaustive pair
+// scan is prohibitively slow, and distant pairs produce huge extended boxes
+// whose penalties never win anyway.
+
+// parentMergeEntry caches the penalty of merging the key bucket into its
+// parent.
+type parentMergeEntry struct {
+	penalty float64
+}
+
+// siblingMergeEntry caches the best sibling-sibling merge among the key
+// bucket's children. b1 == nil means no feasible sibling merge exists.
+type siblingMergeEntry struct {
+	b1, b2  *Bucket
+	penalty float64
+}
+
+// exhaustivePairLimit is the child count up to which all sibling pairs are
+// evaluated; above it, only nearest-neighbor pairs are considered.
+const exhaustivePairLimit = 32
+
+// touch invalidates every cached merge penalty that depends on b's frequency
+// or children.
+func (h *Histogram) touch(b *Bucket) {
+	delete(h.mergeCache, b)
+	delete(h.sibCache, b)
+	for _, c := range b.children {
+		delete(h.mergeCache, c)
+	}
+	if b.parent != nil {
+		delete(h.sibCache, b.parent)
+		// The parent-child penalties of b's siblings depend on the parent's
+		// own volume and frequency, which b's change may have altered
+		// (structure changes go through touch(parent) as well), but a pure
+		// frequency change of b does not affect them.
+	}
+}
+
+// forget drops all cache entries for a bucket leaving the tree.
+func (h *Histogram) forget(b *Bucket) {
+	delete(h.mergeCache, b)
+	delete(h.sibCache, b)
+}
+
+// enforceBudget merges lowest-penalty pairs until the bucket count is within
+// budget.
+func (h *Histogram) enforceBudget() {
+	for h.count > h.maxBuckets {
+		h.performBestMerge()
+	}
+}
+
+// performBestMerge finds and applies the single cheapest merge. The
+// histogram always has at least one candidate (any non-root bucket can merge
+// into its parent), so this cannot fail while count > 0.
+func (h *Histogram) performBestMerge() {
+	var (
+		bestPenalty        = math.Inf(1)
+		bestChild          *Bucket // parent-child winner
+		bestSibP           *Bucket // sibling winner: parent
+		bestSib1, bestSib2 *Bucket
+	)
+	for _, b := range h.Buckets() {
+		if b != h.root {
+			e, ok := h.mergeCache[b]
+			if !ok {
+				e = &parentMergeEntry{penalty: parentChildPenalty(b.parent, b)}
+				h.mergeCache[b] = e
+			}
+			if e.penalty < bestPenalty {
+				bestPenalty = e.penalty
+				bestChild = b
+				bestSib1 = nil
+			}
+		}
+		if len(b.children) >= 2 {
+			e, ok := h.sibCache[b]
+			if !ok {
+				e = h.bestSiblingMerge(b)
+				h.sibCache[b] = e
+			}
+			if e.b1 != nil && e.penalty < bestPenalty {
+				bestPenalty = e.penalty
+				bestChild = nil
+				bestSibP, bestSib1, bestSib2 = b, e.b1, e.b2
+			}
+		}
+	}
+	if bestSib1 != nil {
+		h.mergeSiblings(bestSibP, bestSib1, bestSib2)
+		return
+	}
+	if bestChild == nil {
+		panic("sthole: no merge candidate although over budget")
+	}
+	h.mergeParentChild(bestChild.parent, bestChild)
+}
+
+// parentChildPenalty evaluates the closed form of Eq. 2 for merging child c
+// into parent p: both own regions adopt the pooled density, so the penalty
+// is the absolute redistribution of tuples over the two regions.
+func parentChildPenalty(p, c *Bucket) float64 {
+	vp, vc := p.ownVolume(), c.ownVolume()
+	fp, fc := p.freq, c.freq
+	vn := vp + vc
+	if vn <= 0 {
+		return 0
+	}
+	dn := (fp + fc) / vn
+	return math.Abs(fp-dn*vp) + math.Abs(fc-dn*vc)
+}
+
+// bestSiblingMerge evaluates sibling pairs among p's children and returns
+// the cheapest plan as a cache entry.
+func (h *Histogram) bestSiblingMerge(p *Bucket) *siblingMergeEntry {
+	entry := &siblingMergeEntry{penalty: math.Inf(1)}
+	k := len(p.children)
+	consider := func(b1, b2 *Bucket) {
+		if pen, ok := h.siblingPenalty(p, b1, b2); ok && pen < entry.penalty {
+			entry.b1, entry.b2, entry.penalty = b1, b2, pen
+		}
+	}
+	if k <= exhaustivePairLimit {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				consider(p.children[i], p.children[j])
+			}
+		}
+		return entry
+	}
+	// Nearest-neighbor candidates only: for each child, the sibling with the
+	// closest box center.
+	centers := make([][]float64, k)
+	for i, c := range p.children {
+		centers[i] = c.box.Center()
+	}
+	for i := 0; i < k; i++ {
+		best := -1
+		bestDist := math.Inf(1)
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			d := 0.0
+			for t := range centers[i] {
+				diff := centers[i][t] - centers[j][t]
+				d += diff * diff
+			}
+			if d < bestDist {
+				bestDist, best = d, j
+			}
+		}
+		if best > i { // evaluate each unordered pair once
+			consider(p.children[i], p.children[best])
+		} else if best >= 0 && best < i {
+			consider(p.children[best], p.children[i])
+		}
+	}
+	return entry
+}
+
+// siblingPenalty evaluates the closed-form penalty of merging siblings b1
+// and b2 under parent p, including the box extension of Fig. 3. It reports
+// ok=false when the merge is degenerate (should not be considered).
+func (h *Histogram) siblingPenalty(p, b1, b2 *Bucket) (float64, bool) {
+	box, participants := extendedSiblingBox(p, b1, b2)
+	// Volume of the parent's own region absorbed by the new bucket.
+	vold := box.Volume()
+	for _, part := range participants {
+		vold -= part.box.Volume()
+	}
+	if vold < 0 {
+		vold = 0
+	}
+	vp := p.ownVolume()
+	absorbed := 0.0
+	if vp > 0 {
+		absorbed = p.freq * vold / vp
+	}
+	v1, v2 := b1.ownVolume(), b2.ownVolume()
+	vn := vold + v1 + v2
+	fn := b1.freq + b2.freq + absorbed
+	if vn <= 0 {
+		return 0, true
+	}
+	dn := fn / vn
+	pen := math.Abs(b1.freq-dn*v1) + math.Abs(b2.freq-dn*v2) + math.Abs(absorbed-dn*vold)
+	return pen, true
+}
+
+// extendedSiblingBox computes the minimal rectangle enclosing b1 and b2,
+// repeatedly extended to fully include any sibling it partially intersects
+// (Fig. 3), and returns it with the siblings it fully contains.
+func extendedSiblingBox(p, b1, b2 *Bucket) (geom.Rect, []*Bucket) {
+	box := b1.box.Enclose(b2.box)
+	for {
+		changed := false
+		for _, s := range p.children {
+			if box.IntersectsOpen(s.box) && !box.Contains(s.box) {
+				box = box.Enclose(s.box)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var participants []*Bucket
+	for _, s := range p.children {
+		if box.Contains(s.box) {
+			participants = append(participants, s)
+		}
+	}
+	return box, participants
+}
+
+// mergeParentChild absorbs child c into its parent p: c's tuples join p's
+// own region and c's children are promoted.
+func (h *Histogram) mergeParentChild(p, c *Bucket) {
+	h.Stats.ParentChildMerges++
+	p.detach(c)
+	for _, gc := range c.children {
+		gc.parent = nil // attach resets it; clear to keep invariants obvious
+		p.attach(gc)
+	}
+	c.children = nil
+	p.freq += c.freq
+	h.count--
+	h.forget(c)
+	h.touch(p)
+}
+
+// mergeSiblings replaces siblings b1 and b2 (children of p) with a new
+// bucket covering their extended enclosing box. Siblings fully inside the
+// box become children of the new bucket; b1's and b2's children are adopted
+// directly.
+func (h *Histogram) mergeSiblings(p, b1, b2 *Bucket) {
+	h.Stats.SiblingMerges++
+	box, participants := extendedSiblingBox(p, b1, b2)
+	vold := box.Volume()
+	for _, part := range participants {
+		vold -= part.box.Volume()
+	}
+	if vold < 0 {
+		vold = 0
+	}
+	vp := p.ownVolume()
+	absorbed := 0.0
+	if vp > 0 {
+		absorbed = p.freq * vold / vp
+		if absorbed > p.freq {
+			absorbed = p.freq
+		}
+	}
+
+	bn := &Bucket{box: box, freq: b1.freq + b2.freq + absorbed}
+	for _, part := range participants {
+		p.detach(part)
+		if part == b1 || part == b2 {
+			for _, gc := range part.children {
+				gc.parent = nil
+				bn.attach(gc)
+			}
+			part.children = nil
+			h.forget(part)
+		} else {
+			bn.attach(part)
+		}
+	}
+	p.freq -= absorbed
+	if p.freq < 0 {
+		p.freq = 0
+	}
+	p.attach(bn)
+	h.count-- // -b1 -b2 +bn
+	h.touch(p)
+	h.touch(bn)
+}

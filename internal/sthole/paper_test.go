@@ -1,0 +1,263 @@
+package sthole
+
+// Tests in this file reproduce the analytical claims of §3 and §4 of the
+// paper: stagnation on simple clusters (Lemmas 2 and 3), stability of an
+// initialized bucket (Lemma 4), and sensitivity to the order of learning
+// queries (Example 1 / Definition 1).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+)
+
+// evalError computes the mean absolute estimation error of h over a set of
+// evaluation queries with exact counts from count.
+func evalError(h *Histogram, queries []geom.Rect, count CountFunc) float64 {
+	sum := 0.0
+	for _, q := range queries {
+		sum += math.Abs(h.Estimate(q) - count(q))
+	}
+	return sum / float64(len(queries))
+}
+
+// unitCells returns all axis-aligned unit-volume cells of the integer grid
+// covering [0,n]x[0,n] — the query model of §3.2.
+func unitCells(n int) []geom.Rect {
+	var out []geom.Rect
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out = append(out, rect2(float64(i), float64(j), float64(i+1), float64(j+1)))
+		}
+	}
+	return out
+}
+
+// TestLemma2Stagnation: a uniform m x k cluster has storage threshold 1 but
+// detectability threshold 2. With a budget of a single bucket the histogram
+// stagnates at a high error no matter how long it trains, while a histogram
+// initialized with the cluster's box has zero error.
+func TestLemma2Stagnation(t *testing.T) {
+	dom := rect2(0, 0, 10, 10)
+	cluster := rect2(3, 3, 7, 7) // 4x4 uniform cluster
+	const clusterTuples = 1600   // density 100 per unit cell
+	count := uniformCluster(cluster, clusterTuples)
+	cells := unitCells(10)
+
+	// Uninitialized, budget 1: train for many epochs over all unit cells.
+	h := MustNew(dom, 1, clusterTuples)
+	rng := rand.New(rand.NewSource(3))
+	var errAfter5, errAfter10 float64
+	for epoch := 1; epoch <= 10; epoch++ {
+		perm := rng.Perm(len(cells))
+		for _, i := range perm {
+			h.Drill(cells[i], count)
+		}
+		if epoch == 5 {
+			errAfter5 = evalError(h, cells, count)
+		}
+		if epoch == 10 {
+			errAfter10 = evalError(h, cells, count)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Initialized with the cluster's exact box: zero error (sigma = 1).
+	hi := MustNew(dom, 1, 0)
+	hi.addChild(hi.root, cluster, clusterTuples)
+	errInit := evalError(hi, cells, count)
+	if errInit > 1e-9 {
+		t.Errorf("initialized error = %g, want 0 (storage threshold is 1 bucket)", errInit)
+	}
+
+	// The uninitialized histogram stagnates: the reducible error (relative
+	// to the 1-bucket optimum, which is 0) stays large and does not shrink
+	// with more training.
+	if errAfter10 < 10 {
+		t.Errorf("budget-1 histogram reached error %g; Lemma 2 says a single bucket cannot capture the cluster", errAfter10)
+	}
+	if errAfter10 < errAfter5*0.7 {
+		t.Errorf("error still falling between epochs (%g -> %g); expected stagnation", errAfter5, errAfter10)
+	}
+}
+
+// TestLemma3DenseCore: once the dense core of a cluster is captured in its
+// own bucket, a 2-bucket budget can no longer detect the surrounding
+// cluster, because the core bucket never merges with cluster fragments
+// (gamma > 3 makes every such merge expensive).
+func TestLemma3DenseCore(t *testing.T) {
+	dom := rect2(0, 0, 12, 12)
+	cluster := rect2(3, 3, 9, 9)      // 6x6, unit density outside the core
+	core := rect2(5.5, 5.5, 6.5, 6.5) // unit-volume core
+	const gamma = 10.0                // core density (> 3)
+	clusterArea := cluster.Volume() - 1
+	count := func(r geom.Rect) float64 {
+		inCore := gamma * r.IntersectionVolume(core)
+		inCluster := r.IntersectionVolume(cluster) - r.IntersectionVolume(core)
+		return inCore + inCluster
+	}
+	totalTuples := gamma + clusterArea
+
+	// Budget 2, the workload queries the core first.
+	h := MustNew(dom, 2, totalTuples)
+	h.Drill(core, count)
+	coreCaptured := false
+	for _, b := range h.Buckets() {
+		if b != h.root && b.box.Equal(core) {
+			coreCaptured = true
+		}
+	}
+	if !coreCaptured {
+		t.Fatal("core query did not create a core bucket")
+	}
+
+	cells := unitCells(12)
+	rng := rand.New(rand.NewSource(4))
+	var errEarly, errLate float64
+	for epoch := 1; epoch <= 8; epoch++ {
+		perm := rng.Perm(len(cells))
+		for _, i := range perm {
+			h.Drill(cells[i], count)
+		}
+		if epoch == 2 {
+			errEarly = evalError(h, cells, count)
+		}
+	}
+	errLate = evalError(h, cells, count)
+
+	// The core bucket survives all training: gamma > 3 makes merging it with
+	// cluster fragments too expensive.
+	coreSurvives := false
+	for _, b := range h.Buckets() {
+		if b != h.root && b.box.Equal(core) {
+			coreSurvives = true
+		}
+	}
+	if !coreSurvives {
+		t.Error("core bucket was merged away; Lemma 3 predicts it survives")
+	}
+
+	// Initialized with cluster + core (the storage-optimal layout): error 0.
+	hi := MustNew(dom, 2, 0)
+	cb := hi.addChild(hi.root, cluster, clusterArea)
+	hi.addChild(cb, core, gamma)
+	errInit := evalError(hi, cells, count)
+	if errInit > 1e-9 {
+		t.Errorf("initialized error = %g, want 0", errInit)
+	}
+	// Stagnation (Definition 6): after the core is captured the error stops
+	// improving — six further epochs change nothing — and the reducible
+	// error stays large compared to the 2-bucket optimum (which is 0).
+	if math.Abs(errLate-errEarly) > 0.01*errEarly {
+		t.Errorf("error still moving between epoch 2 (%g) and epoch 8 (%g); expected stagnation", errEarly, errLate)
+	}
+	if errLate < 0.1 {
+		t.Errorf("trained error %g too low; Lemma 3 predicts a stuck local optimum with reducible error", errLate)
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma4InitStability: a histogram initialized with a bucket exactly
+// covering a uniform cluster keeps zero error under any subsequent workload
+// — drills are skipped because every estimate is already exact, and the
+// bucket itself is never merged away.
+func TestLemma4InitStability(t *testing.T) {
+	dom := rect2(0, 0, 100, 100)
+	cluster := rect2(20, 30, 60, 80)
+	const freq = 5000.0
+	count := uniformCluster(cluster, freq)
+
+	h := MustNew(dom, 10, 0)
+	b0 := h.addChild(h.root, cluster, freq)
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		side := 1 + rng.Float64()*30
+		h.Drill(geom.CubeAt(c, side, dom), count)
+	}
+	if !h.inTree(b0) {
+		t.Fatal("initialized bucket was merged away")
+	}
+	// Error is zero (within floating point) for arbitrary query rectangles.
+	for i := 0; i < 200; i++ {
+		lo := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		hi := geom.Point{lo[0] + rng.Float64()*(100-lo[0]), lo[1] + rng.Float64()*(100-lo[1])}
+		q := geom.MustRect(lo, hi)
+		if diff := math.Abs(h.Estimate(q) - count(q)); diff > 1e-6*freq {
+			t.Fatalf("query %v: estimate %g vs true %g", q, h.Estimate(q), count(q))
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample1OrderSensitivity: permuting the training workload changes the
+// final estimation error of an uninitialized histogram by a non-trivial
+// delta (Definition 1). This reproduces the effect of Fig. 4 on a small
+// clustered dataset.
+func TestExample1OrderSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := dataset.MustNew("x", "y")
+	// Two dense clusters plus background noise.
+	for i := 0; i < 300; i++ {
+		tab.MustAppend([]float64{1 + rng.Float64()*2, 1 + rng.Float64()*2})
+	}
+	for i := 0; i < 300; i++ {
+		tab.MustAppend([]float64{6 + rng.Float64()*2, 6 + rng.Float64()*2})
+	}
+	for i := 0; i < 60; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	kt, err := index.BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := counterFunc(kt)
+	dom := rect2(0, 0, 10, 10)
+
+	// A small training workload and a fixed evaluation workload.
+	train := make([]geom.Rect, 8)
+	for i := range train {
+		c := geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+		train[i] = geom.CubeAt(c, 1.5+rng.Float64()*2.5, dom)
+	}
+	eval := make([]geom.Rect, 100)
+	for i := range eval {
+		c := geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+		eval[i] = geom.CubeAt(c, 2, dom)
+	}
+
+	runOrder := func(order []int) float64 {
+		h := MustNew(dom, 3, float64(tab.Len()))
+		for _, i := range order {
+			h.Drill(train[i], count)
+		}
+		return evalError(h, eval, count)
+	}
+
+	identity := make([]int, len(train))
+	for i := range identity {
+		identity[i] = i
+	}
+	base := runOrder(identity)
+	var lo, hi = base, base
+	for trial := 0; trial < 20; trial++ {
+		e := runOrder(rng.Perm(len(train)))
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	mean := (lo + hi) / 2
+	if spread := hi - lo; spread < 0.02*mean {
+		t.Errorf("error spread across permutations = %g (errors %g..%g); expected delta-sensitivity", spread, lo, hi)
+	}
+}

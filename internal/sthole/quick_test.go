@@ -1,0 +1,158 @@
+package sthole
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+)
+
+// TestQuickDrillSequencesKeepInvariants: arbitrary drill sequences against a
+// real dataset never corrupt the tree, violate the budget, or produce
+// negative/overflowing estimates.
+func TestQuickDrillSequencesKeepInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tab := dataset.MustNew(dataset.GenericNames(3)...)
+	for i := 0; i < 4000; i++ {
+		// Clustered + noisy data.
+		if i%4 == 0 {
+			tab.MustAppend([]float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100})
+		} else {
+			tab.MustAppend([]float64{30 + rng.Float64()*20, 60 + rng.Float64()*10, rng.Float64() * 100})
+		}
+	}
+	kt, err := index.BuildKDTree(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := counterFunc(kt)
+	dom := kt.Bounds()
+	total := float64(tab.Len())
+
+	f := func() bool {
+		budget := 1 + rng.Intn(12)
+		h := MustNew(dom, budget, total)
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			c := make(geom.Point, 3)
+			for d := range c {
+				c[d] = dom.Lo[d] + rng.Float64()*dom.Side(d)
+			}
+			q := geom.CubeAt(c, 2+rng.Float64()*40, dom)
+			h.Drill(q, count)
+			if h.Validate() != nil || h.BucketCount() > budget {
+				return false
+			}
+		}
+		// Estimates are non-negative and bounded by the stored total.
+		for i := 0; i < 20; i++ {
+			c := make(geom.Point, 3)
+			for d := range c {
+				c[d] = dom.Lo[d] + rng.Float64()*dom.Side(d)
+			}
+			q := geom.CubeAt(c, 1+rng.Float64()*60, dom)
+			est := h.Estimate(q)
+			if est < -1e-9 || est > h.TotalTuples()+1e-6 {
+				return false
+			}
+		}
+		// The root query recovers the stored total exactly.
+		return math.Abs(h.Estimate(dom)-h.TotalTuples()) < 1e-6*math.Max(1, h.TotalTuples())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEstimateMonotone: growing the query rectangle never shrinks the
+// estimate (the density function is non-negative).
+func TestQuickEstimateMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	dom := rect2(0, 0, 100, 100)
+	h := MustNew(dom, 15, 1000)
+	// Give the histogram some structure via idealized feedback.
+	cl := rect2(20, 20, 50, 70)
+	count := uniformCluster(cl, 1000)
+	for i := 0; i < 100; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		h.Drill(geom.CubeAt(c, 5+rng.Float64()*20, dom), count)
+	}
+	f := func() bool {
+		lo := geom.Point{rng.Float64() * 80, rng.Float64() * 80}
+		inner := geom.MustRect(lo, geom.Point{lo[0] + rng.Float64()*10, lo[1] + rng.Float64()*10})
+		grow := 1 + rng.Float64()*10
+		outer := geom.MustRect(
+			geom.Point{math.Max(0, inner.Lo[0]-grow), math.Max(0, inner.Lo[1]-grow)},
+			geom.Point{math.Min(100, inner.Hi[0]+grow), math.Min(100, inner.Hi[1]+grow)},
+		)
+		return h.Estimate(outer) >= h.Estimate(inner)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeSequenceTerminates: merging all the way down to one bucket
+// always terminates and preserves validity from arbitrary drilled states.
+func TestQuickMergeSequenceTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	dom := rect2(0, 0, 100, 100)
+	f := func() bool {
+		h := MustNew(dom, 50, 500)
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+			q := geom.CubeAt(c, 2+rng.Float64()*30, dom)
+			v := rng.Float64() * 200
+			h.Drill(q, func(r geom.Rect) float64 { return v * r.Volume() / math.Max(q.Volume(), 1e-12) })
+		}
+		for h.BucketCount() > 0 {
+			before := h.BucketCount()
+			h.performBestMerge()
+			if h.BucketCount() >= before {
+				return false
+			}
+			if h.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEstimateAdditiveOverSplits: the estimate is the integral of a
+// density function, so splitting a query box along any axis must preserve
+// the total: est(box) == est(left) + est(right).
+func TestQuickEstimateAdditiveOverSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	dom := rect2(0, 0, 100, 100)
+	h := MustNew(dom, 20, 1000)
+	count := uniformCluster(rect2(10, 40, 70, 90), 1000)
+	for i := 0; i < 120; i++ {
+		c := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		h.Drill(geom.CubeAt(c, 5+rng.Float64()*25, dom), count)
+	}
+	f := func() bool {
+		lo := geom.Point{rng.Float64() * 80, rng.Float64() * 80}
+		box := geom.MustRect(lo, geom.Point{lo[0] + 1 + rng.Float64()*19, lo[1] + 1 + rng.Float64()*19})
+		axis := rng.Intn(2)
+		cut := box.Lo[axis] + rng.Float64()*box.Side(axis)
+		left := box.Clone()
+		left.Hi[axis] = cut
+		right := box.Clone()
+		right.Lo[axis] = cut
+		whole := h.Estimate(box)
+		parts := h.Estimate(left) + h.Estimate(right)
+		return math.Abs(whole-parts) < 1e-6*math.Max(1, whole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

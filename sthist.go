@@ -1,0 +1,289 @@
+// Package sthist is a self-tuning multidimensional histogram library for
+// selectivity estimation, reproducing "Improving Accuracy and Robustness of
+// Self-Tuning Histograms by Subspace Clustering" (Khachatryan, Müller,
+// Stier, Böhm — ICDE 2016 / TKDE).
+//
+// The library provides:
+//
+//   - an STHoles self-tuning histogram (Bruno et al., SIGMOD 2001) that
+//     refines itself from query feedback,
+//   - the MineClus subspace clustering algorithm (Yiu & Mamoulis, ICDM
+//     2003), and
+//   - the paper's contribution: seeding the histogram with buckets derived
+//     from subspace clusters, which roughly halves estimation error and
+//     makes the histogram robust to query order.
+//
+// # Quick start
+//
+//	tab, _ := sthist.LoadCSV(file)
+//	est, _ := sthist.Open(tab, sthist.Options{Buckets: 100})
+//	selectivity := est.Estimate(q) // q is a sthist.Rect range predicate
+//	// ... execute the query, observe the true cardinality ...
+//	est.Feedback(q, actual) // the histogram refines itself
+//
+// See the examples/ directory for runnable end-to-end scenarios and the
+// internal packages for the full machinery (each is documented).
+package sthist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"sthist/internal/core"
+	"sthist/internal/dataset"
+	"sthist/internal/geom"
+	"sthist/internal/index"
+	"sthist/internal/metrics"
+	"sthist/internal/mineclus"
+	"sthist/internal/sthole"
+	"sthist/internal/workload"
+)
+
+// Re-exported building blocks. Aliases keep the public API a single import
+// while the implementation stays in focused internal packages.
+type (
+	// Rect is an axis-parallel n-dimensional rectangle (a conjunctive range
+	// predicate over numeric attributes).
+	Rect = geom.Rect
+	// Point is a tuple location in attribute-value space.
+	Point = geom.Point
+	// Table is an in-memory column-oriented relation.
+	Table = dataset.Table
+	// Histogram is the STHoles self-tuning histogram.
+	Histogram = sthole.Histogram
+	// Cluster is one subspace cluster found by MineClus.
+	Cluster = mineclus.Cluster
+	// ClusterConfig holds MineClus parameters (alpha, beta, width, ...).
+	ClusterConfig = mineclus.Config
+)
+
+// NewRect validates and builds a rectangle from its corners.
+func NewRect(lo, hi []float64) (Rect, error) { return geom.NewRect(lo, hi) }
+
+// NewTable creates an empty table with the given column names.
+func NewTable(columns ...string) (*Table, error) { return dataset.New(columns...) }
+
+// LoadCSV reads a table (header row, float64 cells) from r.
+func LoadCSV(r io.Reader) (*Table, error) { return dataset.ReadCSV(r) }
+
+// DefaultClusterConfig returns sensible MineClus defaults.
+func DefaultClusterConfig() ClusterConfig { return mineclus.DefaultConfig() }
+
+// GenerateWorkload draws n range queries of the given volume fraction with
+// uniformly distributed centers over the domain — the paper's workload model
+// (§5.1). Useful as input to Estimator.Train.
+func GenerateWorkload(domain Rect, volumeFraction float64, n int, seed int64) ([]Rect, error) {
+	return workload.Generate(domain, workload.Config{
+		VolumeFraction: volumeFraction, N: n, Seed: seed,
+	}, nil)
+}
+
+// Options configures Open.
+type Options struct {
+	// Buckets is the histogram budget (non-root buckets). Default 100.
+	Buckets int
+	// Domain optionally overrides the estimation domain; when zero-valued,
+	// the table's bounding box is used.
+	Domain Rect
+	// SkipInitialization disables the subspace-clustering seeding and
+	// yields a plain (uninitialized) STHoles histogram.
+	SkipInitialization bool
+	// Clustering overrides the MineClus parameters; zero value = defaults.
+	Clustering ClusterConfig
+	// Seed drives clustering; deterministic per seed.
+	Seed int64
+}
+
+// Estimator is the user-facing selectivity estimator: an STHoles histogram
+// (optionally initialized by subspace clustering) plus an exact-count index
+// over the build-time snapshot of the data for training simulations.
+//
+// Estimator is safe for concurrent use: estimates take a read lock, feedback
+// and training take a write lock. The Histogram accessor returns the live
+// histogram without synchronization and is intended for single-goroutine
+// inspection.
+type Estimator struct {
+	mu       sync.RWMutex
+	hist     *sthole.Histogram
+	idx      *index.KDTree
+	domain   Rect
+	clusters []Cluster
+}
+
+// Open builds an estimator over the table: it indexes the data, runs
+// MineClus (unless disabled), and seeds a histogram with the clusters.
+func Open(tab *Table, opts Options) (*Estimator, error) {
+	if tab.Len() == 0 {
+		return nil, fmt.Errorf("sthist: empty table")
+	}
+	if opts.Buckets == 0 {
+		opts.Buckets = 100
+	}
+	idx, err := index.BuildKDTree(tab)
+	if err != nil {
+		return nil, err
+	}
+	domain := opts.Domain
+	if domain.Dims() == 0 {
+		domain = idx.Bounds()
+		// Inflate degenerate sides so the domain has volume.
+		for d := range domain.Lo {
+			if domain.Hi[d] <= domain.Lo[d] {
+				domain.Hi[d] = domain.Lo[d] + 1
+			}
+		}
+	}
+	hist, err := sthole.New(domain, opts.Buckets, float64(tab.Len()))
+	if err != nil {
+		return nil, err
+	}
+	e := &Estimator{hist: hist, idx: idx, domain: domain}
+	if opts.SkipInitialization {
+		return e, nil
+	}
+	ccfg := opts.Clustering
+	if ccfg.Alpha == 0 && ccfg.Beta == 0 && ccfg.Width == 0 && len(ccfg.Widths) == 0 {
+		ccfg = mineclus.DefaultConfig()
+		// Real relations have heterogeneous attribute scales, so the default
+		// medoid-box width is per dimension: 6% of each attribute's extent.
+		ccfg.Width = 0
+		ccfg.Widths = make([]float64, domain.Dims())
+		for d := range ccfg.Widths {
+			ccfg.Widths[d] = 0.06 * domain.Side(d)
+		}
+	}
+	ccfg.Seed = opts.Seed
+	clusters, err := mineclus.Run(tab, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	// The estimator owns an exact-count index, so initialization can feed
+	// true counts instead of the uniformity-model fallback.
+	if err := core.Initialize(hist, clusters, domain, core.Options{Count: e.exact}); err != nil {
+		return nil, err
+	}
+	e.clusters = clusters
+	return e, nil
+}
+
+// Estimate returns the estimated number of tuples matching the range
+// predicate q.
+func (e *Estimator) Estimate(q Rect) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.hist.Estimate(q)
+}
+
+// Selectivity returns Estimate(q) divided by the total tuple count.
+func (e *Estimator) Selectivity(q Rect) float64 {
+	return e.Estimate(q) / float64(e.idx.Total())
+}
+
+// Feedback refines the histogram with the observed true cardinality of an
+// executed query. Sub-region counts needed while drilling are interpolated
+// from the observation under the uniformity assumption.
+func (e *Estimator) Feedback(q Rect, actual float64) {
+	vol := q.Volume()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hist.Drill(q, func(r Rect) float64 {
+		if vol <= 0 {
+			return actual
+		}
+		return actual * q.IntersectionVolume(r) / vol
+	})
+}
+
+// FeedbackWith refines the histogram with exact sub-rectangle counts from an
+// executed query. In a DBMS, STHoles counts the tuples of the streamed
+// result that fall into each candidate hole, so per-sub-rectangle counts are
+// exact; count must return the number of result tuples inside r (callers
+// typically close over the scanned result set). Prefer this over Feedback
+// when such counting is possible — scalar feedback has to interpolate and
+// converges more slowly on skewed data.
+func (e *Estimator) FeedbackWith(q Rect, count func(r Rect) float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hist.Drill(q, count)
+}
+
+// Train replays a workload against the build-time data snapshot with exact
+// counts — the simulation loop of the paper. Useful for warming up the
+// histogram before serving estimates.
+func (e *Estimator) Train(queries []Rect) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, q := range queries {
+		e.hist.Drill(q, e.exact)
+	}
+}
+
+func (e *Estimator) exact(r Rect) float64 { return float64(e.idx.Count(r)) }
+
+// TrueCount returns the exact number of tuples in q in the build-time
+// snapshot.
+func (e *Estimator) TrueCount(q Rect) float64 { return e.exact(q) }
+
+// Histogram exposes the underlying histogram for inspection (bucket dumps,
+// serialization, subspace-bucket queries).
+func (e *Estimator) Histogram() *Histogram { return e.hist }
+
+// SaveHistogram persists the current histogram as JSON. The saved form can
+// be reloaded into a fresh estimator over the same (or refreshed) data with
+// LoadHistogram, so a warm histogram survives process restarts.
+func (e *Estimator) SaveHistogram(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	data, err := json.Marshal(e.hist)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadHistogram replaces the estimator's histogram with one saved by
+// SaveHistogram. The histogram's dimensionality must match the estimator's
+// domain.
+func (e *Estimator) LoadHistogram(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var h sthole.Histogram
+	if err := json.Unmarshal(data, &h); err != nil {
+		return err
+	}
+	if h.Dims() != e.domain.Dims() {
+		return fmt.Errorf("sthist: saved histogram has %d dimensions, estimator domain has %d", h.Dims(), e.domain.Dims())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hist = &h
+	return nil
+}
+
+// Clusters returns the subspace clusters used for initialization (nil when
+// initialization was skipped), in descending importance order.
+func (e *Estimator) Clusters() []Cluster { return e.clusters }
+
+// Domain returns the estimation domain.
+func (e *Estimator) Domain() Rect { return e.domain }
+
+// MeanAbsoluteError evaluates the estimator over a workload against the
+// build-time snapshot.
+func (e *Estimator) MeanAbsoluteError(queries []Rect) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return metrics.MeanAbsoluteError(e.hist, queries, e.exact)
+}
+
+// NormalizedError evaluates the estimator over a workload, normalized by the
+// error of the trivial single-bucket histogram (the paper's NAE, Eq. 10).
+func (e *Estimator) NormalizedError(queries []Rect) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return metrics.NormalizedAbsoluteError(e.hist, queries, e.exact, e.domain, float64(e.idx.Total()))
+}
