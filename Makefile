@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench examples experiments cover
+.PHONY: all build vet test race bench bench-micro bench-json examples experiments cover
 
 all: build vet test
 
@@ -18,9 +18,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Regenerates every paper table/figure at reduced scale; see EXPERIMENTS.md.
+# Paper experiment benchmarks (tables/figures at reduced scale); see
+# EXPERIMENTS.md. Micro-benchmarks of the maintenance path live in
+# bench-micro.
 bench:
-	$(GO) test -bench . -benchmem ./...
+	$(GO) test -bench . -benchmem ./internal/experiment/... ./cmd/...
+
+# Maintenance-path micro-benchmarks: sthole drill/estimate/merge hot loops
+# and the geom kernels backing them.
+bench-micro:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sthole/... ./internal/geom/...
+
+# Records the sthole micro-benchmarks in results/BENCH_sthole.json under the
+# "current" label (pass LABEL=baseline before a change to stash a baseline).
+LABEL ?= current
+bench-json:
+	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_sthole.json
 
 examples:
 	$(GO) run ./examples/quickstart

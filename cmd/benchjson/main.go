@@ -1,0 +1,165 @@
+// Command benchjson runs the sthole/geom micro-benchmarks and records their
+// ns/op, B/op and allocs/op in a JSON file, so the repository carries a
+// perf trajectory that later PRs can be measured against.
+//
+// Results are stored per label; re-running with the same label overwrites
+// that label and leaves the others untouched, which is how a file holds a
+// "baseline" (pre-change) and a "current" (post-change) run side by side:
+//
+//	benchjson -label baseline -out results/BENCH_sthole.json   # before
+//	benchjson -label current  -out results/BENCH_sthole.json   # after
+//
+// With -input the tool parses a saved `go test -bench` output instead of
+// running the benchmarks itself.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchResult is one benchmark's measurement.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchFile is the on-disk layout: one named run per label.
+type benchFile struct {
+	Package string                            `json:"package"`
+	Runs    map[string]map[string]benchResult `json:"runs"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "results/BENCH_sthole.json", "JSON file to create or update")
+		label     = fs.String("label", "current", "label to store this run under")
+		pkg       = fs.String("pkg", "./internal/sthole", "package holding the benchmarks")
+		benchRe   = fs.String("bench", "BenchmarkDrill$|BenchmarkDrillSteady$|BenchmarkEstimate$", "benchmark regexp passed to go test")
+		benchtime = fs.String("benchtime", "1s", "benchtime passed to go test")
+		input     = fs.String("input", "", "parse this saved `go test -bench` output instead of running go test")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var raw []byte
+	if *input != "" {
+		var err error
+		raw, err = os.ReadFile(*input)
+		if err != nil {
+			return err
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)
+		var buf bytes.Buffer
+		cmd.Stdout = io.MultiWriter(&buf, stdout)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("running benchmarks: %w", err)
+		}
+		raw = buf.Bytes()
+	}
+
+	results, err := parseBenchOutput(raw)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+
+	file := benchFile{Package: *pkg, Runs: map[string]map[string]benchResult{}}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &file); err != nil {
+			return fmt.Errorf("existing %s is not a benchjson file: %w", *out, err)
+		}
+	}
+	if file.Runs == nil {
+		file.Runs = map[string]map[string]benchResult{}
+	}
+	file.Runs[*label] = results
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "recorded %d benchmarks under %q in %s\n", len(names), *label, *out)
+	return nil
+}
+
+// parseBenchOutput extracts results from standard `go test -bench -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkDrill/buckets=250-8   225   6208443 ns/op   1332467 B/op   20983 allocs/op
+//
+// The GOMAXPROCS suffix (-8) is stripped so results are comparable across
+// machines.
+func parseBenchOutput(raw []byte) (map[string]benchResult, error) {
+	results := map[string]benchResult{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res benchResult
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if seen {
+			results[name] = res
+		}
+	}
+	return results, sc.Err()
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: sthist/internal/sthole
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEstimate/buckets=50-8         	  761455	      1576 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDrill/buckets=250-8           	     193	   6208443 ns/op	 1332467 B/op	   20983 allocs/op
+BenchmarkDrillSteady/buckets=1000-8    	    5542	    216214 ns/op	     740 B/op	      46 allocs/op
+PASS
+ok  	sthist/internal/sthole	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput([]byte(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	drill, ok := got["BenchmarkDrill/buckets=250"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if drill.NsPerOp != 6208443 || drill.BytesPerOp != 1332467 || drill.AllocsPerOp != 20983 {
+		t.Errorf("BenchmarkDrill parsed as %+v", drill)
+	}
+	est := got["BenchmarkEstimate/buckets=50"]
+	if est.NsPerOp != 1576 || est.AllocsPerOp != 0 {
+		t.Errorf("BenchmarkEstimate parsed as %+v", est)
+	}
+}
+
+func TestParseBenchOutputSkipsNonBenchLines(t *testing.T) {
+	got, err := parseBenchOutput([]byte("PASS\nok\tsthist\t1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from non-bench output", got)
+	}
+}
+
+// TestRunMergesLabels: a second run with a different label must keep the
+// first label's results — this is how baseline and current coexist.
+func TestRunMergesLabels(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"baseline", "current"} {
+		if err := run([]string{"-input", in, "-label", label, "-out", out}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file benchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"baseline", "current"} {
+		runres, ok := file.Runs[label]
+		if !ok {
+			t.Fatalf("label %q missing from %s", label, data)
+		}
+		if runres["BenchmarkDrill/buckets=250"].NsPerOp != 6208443 {
+			t.Errorf("label %q has wrong drill result: %+v", label, runres)
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", in, "-out", filepath.Join(dir, "out.json")}, io.Discard); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}

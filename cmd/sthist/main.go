@@ -8,6 +8,7 @@
 //	sthist -exp fig13 -scale 1 -train 1000 -eval 1000   # paper scale
 //	sthist -exp table2 -buckets 50,100,250
 //	sthist -all                             # every experiment at the default scale
+//	sthist -exp fig11 -cpuprofile cpu.out -memprofile mem.out   # profile a run
 package main
 
 import (
@@ -42,9 +43,29 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 0, "random seed (default 1)")
 		buckets = fs.String("buckets", "", "comma-separated bucket budgets (default 50,100,150,200,250)")
 		outPath = fs.String("out", "", "also write results to this file")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		stop, err := experiment.StartCPUProfile(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "sthist: stopping cpu profile:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := experiment.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "sthist: writing mem profile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, n := range experiment.Names() {

@@ -54,6 +54,27 @@ func TestRunBadBuckets(t *testing.T) {
 	}
 }
 
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	if err := run([]string{"-exp", "table3", "-scale", "0.001", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"-exp", "table3", "-scale", "0.001", "-cpuprofile", filepath.Join(dir, "no", "such", "dir", "cpu.out")}); err == nil {
+		t.Error("unwritable cpu profile path accepted")
+	}
+}
+
 func TestRunOutFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "res.txt")
 	if err := run([]string{"-exp", "table3", "-scale", "0.001", "-out", out}); err != nil {

@@ -3,6 +3,9 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -12,6 +15,40 @@ import (
 	"sthist/internal/sthole"
 	"sthist/internal/workload"
 )
+
+// StartCPUProfile starts writing a CPU profile to path and returns the stop
+// function. cmd/sthist wires its -cpuprofile flag through here so hot-path
+// regressions in the maintenance loop can be diagnosed straight from the
+// CLI (go tool pprof <binary> <path>).
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("starting cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation (heap) profile to path, running a GC
+// first so the profile reflects live memory. Backs cmd/sthist -memprofile.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing mem profile: %w", err)
+	}
+	return f.Close()
+}
 
 // ProfileResult breaks the estimation error down by true-selectivity band:
 // rare predicates are where bad synopses hurt optimizers most, so a flat

@@ -163,16 +163,51 @@ func (r Rect) IntersectsOpen(s Rect) bool {
 // Intersect returns the intersection of r and s and whether it is non-empty.
 // The result is a fresh rectangle; r and s are unchanged.
 func (r Rect) Intersect(s Rect) (Rect, bool) {
-	if !r.Intersects(s) {
+	var out Rect
+	if !r.IntersectInto(s, &out) {
 		return Rect{}, false
 	}
-	lo := make(Point, r.Dims())
-	hi := make(Point, r.Dims())
-	for d := range r.Lo {
-		lo[d] = math.Max(r.Lo[d], s.Lo[d])
-		hi[d] = math.Min(r.Hi[d], s.Hi[d])
+	return out, true
+}
+
+// setDims resizes r's corner slices to n dimensions, reusing their backing
+// arrays when the capacity allows. The slice contents are unspecified after
+// the call; callers overwrite every dimension.
+func (r *Rect) setDims(n int) {
+	if cap(r.Lo) >= n {
+		r.Lo = r.Lo[:n]
+	} else {
+		r.Lo = make(Point, n)
 	}
-	return Rect{Lo: lo, Hi: hi}, true
+	if cap(r.Hi) >= n {
+		r.Hi = r.Hi[:n]
+	} else {
+		r.Hi = make(Point, n)
+	}
+}
+
+// CopyInto writes r into dst, reusing dst's corner slices when they have
+// sufficient capacity. dst may alias r.
+func (r Rect) CopyInto(dst *Rect) {
+	dst.setDims(len(r.Lo))
+	copy(dst.Lo, r.Lo)
+	copy(dst.Hi, r.Hi)
+}
+
+// IntersectInto is the allocation-free variant of Intersect: it writes r ∩ s
+// into dst, reusing dst's corner slices when they have sufficient capacity,
+// and reports whether the intersection is non-empty (dst is untouched when it
+// is empty). dst may alias r or s.
+func (r Rect) IntersectInto(s Rect, dst *Rect) bool {
+	if !r.Intersects(s) {
+		return false
+	}
+	dst.setDims(len(r.Lo))
+	for d := range r.Lo {
+		dst.Lo[d] = math.Max(r.Lo[d], s.Lo[d])
+		dst.Hi[d] = math.Min(r.Hi[d], s.Hi[d])
+	}
+	return true
 }
 
 // IntersectionVolume returns Volume(r ∩ s), zero if disjoint.
@@ -191,13 +226,21 @@ func (r Rect) IntersectionVolume(s Rect) float64 {
 
 // Enclose returns the minimal rectangle containing both r and s.
 func (r Rect) Enclose(s Rect) Rect {
-	lo := make(Point, r.Dims())
-	hi := make(Point, r.Dims())
+	var out Rect
+	r.EncloseInto(s, &out)
+	return out
+}
+
+// EncloseInto is the allocation-free variant of Enclose: it writes the
+// minimal rectangle containing both r and s into dst, reusing dst's corner
+// slices when they have sufficient capacity. dst may alias r or s, so a
+// rectangle can be grown in place with r.EncloseInto(s, &r).
+func (r Rect) EncloseInto(s Rect, dst *Rect) {
+	dst.setDims(len(r.Lo))
 	for d := range r.Lo {
-		lo[d] = math.Min(r.Lo[d], s.Lo[d])
-		hi[d] = math.Max(r.Hi[d], s.Hi[d])
+		dst.Lo[d] = math.Min(r.Lo[d], s.Lo[d])
+		dst.Hi[d] = math.Max(r.Hi[d], s.Hi[d])
 	}
-	return Rect{Lo: lo, Hi: hi}
 }
 
 // ExpandToPoint grows r in place so that it contains p.
@@ -221,37 +264,69 @@ func (r *Rect) ExpandToPoint(p Point) {
 // If cutter fully covers r in every dimension, the result is a degenerate
 // (zero-volume) rectangle produced by the least-bad cut.
 func (r Rect) Shrink(cutter Rect) Rect {
+	var out Rect
+	r.ShrinkInto(cutter, &out)
+	return out
+}
+
+// ShrinkInto is the allocation-free variant of Shrink: it writes the shrunk
+// rectangle into dst, reusing dst's corner slices when they have sufficient
+// capacity. dst may alias r, so a candidate hole can be shrunk in place with
+// r.ShrinkInto(cutter, &r). The cut chosen is bit-identical to Shrink's: the
+// candidate volumes are evaluated with the same per-dimension multiplication
+// order, just without materializing the candidate rectangles.
+func (r Rect) ShrinkInto(cutter Rect, dst *Rect) {
 	if !r.IntersectsOpen(cutter) {
-		return r.Clone()
+		r.CopyInto(dst)
+		return
 	}
-	best := Rect{}
 	bestVol := -1.0
+	bestDim := -1
+	bestKeepLow := false
+	bestBound := 0.0
 	for d := range r.Lo {
 		// Cut keeping the low side: r.Hi[d] -> cutter.Lo[d].
 		if cutter.Lo[d] > r.Lo[d] {
-			cand := r.Clone()
-			cand.Hi[d] = math.Min(cand.Hi[d], cutter.Lo[d])
-			if v := cand.Volume(); v > bestVol {
-				best, bestVol = cand, v
+			hi := math.Min(r.Hi[d], cutter.Lo[d])
+			if v := r.volumeWithSide(d, hi-r.Lo[d]); v > bestVol {
+				bestVol, bestDim, bestKeepLow, bestBound = v, d, true, hi
 			}
 		}
 		// Cut keeping the high side: r.Lo[d] -> cutter.Hi[d].
 		if cutter.Hi[d] < r.Hi[d] {
-			cand := r.Clone()
-			cand.Lo[d] = math.Max(cand.Lo[d], cutter.Hi[d])
-			if v := cand.Volume(); v > bestVol {
-				best, bestVol = cand, v
+			lo := math.Max(r.Lo[d], cutter.Hi[d])
+			if v := r.volumeWithSide(d, r.Hi[d]-lo); v > bestVol {
+				bestVol, bestDim, bestKeepLow, bestBound = v, d, false, lo
 			}
 		}
 	}
+	r.CopyInto(dst)
 	if bestVol < 0 {
 		// cutter covers r in every dimension: collapse r to a zero-extent
 		// slab on its first dimension so callers see an empty candidate.
-		cand := r.Clone()
-		cand.Hi[0] = cand.Lo[0]
-		return cand
+		dst.Hi[0] = dst.Lo[0]
+		return
 	}
-	return best
+	if bestKeepLow {
+		dst.Hi[bestDim] = bestBound
+	} else {
+		dst.Lo[bestDim] = bestBound
+	}
+}
+
+// volumeWithSide returns r's volume with the extent on dimension d replaced
+// by side, multiplying in the same dimension order as Volume so results are
+// bit-identical to evaluating Volume on a modified clone.
+func (r Rect) volumeWithSide(d int, side float64) float64 {
+	v := 1.0
+	for dd := range r.Lo {
+		if dd == d {
+			v *= side
+		} else {
+			v *= r.Hi[dd] - r.Lo[dd]
+		}
+	}
+	return v
 }
 
 // String renders r as [lo1,hi1]x[lo2,hi2]x...

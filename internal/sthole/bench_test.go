@@ -1,11 +1,26 @@
 package sthole
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"sthist/internal/geom"
 )
+
+// benchBudgets are the bucket budgets the maintenance-path micro-benches are
+// recorded at (see results/BENCH_sthole.json and the bench-json Makefile
+// target).
+var benchBudgets = []int{50, 250, 1000}
+
+// benchTrainQueries returns enough training queries to saturate the given
+// budget before timing starts.
+func benchTrainQueries(budget int) int {
+	if budget >= 1000 {
+		return 3000
+	}
+	return 400
+}
 
 // trained builds a histogram with the given budget over a clustered
 // idealized distribution.
@@ -22,18 +37,25 @@ func trained(budget, queries int) (*Histogram, geom.Rect, CountFunc) {
 	return h, dom, count
 }
 
+// benchQueries precomputes a fixed query mix so the timed loops measure the
+// histogram, not query construction.
+func benchQueries(dom geom.Rect, n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		qs[i] = geom.CubeAt(c, 30+rng.Float64()*100, dom)
+	}
+	return qs
+}
+
 // BenchmarkEstimate measures cardinality estimation against a full
 // (budget-saturated) histogram — the optimizer-facing hot path.
 func BenchmarkEstimate(b *testing.B) {
-	for _, budget := range []int{50, 250} {
+	for _, budget := range benchBudgets {
 		b.Run(benchName(budget), func(b *testing.B) {
-			h, dom, _ := trained(budget, 400)
-			rng := rand.New(rand.NewSource(2))
-			qs := make([]geom.Rect, 256)
-			for i := range qs {
-				c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
-				qs[i] = geom.CubeAt(c, 100, dom)
-			}
+			h, dom, _ := trained(budget, benchTrainQueries(budget))
+			qs := benchQueries(dom, 256, 2)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -43,25 +65,45 @@ func BenchmarkEstimate(b *testing.B) {
 	}
 }
 
-// BenchmarkDrill measures one feedback round (drill + budget enforcement).
+// BenchmarkDrill measures one feedback round (drill + budget enforcement)
+// under churn: the idealized feedback keeps disagreeing slightly with the
+// histogram, so holes keep being drilled and merged back.
 func BenchmarkDrill(b *testing.B) {
-	for _, budget := range []int{50, 250} {
+	for _, budget := range benchBudgets {
 		b.Run(benchName(budget), func(b *testing.B) {
-			h, dom, count := trained(budget, 400)
-			rng := rand.New(rand.NewSource(3))
+			h, dom, count := trained(budget, benchTrainQueries(budget))
+			qs := benchQueries(dom, 512, 3)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
-				h.Drill(geom.CubeAt(c, 30+rng.Float64()*100, dom), count)
+				h.Drill(qs[i%len(qs)], count)
+			}
+		})
+	}
+}
+
+// BenchmarkDrillSteady measures the steady-state feedback round: the
+// feedback source agrees with the histogram, so every candidate drill is
+// skipped and the round is pure maintenance-path overhead. This is the
+// allocation-free path asserted by TestDrillSteadyStateZeroAllocs.
+func BenchmarkDrillSteady(b *testing.B) {
+	for _, budget := range benchBudgets {
+		b.Run(benchName(budget), func(b *testing.B) {
+			h, dom, _ := trained(budget, benchTrainQueries(budget))
+			steady := func(r geom.Rect) float64 { return h.Estimate(r) }
+			qs := benchQueries(dom, 512, 4)
+			for _, q := range qs { // warm up scratch buffers
+				h.Drill(q, steady)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Drill(qs[i%len(qs)], steady)
 			}
 		})
 	}
 }
 
 func benchName(budget int) string {
-	if budget == 50 {
-		return "buckets=50"
-	}
-	return "buckets=250"
+	return fmt.Sprintf("buckets=%d", budget)
 }

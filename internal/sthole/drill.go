@@ -10,6 +10,10 @@ import (
 // simulation this is backed by the range-count index (the stand-in for "the
 // query execution engine streamed the result and we counted per-bucket
 // intersections", which is how STHoles gathers feedback in a real DBMS).
+//
+// The rectangle passed to a CountFunc is a scratch buffer that the drill
+// loop reuses across calls; implementations must not retain it (Clone it if
+// it has to outlive the call).
 type CountFunc func(geom.Rect) float64
 
 // Drill refines the histogram with the feedback of one executed query q.
@@ -19,20 +23,26 @@ type CountFunc func(geom.Rect) float64
 // drills a new hole when the current estimate is off. Afterwards the bucket
 // budget is re-established by merging (merge.go).
 //
+// The pre-drill snapshot is collected by recursive descent that prunes any
+// subtree whose box misses q (child boxes are contained in their parent's
+// box), and the candidate geometry runs on reusable scratch rectangles: a
+// feedback round that drills nothing performs zero heap allocations.
+//
 // Drill is a no-op while the histogram is frozen.
 func (h *Histogram) Drill(q geom.Rect, count CountFunc) {
 	if h.frozen || q.Dims() != h.dims {
 		return
 	}
-	qc, ok := q.Intersect(h.root.box)
-	if !ok || qc.Volume() <= 0 {
+	if !q.IntersectInto(h.root.box, &h.qcScratch) || h.qcScratch.Volume() <= 0 {
 		return
 	}
+	qc := h.qcScratch
 	h.Stats.Queries++
 	// Work over a pre-drill snapshot: buckets created by this query's own
 	// drills must not be drilled again, and buckets removed by merges are
-	// skipped via inTree. The scratch buffer is reused across queries.
-	h.scratch = h.appendBuckets(h.scratch[:0])
+	// skipped via inTree. The scratch buffer is reused across queries, and
+	// only subtrees overlapping qc are visited.
+	h.scratch = appendIntersecting(h.scratch[:0], h.root, qc)
 	for _, b := range h.scratch {
 		if !h.inTree(b) {
 			continue
@@ -49,10 +59,10 @@ func (h *Histogram) Drill(q geom.Rect, count CountFunc) {
 
 // drillBucket processes the candidate hole of one bucket for query q.
 func (h *Histogram) drillBucket(b *Bucket, q geom.Rect, count CountFunc) {
-	cand, ok := b.box.Intersect(q)
-	if !ok || cand.Volume() <= 0 {
+	if !b.box.IntersectInto(q, &h.candScratch) || h.candScratch.Volume() <= 0 {
 		return
 	}
+	cand := h.candScratch
 	// Shrink the candidate until no child partially intersects it (children
 	// fully inside the candidate are fine: they become children of the new
 	// hole). A child that covers the candidate collapses it to zero volume,
@@ -62,7 +72,7 @@ func (h *Histogram) drillBucket(b *Bucket, q geom.Rect, count CountFunc) {
 		shrunk := false
 		for _, c := range b.children {
 			if cand.IntersectsOpen(c.box) && !cand.Contains(c.box) {
-				cand = cand.Shrink(c.box)
+				cand.ShrinkInto(c.box, &cand)
 				if cand.Volume() <= 0 {
 					return
 				}
@@ -110,8 +120,9 @@ func (h *Histogram) drillBucket(b *Bucket, q geom.Rect, count CountFunc) {
 	}
 
 	// Drill a new hole: move the children of b that lie inside the candidate
-	// under the new bucket, then split the frequencies.
-	bn := &Bucket{box: cand}
+	// under the new bucket, then split the frequencies. The candidate is a
+	// scratch rectangle, so the new bucket clones it.
+	bn := &Bucket{box: cand.Clone(), seq: h.nextSeq()}
 	movedFreq := 0.0
 	kept := b.children[:0]
 	for _, c := range b.children {

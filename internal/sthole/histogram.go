@@ -29,6 +29,7 @@ type Bucket struct {
 	freq     float64 // tuples in box excluding children ("own" tuples)
 	parent   *Bucket
 	children []*Bucket
+	seq      uint64 // creation order, tie-breaker for merge scheduling
 }
 
 // Box returns the bucket's bounding box.
@@ -103,13 +104,46 @@ type Histogram struct {
 	dims       int
 	frozen     bool // when true, Drill is a no-op (Fig. 17 experiment)
 
-	// merge bookkeeping (merge.go)
+	// merge bookkeeping (merge.go): cached penalties, the buckets whose
+	// entries must be recomputed before the next merge selection, the
+	// lazy-deletion candidate heap over the cache entries, and the bucket
+	// creation counter behind the deterministic tie-break order.
 	mergeCache map[*Bucket]*parentMergeEntry
 	sibCache   map[*Bucket]*siblingMergeEntry
+	dirty      map[*Bucket]struct{}
+	merges     candidateHeap
+	seqCounter uint64
+
+	// crossCheck makes performBestMerge verify every heap-scheduled merge
+	// selection against the naive full-scan reference (slow.go); the first
+	// divergence is recorded in crossCheckErr. Used by the equivalence tests.
+	crossCheck    bool
+	crossCheckErr error
 
 	// scratch is reused by Drill for its pre-drill snapshot to avoid one
-	// O(buckets) allocation per query.
-	scratch []*Bucket
+	// O(buckets) allocation per query. qcScratch and candScratch are the
+	// reusable rectangles of the drill hot path; boxScratch and partScratch
+	// back the sibling-merge box extension (merge.go).
+	scratch       []*Bucket
+	qcScratch     geom.Rect
+	candScratch   geom.Rect
+	boxScratch    geom.Rect
+	partScratch   []*Bucket
+	centerScratch []float64 // flat k×dims center buffer for bestSiblingMerge
+
+	// Flattened per-parent child geometry (dim-0 interval and box volume),
+	// shared by every pair evaluation of one bestSiblingMerge call so the
+	// sibling scan reads contiguous arrays instead of chasing bucket
+	// pointers. structGen increments on every tree mutation (touch/forget);
+	// the arrays are valid iff they were built for the same parent at the
+	// current generation.
+	structGen      uint64
+	sibArrParent   *Bucket
+	sibArrGen      uint64
+	sibLo, sibHi   []float64 // dims×k, per-dim contiguous: sibLo[d*k+i]
+	sibVol         []float64
+	sibOwnVol      float64 // parent's ownVolume(), pair-invariant
+	partIdxScratch []int
 
 	// Stats accumulates maintenance counters for the experiments.
 	Stats Stats
@@ -143,10 +177,39 @@ func New(domain geom.Rect, maxBuckets int, totalTuples float64) (*Histogram, err
 		root:       &Bucket{box: domain.Clone(), freq: totalTuples},
 		maxBuckets: maxBuckets,
 		dims:       domain.Dims(),
-		mergeCache: make(map[*Bucket]*parentMergeEntry),
-		sibCache:   make(map[*Bucket]*siblingMergeEntry),
 	}
+	h.resetMergeState()
 	return h, nil
+}
+
+// nextSeq returns a fresh bucket sequence number.
+func (h *Histogram) nextSeq() uint64 {
+	s := h.seqCounter
+	h.seqCounter++
+	return s
+}
+
+// resetMergeState rebuilds the merge scheduling state from the bucket tree:
+// fresh caches, an empty candidate heap, pre-order sequence numbers, and
+// every bucket marked dirty so the next merge selection recomputes all
+// candidates. Called when a tree is (re)built wholesale (New, Clone,
+// UnmarshalJSON).
+func (h *Histogram) resetMergeState() {
+	h.mergeCache = make(map[*Bucket]*parentMergeEntry)
+	h.sibCache = make(map[*Bucket]*siblingMergeEntry)
+	h.dirty = make(map[*Bucket]struct{})
+	h.merges = h.merges[:0]
+	h.seqCounter = 0
+	h.sibArrParent = nil // flattened sibling arrays may describe a stale tree
+	var walk func(b *Bucket)
+	walk = func(b *Bucket) {
+		b.seq = h.nextSeq()
+		h.dirty[b] = struct{}{}
+		for _, c := range b.children {
+			walk(c)
+		}
+	}
+	walk(h.root)
 }
 
 // MustNew is New that panics on error, for tests and generators.
@@ -209,6 +272,12 @@ func (h *Histogram) Estimate(q geom.Rect) float64 {
 	return estimateBucket(h.root, q)
 }
 
+// estimateBucket evaluates Eq. 1 over b's subtree by recursive descent.
+// Child boxes are contained in their parent's box, so a subtree whose root
+// box misses the query contributes nothing and is pruned without visiting
+// it: on a trained tree the descent touches only the buckets overlapping q
+// instead of all B buckets. The pruned terms are exact zeros, so the result
+// is bit-identical to the naive full walk (estimateSlow in slow.go).
 func estimateBucket(b *Bucket, q geom.Rect) float64 {
 	interBox := b.box.IntersectionVolume(q)
 	if interBox <= 0 {
@@ -225,9 +294,16 @@ func estimateBucket(b *Bucket, q geom.Rect) float64 {
 	interOwn := interBox
 	ownVol := b.box.Volume()
 	for _, c := range b.children {
-		interOwn -= c.box.IntersectionVolume(q)
 		ownVol -= c.box.Volume()
-		est += estimateBucket(c, q)
+		iv := c.box.IntersectionVolume(q)
+		if iv > 0 {
+			interOwn -= iv
+			est += estimateBucket(c, q)
+		} else if c.box.Intersects(q) {
+			// Zero-volume overlap: only the point-mass case inside the child
+			// can contribute.
+			est += estimateBucket(c, q)
+		}
 	}
 	if interOwn < 0 {
 		interOwn = 0
@@ -248,14 +324,32 @@ func (h *Histogram) Buckets() []*Bucket {
 
 // appendBuckets appends the pre-order bucket walk to dst.
 func (h *Histogram) appendBuckets(dst []*Bucket) []*Bucket {
-	var walk func(b *Bucket)
-	walk = func(b *Bucket) {
-		dst = append(dst, b)
-		for _, c := range b.children {
-			walk(c)
-		}
+	return appendSubtree(dst, h.root)
+}
+
+// appendSubtree appends b's subtree to dst in pre-order. A plain recursive
+// function (no closure) so the drill hot path stays allocation-free.
+func appendSubtree(dst []*Bucket, b *Bucket) []*Bucket {
+	dst = append(dst, b)
+	for _, c := range b.children {
+		dst = appendSubtree(dst, c)
 	}
-	walk(h.root)
+	return dst
+}
+
+// appendIntersecting appends, in pre-order, the buckets of b's subtree whose
+// boxes share positive volume with q. Because every child box is contained
+// in its parent's box, a subtree whose root misses q contains no bucket that
+// intersects q and is pruned wholesale — this is what makes Drill's
+// candidate collection near-logarithmic on trained trees instead of O(B).
+func appendIntersecting(dst []*Bucket, b *Bucket, q geom.Rect) []*Bucket {
+	if !b.box.IntersectsOpen(q) {
+		return dst
+	}
+	dst = append(dst, b)
+	for _, c := range b.children {
+		dst = appendIntersecting(dst, c, q)
+	}
 	return dst
 }
 
@@ -277,7 +371,10 @@ func (h *Histogram) inTree(b *Bucket) bool {
 //   - sibling boxes have pairwise disjoint interiors,
 //   - frequencies are non-negative and finite,
 //   - the cached bucket count matches the tree,
-//   - the budget is respected.
+//   - the budget is respected,
+//   - the merge scheduling state covers the tree: every bucket that needs a
+//     merge-candidate entry either has a cached one backed by a live heap
+//     item, or is queued in the dirty set for recomputation.
 func (h *Histogram) Validate() error {
 	seen := 0
 	var walk func(b *Bucket) error
@@ -315,5 +412,5 @@ func (h *Histogram) Validate() error {
 	if h.count > h.maxBuckets {
 		return fmt.Errorf("sthole: bucket count %d exceeds budget %d", h.count, h.maxBuckets)
 	}
-	return nil
+	return h.validateMergeState()
 }

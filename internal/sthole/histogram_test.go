@@ -19,7 +19,7 @@ func rect2(x0, y0, x1, y1 float64) geom.Rect {
 // addChild is a test helper that grafts a bucket into the tree directly,
 // bypassing Drill.
 func (h *Histogram) addChild(parent *Bucket, box geom.Rect, freq float64) *Bucket {
-	b := &Bucket{box: box, freq: freq}
+	b := &Bucket{box: box, freq: freq, seq: h.nextSeq()}
 	parent.attach(b)
 	h.count++
 	h.touch(parent)

@@ -108,8 +108,7 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	h.count = n - 1
 	h.dims = root.box.Dims()
 	h.frozen = false
-	h.mergeCache = make(map[*Bucket]*parentMergeEntry)
-	h.sibCache = make(map[*Bucket]*siblingMergeEntry)
+	h.resetMergeState()
 	h.Stats = Stats{}
 	return h.Validate()
 }
@@ -151,13 +150,13 @@ func (h *Histogram) Clone() *Histogram {
 		}
 		return nb
 	}
-	return &Histogram{
+	c := &Histogram{
 		root:       cp(h.root),
 		maxBuckets: h.maxBuckets,
 		count:      h.count,
 		dims:       h.dims,
 		frozen:     h.frozen,
-		mergeCache: make(map[*Bucket]*parentMergeEntry),
-		sibCache:   make(map[*Bucket]*siblingMergeEntry),
 	}
+	c.resetMergeState()
+	return c
 }

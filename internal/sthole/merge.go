@@ -1,6 +1,8 @@
 package sthole
 
 import (
+	"container/heap"
+	"fmt"
 	"math"
 
 	"sthist/internal/geom"
@@ -21,14 +23,29 @@ import (
 //     enclosed siblings become children of the new bucket.
 //
 // Finding the cheapest merge naively costs O(B^2) penalty evaluations per
-// merge. The histogram instead caches, per bucket, the penalty of merging it
-// into its parent, and per parent, the best sibling merge among its
-// children; drills and merges invalidate only the entries they affect
-// (touch), so steady-state maintenance is cheap. For parents with very many
-// children the sibling search is restricted to each child's nearest sibling
-// by box-center distance — with hundreds of siblings the exhaustive pair
-// scan is prohibitively slow, and distant pairs produce huge extended boxes
-// whose penalties never win anyway.
+// merge; even with per-bucket penalty caches a flat rescan costs O(B) per
+// merge. The histogram instead schedules candidates on a lazy-deletion
+// min-heap:
+//
+//   - mergeCache caches, per non-root bucket, the penalty of merging it into
+//     its parent; sibCache caches, per parent, the best sibling merge among
+//     its children. Every computed entry is pushed onto the heap.
+//   - drills and merges invalidate only the entries they affect (touch),
+//     deleting them from the caches and queueing the owning buckets in the
+//     dirty set. Heap items whose entry pointer no longer matches the cache
+//     are stale and discarded on pop — the caches double as the heap's
+//     liveness check.
+//   - selecting the cheapest merge drains the dirty set (recomputing and
+//     re-pushing only the invalidated entries, O(affected) not O(B)) and
+//     pops the heap until a live item surfaces: O(log B) amortized.
+//
+// Ties are broken deterministically by (penalty, bucket creation sequence,
+// kind) so the heap schedule is reproducible and bit-identical to the naive
+// full-scan reference (slow.go). For parents with very many children the
+// sibling search is restricted to each child's nearest sibling by box-center
+// distance — with hundreds of siblings the exhaustive pair scan is
+// prohibitively slow, and distant pairs produce huge extended boxes whose
+// penalties never win anyway.
 
 // parentMergeEntry caches the penalty of merging the key bucket into its
 // parent.
@@ -43,20 +60,77 @@ type siblingMergeEntry struct {
 	penalty float64
 }
 
+// Merge candidate kinds, in tie-break order.
+const (
+	kindParentChild = iota
+	kindSibling
+)
+
+// mergeItem is one scheduled candidate on the lazy-deletion heap. bucket is
+// the child for parent-child candidates and the parent for sibling
+// candidates. pc/sib pin the cache entry the item was created for: the item
+// is live iff the cache still holds that exact entry.
+type mergeItem struct {
+	penalty float64
+	seq     uint64
+	kind    int
+	bucket  *Bucket
+	pc      *parentMergeEntry
+	sib     *siblingMergeEntry
+}
+
+// less orders candidates by (penalty, creation sequence, kind) — a strict
+// total order, since a bucket contributes at most one candidate per kind.
+func (a mergeItem) less(b mergeItem) bool {
+	if a.penalty != b.penalty {
+		return a.penalty < b.penalty
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.kind < b.kind
+}
+
+// candidateHeap is a container/heap min-heap of merge candidates.
+type candidateHeap []mergeItem
+
+func (h candidateHeap) Len() int            { return len(h) }
+func (h candidateHeap) Less(i, j int) bool  { return h[i].less(h[j]) }
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = mergeItem{} // do not pin buckets/entries via the spare slot
+	*h = old[:n-1]
+	return it
+}
+
 // exhaustivePairLimit is the child count up to which all sibling pairs are
 // evaluated; above it, only nearest-neighbor pairs are considered.
 const exhaustivePairLimit = 32
 
+// markDirty queues b for candidate recomputation before the next merge
+// selection.
+func (h *Histogram) markDirty(b *Bucket) {
+	h.dirty[b] = struct{}{}
+}
+
 // touch invalidates every cached merge penalty that depends on b's frequency
-// or children.
+// or children, and queues the affected buckets for recomputation.
 func (h *Histogram) touch(b *Bucket) {
+	h.structGen++
 	delete(h.mergeCache, b)
 	delete(h.sibCache, b)
+	h.markDirty(b)
 	for _, c := range b.children {
 		delete(h.mergeCache, c)
+		h.markDirty(c)
 	}
 	if b.parent != nil {
 		delete(h.sibCache, b.parent)
+		h.markDirty(b.parent)
 		// The parent-child penalties of b's siblings depend on the parent's
 		// own volume and frequency, which b's change may have altered
 		// (structure changes go through touch(parent) as well), but a pure
@@ -64,10 +138,13 @@ func (h *Histogram) touch(b *Bucket) {
 	}
 }
 
-// forget drops all cache entries for a bucket leaving the tree.
+// forget drops all merge-scheduling state for a bucket leaving the tree.
+// Stale heap items are discarded lazily on pop.
 func (h *Histogram) forget(b *Bucket) {
+	h.structGen++
 	delete(h.mergeCache, b)
 	delete(h.sibCache, b)
+	delete(h.dirty, b)
 }
 
 // enforceBudget merges lowest-penalty pairs until the bucket count is within
@@ -78,50 +155,162 @@ func (h *Histogram) enforceBudget() {
 	}
 }
 
-// performBestMerge finds and applies the single cheapest merge. The
-// histogram always has at least one candidate (any non-root bucket can merge
-// into its parent), so this cannot fail while count > 0.
-func (h *Histogram) performBestMerge() {
-	var (
-		bestPenalty        = math.Inf(1)
-		bestChild          *Bucket // parent-child winner
-		bestSibP           *Bucket // sibling winner: parent
-		bestSib1, bestSib2 *Bucket
-	)
-	for _, b := range h.Buckets() {
+// drainDirty recomputes the missing cache entries of the queued buckets and
+// pushes the fresh candidates onto the heap. Entries that survived
+// invalidation (still cached) are not recomputed: their heap items are still
+// live. Afterwards the heap is compacted if lazy deletion has bloated it.
+func (h *Histogram) drainDirty() {
+	for b := range h.dirty {
+		delete(h.dirty, b)
+		if !h.inTree(b) {
+			continue
+		}
 		if b != h.root {
-			e, ok := h.mergeCache[b]
-			if !ok {
-				e = &parentMergeEntry{penalty: parentChildPenalty(b.parent, b)}
+			if _, ok := h.mergeCache[b]; !ok {
+				e := &parentMergeEntry{penalty: parentChildPenalty(b.parent, b)}
 				h.mergeCache[b] = e
-			}
-			if e.penalty < bestPenalty {
-				bestPenalty = e.penalty
-				bestChild = b
-				bestSib1 = nil
+				heap.Push(&h.merges, mergeItem{penalty: e.penalty, seq: b.seq, kind: kindParentChild, bucket: b, pc: e})
 			}
 		}
 		if len(b.children) >= 2 {
-			e, ok := h.sibCache[b]
-			if !ok {
-				e = h.bestSiblingMerge(b)
+			if _, ok := h.sibCache[b]; !ok {
+				e := h.bestSiblingMerge(b)
 				h.sibCache[b] = e
-			}
-			if e.b1 != nil && e.penalty < bestPenalty {
-				bestPenalty = e.penalty
-				bestChild = nil
-				bestSibP, bestSib1, bestSib2 = b, e.b1, e.b2
+				if e.b1 != nil {
+					heap.Push(&h.merges, mergeItem{penalty: e.penalty, seq: b.seq, kind: kindSibling, bucket: b, sib: e})
+				}
 			}
 		}
 	}
-	if bestSib1 != nil {
-		h.mergeSiblings(bestSibP, bestSib1, bestSib2)
+	if live := len(h.mergeCache) + len(h.sibCache); len(h.merges) > 2*live+64 {
+		h.compactHeap()
+	}
+}
+
+// compactHeap drops stale items so lazy deletion cannot grow the heap beyond
+// a constant factor of the live candidate count.
+func (h *Histogram) compactHeap() {
+	kept := h.merges[:0]
+	for _, it := range h.merges {
+		if h.itemLive(it) {
+			kept = append(kept, it)
+		}
+	}
+	for i := len(kept); i < len(h.merges); i++ {
+		h.merges[i] = mergeItem{}
+	}
+	h.merges = kept
+	heap.Init(&h.merges)
+}
+
+// itemLive reports whether a heap item still represents a cached candidate.
+func (h *Histogram) itemLive(it mergeItem) bool {
+	switch it.kind {
+	case kindParentChild:
+		e, ok := h.mergeCache[it.bucket]
+		return ok && e == it.pc
+	case kindSibling:
+		e, ok := h.sibCache[it.bucket]
+		return ok && e == it.sib
+	}
+	return false
+}
+
+// mergeChoice describes one selected merge.
+type mergeChoice struct {
+	kind    int
+	penalty float64
+	seq     uint64
+	p, c    *Bucket // parent-child: merge c into p
+	s1, s2  *Bucket // sibling: merge s1 and s2 under p
+}
+
+func (a mergeChoice) equal(b mergeChoice) bool {
+	return a.kind == b.kind && a.penalty == b.penalty &&
+		a.p == b.p && a.c == b.c && a.s1 == b.s1 && a.s2 == b.s2
+}
+
+// selectBestMerge returns the cheapest live candidate: drain the dirty set,
+// then pop stale items until a live one surfaces. The histogram always has
+// at least one candidate while count > 0 (any non-root bucket can merge into
+// its parent), so this cannot fail when over budget.
+func (h *Histogram) selectBestMerge() mergeChoice {
+	h.drainDirty()
+	for h.merges.Len() > 0 {
+		it := heap.Pop(&h.merges).(mergeItem)
+		if !h.itemLive(it) {
+			continue
+		}
+		if it.kind == kindParentChild {
+			return mergeChoice{kind: kindParentChild, penalty: it.penalty, seq: it.seq, p: it.bucket.parent, c: it.bucket}
+		}
+		return mergeChoice{kind: kindSibling, penalty: it.penalty, seq: it.seq, p: it.bucket, s1: it.sib.b1, s2: it.sib.b2}
+	}
+	panic("sthole: no merge candidate although over budget")
+}
+
+// performBestMerge finds and applies the single cheapest merge.
+func (h *Histogram) performBestMerge() {
+	choice := h.selectBestMerge()
+	if h.crossCheck && h.crossCheckErr == nil {
+		if slow := h.bestMergeSlow(); !choice.equal(slow) {
+			h.crossCheckErr = fmt.Errorf(
+				"sthole: heap merge selection (kind=%d penalty=%g seq=%d) diverges from reference (kind=%d penalty=%g seq=%d)",
+				choice.kind, choice.penalty, choice.seq, slow.kind, slow.penalty, slow.seq)
+		}
+	}
+	if choice.kind == kindParentChild {
+		h.mergeParentChild(choice.p, choice.c)
 		return
 	}
-	if bestChild == nil {
-		panic("sthole: no merge candidate although over budget")
+	h.mergeSiblings(choice.p, choice.s1, choice.s2)
+}
+
+// validateMergeState checks that the merge scheduling state covers the tree:
+// every non-root bucket has a cached parent-child candidate backed by a live
+// heap item or sits in the dirty set, and likewise for the sibling candidate
+// of every parent with >= 2 children. A coverage hole would silently exclude
+// a candidate from budget enforcement.
+func (h *Histogram) validateMergeState() error {
+	onHeap := make(map[*parentMergeEntry]bool)
+	sibOnHeap := make(map[*siblingMergeEntry]bool)
+	for _, it := range h.merges {
+		if it.pc != nil {
+			onHeap[it.pc] = true
+		}
+		if it.sib != nil {
+			sibOnHeap[it.sib] = true
+		}
 	}
-	h.mergeParentChild(bestChild.parent, bestChild)
+	var walk func(b *Bucket) error
+	walk = func(b *Bucket) error {
+		_, dirty := h.dirty[b]
+		if b != h.root {
+			if e, ok := h.mergeCache[b]; ok {
+				if !onHeap[e] {
+					return fmt.Errorf("sthole: cached parent-child candidate of %v missing from heap", b.box)
+				}
+			} else if !dirty {
+				return fmt.Errorf("sthole: bucket %v has neither cached parent-child candidate nor dirty mark", b.box)
+			}
+		}
+		if len(b.children) >= 2 {
+			if e, ok := h.sibCache[b]; ok {
+				if e.b1 != nil && !sibOnHeap[e] {
+					return fmt.Errorf("sthole: cached sibling candidate of %v missing from heap", b.box)
+				}
+			} else if !dirty {
+				return fmt.Errorf("sthole: parent %v has neither cached sibling candidate nor dirty mark", b.box)
+			}
+		}
+		for _, c := range b.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(h.root)
 }
 
 // parentChildPenalty evaluates the closed form of Eq. 2 for merging child c
@@ -157,21 +346,30 @@ func (h *Histogram) bestSiblingMerge(p *Bucket) *siblingMergeEntry {
 		return entry
 	}
 	// Nearest-neighbor candidates only: for each child, the sibling with the
-	// closest box center.
-	centers := make([][]float64, k)
+	// closest box center. Centers go in one flat reusable buffer so the scan
+	// is allocation-free and cache-friendly.
+	dims := p.box.Dims()
+	if cap(h.centerScratch) < k*dims {
+		h.centerScratch = make([]float64, k*dims)
+	}
+	centers := h.centerScratch[:k*dims]
 	for i, c := range p.children {
-		centers[i] = c.box.Center()
+		for t := 0; t < dims; t++ {
+			centers[i*dims+t] = (c.box.Lo[t] + c.box.Hi[t]) / 2
+		}
 	}
 	for i := 0; i < k; i++ {
 		best := -1
 		bestDist := math.Inf(1)
+		ci := centers[i*dims : (i+1)*dims]
 		for j := 0; j < k; j++ {
 			if i == j {
 				continue
 			}
 			d := 0.0
-			for t := range centers[i] {
-				diff := centers[i][t] - centers[j][t]
+			cj := centers[j*dims : (j+1)*dims]
+			for t := range ci {
+				diff := ci[t] - cj[t]
 				d += diff * diff
 			}
 			if d < bestDist {
@@ -191,16 +389,19 @@ func (h *Histogram) bestSiblingMerge(p *Bucket) *siblingMergeEntry {
 // and b2 under parent p, including the box extension of Fig. 3. It reports
 // ok=false when the merge is degenerate (should not be considered).
 func (h *Histogram) siblingPenalty(p, b1, b2 *Bucket) (float64, bool) {
-	box, participants := extendedSiblingBox(p, b1, b2)
-	// Volume of the parent's own region absorbed by the new bucket.
+	box, _ := h.extendedSiblingBox(p, b1, b2)
+	// Volume of the parent's own region absorbed by the new bucket. The
+	// participants' volumes come from the flattened arrays the box extension
+	// just built — same values as part.box.Volume(), without the pointer
+	// chase.
 	vold := box.Volume()
-	for _, part := range participants {
-		vold -= part.box.Volume()
+	for _, i := range h.partIdxScratch {
+		vold -= h.sibVol[i]
 	}
 	if vold < 0 {
 		vold = 0
 	}
-	vp := p.ownVolume()
+	vp := h.sibOwnVol // p.ownVolume(), cached by the box extension above
 	absorbed := 0.0
 	if vp > 0 {
 		absorbed = p.freq * vold / vp
@@ -218,14 +419,50 @@ func (h *Histogram) siblingPenalty(p, b1, b2 *Bucket) (float64, bool) {
 
 // extendedSiblingBox computes the minimal rectangle enclosing b1 and b2,
 // repeatedly extended to fully include any sibling it partially intersects
-// (Fig. 3), and returns it with the siblings it fully contains.
-func extendedSiblingBox(p, b1, b2 *Bucket) (geom.Rect, []*Bucket) {
-	box := b1.box.Enclose(b2.box)
+// (Fig. 3), and returns it with the siblings it fully contains. The returned
+// rectangle and slice are scratch buffers reused by the next call; callers
+// that retain them must copy.
+func (h *Histogram) extendedSiblingBox(p, b1, b2 *Bucket) (geom.Rect, []*Bucket) {
+	h.buildSibArrays(p)
+	children := p.children
+	k := len(children)
+	dims := p.box.Dims()
+	b1.box.EncloseInto(b2.box, &h.boxScratch)
+	box := h.boxScratch
+	// Each pass classifies every sibling against the current box, growing it
+	// on partial overlap; the pass that causes no growth has classified every
+	// sibling against the final box, so it doubles as the participant sweep.
+	// Classification runs entirely on the flattened per-dim arrays — the
+	// same comparisons as Rect.Contains / Rect.IntersectsOpen, without
+	// loading the sibling's bucket — and most siblings are rejected by the
+	// dim-0 interval test alone (it is implied by both predicates).
 	for {
+		h.partScratch = h.partScratch[:0]
+		h.partIdxScratch = h.partIdxScratch[:0]
 		changed := false
-		for _, s := range p.children {
-			if box.IntersectsOpen(s.box) && !box.Contains(s.box) {
-				box = box.Enclose(s.box)
+		lo0, hi0 := box.Lo[0], box.Hi[0]
+		for i := 0; i < k; i++ {
+			slo, shi := h.sibLo[i], h.sibHi[i]
+			if slo > hi0 || shi < lo0 {
+				continue
+			}
+			contained := slo >= lo0 && shi <= hi0
+			iopen := slo < hi0 && shi > lo0
+			for d := 1; d < dims && (contained || iopen); d++ {
+				slo, shi = h.sibLo[d*k+i], h.sibHi[d*k+i]
+				if slo < box.Lo[d] || shi > box.Hi[d] {
+					contained = false
+				}
+				if shi <= box.Lo[d] || slo >= box.Hi[d] {
+					iopen = false
+				}
+			}
+			if contained {
+				h.partScratch = append(h.partScratch, children[i])
+				h.partIdxScratch = append(h.partIdxScratch, i)
+			} else if iopen {
+				box.EncloseInto(children[i].box, &box)
+				lo0, hi0 = box.Lo[0], box.Hi[0]
 				changed = true
 			}
 		}
@@ -233,13 +470,45 @@ func extendedSiblingBox(p, b1, b2 *Bucket) (geom.Rect, []*Bucket) {
 			break
 		}
 	}
-	var participants []*Bucket
-	for _, s := range p.children {
-		if box.Contains(s.box) {
-			participants = append(participants, s)
-		}
+	return box, h.partScratch
+}
+
+// buildSibArrays flattens p's children geometry into the histogram's sibling
+// scan arrays and caches the parent's own volume. The arrays stay valid for
+// repeated pair evaluations over the same unchanged parent (the common case
+// inside one bestSiblingMerge call) and are rebuilt after any tree mutation.
+func (h *Histogram) buildSibArrays(p *Bucket) {
+	if h.sibArrParent == p && h.sibArrGen == h.structGen {
+		return
 	}
-	return box, participants
+	k := len(p.children)
+	dims := p.box.Dims()
+	if cap(h.sibLo) < k*dims {
+		h.sibLo = make([]float64, k*dims)
+		h.sibHi = make([]float64, k*dims)
+	}
+	if cap(h.sibVol) < k {
+		h.sibVol = make([]float64, k)
+	}
+	h.sibLo, h.sibHi, h.sibVol = h.sibLo[:k*dims], h.sibHi[:k*dims], h.sibVol[:k]
+	for i, s := range p.children {
+		for d := 0; d < dims; d++ {
+			h.sibLo[d*k+i] = s.box.Lo[d]
+			h.sibHi[d*k+i] = s.box.Hi[d]
+		}
+		h.sibVol[i] = s.box.Volume()
+	}
+	// Same summation order as Bucket.ownVolume, so the cached value is
+	// bit-identical to recomputing it.
+	own := p.box.Volume()
+	for _, v := range h.sibVol {
+		own -= v
+	}
+	if own < 0 {
+		own = 0
+	}
+	h.sibOwnVol = own
+	h.sibArrParent, h.sibArrGen = p, h.structGen
 }
 
 // mergeParentChild absorbs child c into its parent p: c's tuples join p's
@@ -264,7 +533,7 @@ func (h *Histogram) mergeParentChild(p, c *Bucket) {
 // directly.
 func (h *Histogram) mergeSiblings(p, b1, b2 *Bucket) {
 	h.Stats.SiblingMerges++
-	box, participants := extendedSiblingBox(p, b1, b2)
+	box, participants := h.extendedSiblingBox(p, b1, b2)
 	vold := box.Volume()
 	for _, part := range participants {
 		vold -= part.box.Volume()
@@ -281,7 +550,7 @@ func (h *Histogram) mergeSiblings(p, b1, b2 *Bucket) {
 		}
 	}
 
-	bn := &Bucket{box: box, freq: b1.freq + b2.freq + absorbed}
+	bn := &Bucket{box: box.Clone(), freq: b1.freq + b2.freq + absorbed, seq: h.nextSeq()}
 	for _, part := range participants {
 		p.detach(part)
 		if part == b1 || part == b2 {

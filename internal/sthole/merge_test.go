@@ -116,7 +116,7 @@ func TestSiblingMergeExtension(t *testing.T) {
 	b1 := h.addChild(h.root, rect2(1, 1, 4, 4), 10)
 	b2 := h.addChild(h.root, rect2(8, 1, 11, 4), 10)
 	b3 := h.addChild(h.root, rect2(5, 2, 7, 6), 10) // sticks out above the b1-b2 box
-	box, parts := extendedSiblingBox(h.root, b1, b2)
+	box, parts := h.extendedSiblingBox(h.root, b1, b2)
 	if !box.Contains(b3.box) {
 		t.Fatalf("extended box %v does not include b3", box)
 	}
