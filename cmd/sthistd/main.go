@@ -10,21 +10,38 @@
 //
 // A table spec is NAME=PATH for a file, or NAME=@DATASET:SCALE for a
 // generated dataset.
+//
+// With -data-dir set, every table becomes crash-safe: accepted feedback is
+// appended to a per-table write-ahead log under <data-dir>/<table>/ before
+// it is applied, and the histogram is checkpointed periodically (see
+// internal/wal). On startup the daemon restores the latest checkpoint and
+// replays the log tail, so a crash or kill loses at most the records after
+// the last fsync. SIGINT/SIGTERM trigger a graceful shutdown: /healthz
+// flips to 503, in-flight requests drain, and every table is checkpointed
+// before the process exits.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"sthist"
 	"sthist/internal/datagen"
 	"sthist/internal/dataset"
 	"sthist/internal/httpapi"
+	"sthist/internal/wal"
 )
 
 // tableSpecs collects repeated -table flags.
@@ -37,49 +54,263 @@ func (t *tableSpecs) Set(v string) error {
 	return nil
 }
 
+// config is the parsed command line.
+type config struct {
+	addr          string
+	dataDir       string
+	fsync         string
+	ckptInterval  time.Duration
+	ckptRecords   int
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	maxBody       int64
+	shutdownGrace time.Duration
+}
+
+// daemon is the assembled server: the HTTP surface plus the write-ahead
+// logs it must checkpoint and close on the way down.
+type daemon struct {
+	srv  *httpapi.Server
+	cfg  config
+	logs map[string]*wal.Log
+}
+
 func main() {
-	srv, addr, err := setup(os.Args[1:])
+	d, err := setup(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sthistd:", err)
 		os.Exit(1)
 	}
-	log.Printf("sthistd listening on %s", addr)
-	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+	if err := d.run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "sthistd:", err)
+		os.Exit(1)
+	}
 }
 
-// setup parses flags, loads every table and returns the ready server.
-func setup(args []string) (*httpapi.Server, string, error) {
+// setup parses flags, loads every table (recovering durable state when
+// -data-dir is set) and returns the ready daemon.
+func setup(args []string) (*daemon, error) {
 	fs := flag.NewFlagSet("sthistd", flag.ContinueOnError)
 	var specs tableSpecs
 	fs.Var(&specs, "table", "table spec NAME=PATH or NAME=@DATASET:SCALE (repeatable)")
 	addr := fs.String("addr", ":8080", "listen address")
 	buckets := fs.Int("buckets", 100, "histogram bucket budget per table")
 	seed := fs.Int64("seed", 1, "clustering seed")
+	validateEvery := fs.Int("validate-every", sthist.DefaultValidateEvery,
+		"verify histogram invariants every N feedbacks (negative disables)")
+	dataDir := fs.String("data-dir", "", "directory for per-table WAL + checkpoints (empty = no durability)")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always or none")
+	ckptInterval := fs.Duration("checkpoint-interval", 30*time.Second, "how often to consider checkpointing")
+	ckptRecords := fs.Int("checkpoint-records", 1024, "checkpoint a table once this many records accumulate in its WAL")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
+	maxBody := fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	shutdownGrace := fs.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if len(specs) == 0 {
-		return nil, "", fmt.Errorf("at least one -table is required")
+		return nil, fmt.Errorf("at least one -table is required")
 	}
-	srv := httpapi.NewServer()
+	var sync wal.SyncPolicy
+	switch *fsync {
+	case "always":
+		sync = wal.SyncAlways
+	case "none":
+		sync = wal.SyncNever
+	default:
+		return nil, fmt.Errorf("bad -fsync %q (want always or none)", *fsync)
+	}
+
+	d := &daemon{
+		srv: httpapi.NewServer(),
+		cfg: config{
+			addr:          *addr,
+			dataDir:       *dataDir,
+			fsync:         *fsync,
+			ckptInterval:  *ckptInterval,
+			ckptRecords:   *ckptRecords,
+			readTimeout:   *readTimeout,
+			writeTimeout:  *writeTimeout,
+			maxBody:       *maxBody,
+			shutdownGrace: *shutdownGrace,
+		},
+		logs: make(map[string]*wal.Log),
+	}
+	d.srv.SetMaxBodyBytes(*maxBody)
+
+	opts := sthist.Options{Buckets: *buckets, Seed: *seed, ValidateEvery: *validateEvery}
 	for _, spec := range specs {
 		name, src, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || src == "" {
-			return nil, "", fmt.Errorf("bad table spec %q (want NAME=PATH or NAME=@DATASET:SCALE)", spec)
+			d.closeLogs()
+			return nil, fmt.Errorf("bad table spec %q (want NAME=PATH or NAME=@DATASET:SCALE)", spec)
 		}
 		tab, err := loadTable(src, *seed)
 		if err != nil {
-			return nil, "", fmt.Errorf("loading table %q: %w", name, err)
+			d.closeLogs()
+			return nil, fmt.Errorf("loading table %q: %w", name, err)
 		}
-		est, err := sthist.Open(tab, sthist.Options{Buckets: *buckets, Seed: *seed})
-		if err != nil {
-			return nil, "", fmt.Errorf("opening estimator for %q: %w", name, err)
+		if *dataDir == "" {
+			est, err := sthist.Open(tab, opts)
+			if err != nil {
+				d.closeLogs()
+				return nil, fmt.Errorf("opening estimator for %q: %w", name, err)
+			}
+			if err := d.srv.Register(name, est); err != nil {
+				d.closeLogs()
+				return nil, err
+			}
+			continue
 		}
-		if err := srv.Register(name, est); err != nil {
-			return nil, "", err
+		if err := d.openDurable(name, tab, opts, sync); err != nil {
+			d.closeLogs()
+			return nil, err
 		}
 	}
-	return srv, *addr, nil
+	return d, nil
+}
+
+// openDurable opens the table's WAL directory, restores the latest
+// checkpoint (or re-seeds the histogram from the data when there is none),
+// replays the surviving log tail and registers the recovered estimator.
+func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options, sync wal.SyncPolicy) error {
+	dir := filepath.Join(d.cfg.dataDir, name)
+	l, rc, err := wal.Open(dir, wal.Options{Sync: sync})
+	if err != nil {
+		return fmt.Errorf("opening wal for %q: %w", name, err)
+	}
+	if rc.SnapshotErr != nil {
+		log.Printf("sthistd: table %q: checkpoint unreadable (%v); re-seeding from data and replaying the log", name, rc.SnapshotErr)
+	}
+	if rc.Torn {
+		log.Printf("sthistd: table %q: torn record at log tail truncated (crash mid-write)", name)
+	}
+	if rc.Skipped > 0 {
+		log.Printf("sthistd: table %q: skipped %d corrupt log records", name, rc.Skipped)
+	}
+
+	// A usable snapshot makes the clustering pass redundant: the histogram
+	// is about to be replaced wholesale by LoadHistogram.
+	haveSnap := rc.Snapshot != nil && rc.SnapshotErr == nil
+	estOpts := opts
+	if haveSnap {
+		estOpts.SkipInitialization = true
+	}
+	est, err := sthist.Open(tab, estOpts)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("opening estimator for %q: %w", name, err)
+	}
+	if haveSnap {
+		if err := est.LoadHistogram(bytes.NewReader(rc.Snapshot)); err != nil {
+			// A checkpoint that fails validation is treated like a missing
+			// one: re-seed from the data, then replay.
+			log.Printf("sthistd: table %q: rejecting checkpoint snapshot (%v); re-seeding from data", name, err)
+			if est, err = sthist.Open(tab, opts); err != nil {
+				l.Close()
+				return fmt.Errorf("re-opening estimator for %q: %w", name, err)
+			}
+		}
+	}
+	replayErrs := 0
+	for _, r := range rc.Records {
+		q, err := sthist.NewRect(r.Lo, r.Hi)
+		if err != nil {
+			replayErrs++
+			continue
+		}
+		if err := est.Feedback(q, r.Actual); err != nil {
+			replayErrs++
+		}
+	}
+	if replayErrs > 0 {
+		log.Printf("sthistd: table %q: %d of %d replayed records rejected", name, replayErrs, len(rc.Records))
+	}
+	if len(rc.Records) > 0 || rc.Snapshot != nil {
+		log.Printf("sthistd: table %q: recovered checkpoint=%v, replayed %d records (last seq %d)",
+			name, haveSnap, len(rc.Records), l.LastSeq())
+	}
+	if err := d.srv.RegisterDurable(name, est, l); err != nil {
+		l.Close()
+		return err
+	}
+	d.logs[name] = l
+	return nil
+}
+
+func (d *daemon) closeLogs() {
+	for name, l := range d.logs {
+		if err := l.Close(); err != nil {
+			log.Printf("sthistd: closing wal for %q: %v", name, err)
+		}
+	}
+}
+
+// run serves until the context is cancelled or a signal arrives, then
+// drains, checkpoints every durable table and closes the logs.
+func (d *daemon) run(ctx context.Context) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{
+		Addr:         d.cfg.addr,
+		Handler:      d.srv.Handler(),
+		ReadTimeout:  d.cfg.readTimeout,
+		WriteTimeout: d.cfg.writeTimeout,
+	}
+
+	// Periodic checkpointing: rotate any WAL that accumulated enough
+	// records, and retry failed ones (a successful checkpoint heals a WAL
+	// whose append errored).
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		t := time.NewTicker(d.cfg.ckptInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := d.srv.CheckpointDue(d.cfg.ckptRecords); err != nil {
+					log.Printf("sthistd: checkpoint: %v", err)
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	log.Printf("sthistd listening on %s (durable tables: %d)", d.cfg.addr, len(d.logs))
+
+	select {
+	case err := <-errc:
+		d.closeLogs()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop advertising readiness, drain in-flight
+	// requests, then checkpoint so the WAL tail is empty on a clean exit.
+	log.Printf("sthistd: shutting down")
+	d.srv.SetDraining(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), d.cfg.shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		log.Printf("sthistd: drain: %v", err)
+	}
+	<-ckptDone
+	if err := d.srv.CheckpointAll(); err != nil {
+		log.Printf("sthistd: final checkpoint: %v", err)
+	}
+	d.closeLogs()
+	log.Printf("sthistd: bye")
+	return nil
 }
 
 // loadTable reads a CSV/binary file, or generates @DATASET:SCALE.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -13,23 +15,19 @@ import (
 )
 
 func TestSetupValidation(t *testing.T) {
-	if _, _, err := setup(nil); err == nil {
-		t.Error("no tables accepted")
+	cases := map[string][]string{
+		"no-tables":       nil,
+		"spec-without-eq": {"-table", "bad"},
+		"empty-name":      {"-table", "=x"},
+		"unknown-dataset": {"-table", "t=@nope:1"},
+		"bad-scale":       {"-table", "t=@cross:x"},
+		"missing-file":    {"-table", "t=/no/such.csv"},
+		"bad-fsync":       {"-table", "t=@cross:0.02", "-fsync", "sometimes"},
 	}
-	if _, _, err := setup([]string{"-table", "bad"}); err == nil {
-		t.Error("spec without = accepted")
-	}
-	if _, _, err := setup([]string{"-table", "=x"}); err == nil {
-		t.Error("empty name accepted")
-	}
-	if _, _, err := setup([]string{"-table", "t=@nope:1"}); err == nil {
-		t.Error("unknown dataset accepted")
-	}
-	if _, _, err := setup([]string{"-table", "t=@cross:x"}); err == nil {
-		t.Error("bad scale accepted")
-	}
-	if _, _, err := setup([]string{"-table", "t=/no/such.csv"}); err == nil {
-		t.Error("missing file accepted")
+	for name, args := range cases {
+		if _, err := setup(args); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 
@@ -46,7 +44,7 @@ func TestSetupGeneratedAndFileTables(t *testing.T) {
 	}
 	f.Close()
 
-	srv, addr, err := setup([]string{
+	d, err := setup([]string{
 		"-addr", ":0",
 		"-buckets", "30",
 		"-table", "gen=@cross:0.02",
@@ -55,10 +53,13 @@ func TestSetupGeneratedAndFileTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":0" {
-		t.Errorf("addr = %q", addr)
+	if d.cfg.addr != ":0" {
+		t.Errorf("addr = %q", d.cfg.addr)
 	}
-	ts := httptest.NewServer(srv.Handler())
+	if len(d.logs) != 0 {
+		t.Errorf("durability enabled without -data-dir: %d logs", len(d.logs))
+	}
+	ts := httptest.NewServer(d.srv.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/tables")
 	if err != nil {
@@ -81,5 +82,123 @@ func TestSetupGeneratedAndFileTables(t *testing.T) {
 	defer r2.Body.Close()
 	if r2.StatusCode != http.StatusOK {
 		t.Errorf("estimate status = %d", r2.StatusCode)
+	}
+}
+
+// estimateOf returns the raw estimate for a fixed probe query.
+func estimateOf(t *testing.T, url string, lo, hi [2]float64) float64 {
+	t.Helper()
+	body := fmt.Sprintf(`{"table":"gen","lo":[%g,%g],"hi":[%g,%g]}`, lo[0], lo[1], hi[0], hi[1])
+	resp, err := http.Post(url+"/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Estimate
+}
+
+// TestRestartRecoversDurableState is the daemon-level recovery round trip:
+// serve feedback with -data-dir set, checkpoint mid-stream, tear the server
+// down, set it up again from the same directory, and require bit-identical
+// estimates from the recovered process.
+func TestRestartRecoversDurableState(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{
+		"-table", "gen=@cross:0.02",
+		"-buckets", "30",
+		"-seed", "7",
+		"-data-dir", dataDir,
+		"-fsync", "none", // keep the test fast; durability is wal's own tests' job
+	}
+	d1, err := setup(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.logs) != 1 {
+		t.Fatalf("expected 1 durable table, got %d", len(d1.logs))
+	}
+	ts := httptest.NewServer(d1.srv.Handler())
+
+	feedbacks := [][4]float64{
+		{100, 100, 300, 300}, {400, 0, 600, 1000}, {0, 400, 1000, 600},
+		{200, 200, 500, 500}, {600, 600, 900, 900}, {50, 50, 150, 950},
+		{300, 100, 700, 400}, {100, 700, 400, 950}, {450, 450, 550, 550},
+	}
+	post := func(i int, f [4]float64) {
+		t.Helper()
+		body := fmt.Sprintf(`{"table":"gen","lo":[%g,%g],"hi":[%g,%g],"actual":%d}`,
+			f[0], f[1], f[2], f[3], 100+i*37)
+		resp, err := http.Post(ts.URL+"/feedback", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("feedback %d: status = %d", i, resp.StatusCode)
+		}
+	}
+	for i, f := range feedbacks[:6] {
+		post(i, f)
+	}
+	// Rotate a checkpoint mid-stream so recovery exercises snapshot + tail.
+	if err := d1.srv.Checkpoint("gen"); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range feedbacks[6:] {
+		post(6+i, f)
+	}
+
+	probes := [][4]float64{
+		{450, 0, 550, 1000}, {0, 450, 1000, 550}, {100, 100, 900, 900}, {250, 250, 350, 350},
+	}
+	want := make([]float64, len(probes))
+	for i, p := range probes {
+		want[i] = estimateOf(t, ts.URL, [2]float64{p[0], p[1]}, [2]float64{p[2], p[3]})
+	}
+	ts.Close()
+	d1.closeLogs()
+
+	// "Restart": a second setup from the same flags and data directory.
+	d2, err := setup(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.closeLogs()
+	ts2 := httptest.NewServer(d2.srv.Handler())
+	defer ts2.Close()
+
+	for i, p := range probes {
+		got := estimateOf(t, ts2.URL, [2]float64{p[0], p[1]}, [2]float64{p[2], p[3]})
+		if math.Float64bits(got) != math.Float64bits(want[i]) {
+			t.Errorf("probe %d: recovered estimate %v != pre-restart %v", i, got, want[i])
+		}
+	}
+
+	// The recovered WAL continues the sequence instead of restarting it.
+	sr, err := http.Get(ts2.URL + "/stats?table=gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var stats struct {
+		WAL struct {
+			Enabled bool   `json:"enabled"`
+			LastSeq uint64 `json:"last_seq"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.WAL.Enabled || stats.WAL.LastSeq != uint64(len(feedbacks)) {
+		t.Errorf("recovered wal stats = %+v, want enabled with last_seq %d", stats.WAL, len(feedbacks))
 	}
 }

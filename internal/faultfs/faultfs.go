@@ -1,0 +1,266 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// durability layer (internal/wal) performs behind a narrow interface, so
+// tests can substitute an implementation that fails, short-writes, or
+// corrupts data at a chosen operation. Production code uses the passthrough
+// OS implementation; the fault-injection tests use Injector to prove that
+// checkpoint rotation is atomic and that fsync errors are surfaced instead
+// of silently dropping durability.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the WAL needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer. All paths are
+// interpreted as by the os package.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so a preceding rename is durable.
+	SyncDir(name string) error
+}
+
+// ReadFile reads the whole file through fsys. It exists so callers can stay
+// on the injectable interface instead of reaching for os.ReadFile.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// OS is the passthrough implementation backed by the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Op identifies a class of mutating filesystem operations for fault
+// matching. Read-only operations (opens without O_CREATE, stats, reads) are
+// never counted: a fault schedule stays stable when recovery-time reads are
+// added or removed.
+type Op string
+
+const (
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpCreate   Op = "create" // OpenFile with os.O_CREATE
+	OpTruncate Op = "truncate"
+	OpSyncDir  Op = "syncdir"
+	// OpAny matches every mutating operation; its counter advances once per
+	// mutating op regardless of kind, which lets a test sweep "fail the k-th
+	// mutation" across a whole multi-step protocol.
+	OpAny Op = "any"
+)
+
+// Mode selects what happens when a fault fires.
+type Mode int
+
+const (
+	// Fail returns ErrInjected without performing the operation.
+	Fail Mode = iota
+	// ShortWrite performs only the first half of a write and returns
+	// ErrInjected (only meaningful for OpWrite; other ops treat it as Fail).
+	ShortWrite
+	// Corrupt flips one bit of the written payload but reports success
+	// (only meaningful for OpWrite; other ops treat it as Fail).
+	Corrupt
+)
+
+// ErrInjected is returned by operations a fault decided to fail.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Fault describes one scheduled fault: the Nth (1-based) operation matching
+// Op behaves per Mode. Each fault fires at most once.
+type Fault struct {
+	Op   Op
+	Nth  int
+	Mode Mode
+}
+
+// Injector wraps an FS and applies scheduled faults to mutating operations.
+// It is safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	faults []Fault
+	counts map[Op]int
+	fired  []Fault
+}
+
+// NewInjector wraps inner with the given fault schedule. A Fault with
+// Nth <= 0 is normalized to 1.
+func NewInjector(inner FS, faults ...Fault) *Injector {
+	fl := make([]Fault, len(faults))
+	copy(fl, faults)
+	for i := range fl {
+		if fl[i].Nth <= 0 {
+			fl[i].Nth = 1
+		}
+	}
+	return &Injector{inner: inner, faults: fl, counts: make(map[Op]int)}
+}
+
+// Count returns how many mutating operations of the given kind (or OpAny for
+// the total) the injector has seen. Tests use a fault-free injector to
+// measure a protocol's operation count before sweeping failures over it.
+func (in *Injector) Count(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// Fired returns the faults that have triggered so far.
+func (in *Injector) Fired() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Fault, len(in.fired))
+	copy(out, in.fired)
+	return out
+}
+
+// hit records one mutating operation of kind op and returns the fault to
+// apply, if any.
+func (in *Injector) hit(op Op) *Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	in.counts[OpAny]++
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Nth == 0 {
+			continue // already fired
+		}
+		if (f.Op == op && in.counts[op] == f.Nth) ||
+			(f.Op == OpAny && in.counts[OpAny] == f.Nth) {
+			fired := *f
+			f.Nth = 0
+			in.fired = append(in.fired, fired)
+			return &fired
+		}
+	}
+	return nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		if f := in.hit(OpCreate); f != nil {
+			return nil, fmt.Errorf("%w: create %s", ErrInjected, name)
+		}
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.hit(OpRename); f != nil {
+		return fmt.Errorf("%w: rename %s -> %s", ErrInjected, oldpath, newpath)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if f := in.hit(OpRemove); f != nil {
+		return fmt.Errorf("%w: remove %s", ErrInjected, name)
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) { return in.inner.Stat(name) }
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if f := in.hit(OpTruncate); f != nil {
+		return fmt.Errorf("%w: truncate %s", ErrInjected, name)
+	}
+	return in.inner.Truncate(name, size)
+}
+
+func (in *Injector) SyncDir(name string) error {
+	if f := in.hit(OpSyncDir); f != nil {
+		return fmt.Errorf("%w: syncdir %s", ErrInjected, name)
+	}
+	return in.inner.SyncDir(name)
+}
+
+// injFile routes Write and Sync through the injector.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	fault := f.in.hit(OpWrite)
+	if fault == nil {
+		return f.File.Write(p)
+	}
+	switch fault.Mode {
+	case ShortWrite:
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: short write to %s", ErrInjected, f.Name())
+	case Corrupt:
+		q := make([]byte, len(p))
+		copy(q, p)
+		if len(q) > 0 {
+			q[len(q)/2] ^= 0x40
+		}
+		return f.File.Write(q)
+	default:
+		return 0, fmt.Errorf("%w: write to %s", ErrInjected, f.Name())
+	}
+}
+
+func (f *injFile) Sync() error {
+	if fault := f.in.hit(OpSync); fault != nil {
+		return fmt.Errorf("%w: sync %s", ErrInjected, f.Name())
+	}
+	return f.File.Sync()
+}

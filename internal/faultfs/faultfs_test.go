@@ -1,0 +1,131 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	var fsys FS = OS{}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadFile(fsys, filepath.Join(dir, "b.txt"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.Truncate(filepath.Join(dir, "b.txt"), 2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = ReadFile(fsys, filepath.Join(dir, "b.txt"))
+	if string(data) != "he" {
+		t.Fatalf("after truncate: %q", data)
+	}
+}
+
+func TestInjectorFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, Nth: 2, Mode: Fail})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("third write failed: %v (faults must fire once)", err)
+	}
+	if got := in.Count(OpWrite); got != 3 {
+		t.Errorf("write count = %d, want 3", got)
+	}
+	if len(in.Fired()) != 1 {
+		t.Errorf("fired = %v, want exactly one", in.Fired())
+	}
+}
+
+func TestInjectorShortWriteAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{},
+		Fault{Op: OpWrite, Nth: 1, Mode: ShortWrite},
+		Fault{Op: OpWrite, Nth: 2, Mode: Corrupt},
+	)
+	path := filepath.Join(dir, "w")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("XYZW")); err != nil {
+		t.Fatalf("corrupt write reported error: %v", err)
+	}
+	f.Close()
+	data, _ := ReadFile(OS{}, path)
+	if string(data[:3]) != "abc" {
+		t.Errorf("short-write prefix = %q", data[:3])
+	}
+	if string(data[3:]) == "XYZW" {
+		t.Errorf("corrupt write left data intact: %q", data[3:])
+	}
+	if len(data) != 7 {
+		t.Errorf("file length = %d, want 7", len(data))
+	}
+}
+
+func TestInjectorFailRenameSyncDirAndAny(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpRename, Nth: 1}, Fault{Op: OpSyncDir, Nth: 1})
+	src := filepath.Join(dir, "src")
+	if f, err := in.OpenFile(src, os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+	if err := in.Rename(src, filepath.Join(dir, "dst")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if err := in.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir err = %v", err)
+	}
+	// OpAny counts every mutating op: create + rename + syncdir = 3.
+	if got := in.Count(OpAny); got != 3 {
+		t.Errorf("any count = %d, want 3", got)
+	}
+
+	in2 := NewInjector(OS{}, Fault{Op: OpAny, Nth: 2})
+	f, err := in2.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err) // create is op 1
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second mutating op err = %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,85 @@
+package httpapi
+
+import (
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sthist"
+)
+
+// FuzzDecodeQuery drives the shared request decoder of /estimate and
+// /feedback with arbitrary bodies. The seed corpus replays in the normal
+// test suite (`go test` runs fuzz targets over their corpus), so every CI
+// run re-checks the interesting shapes; `go test -fuzz=FuzzDecodeQuery`
+// explores further.
+func FuzzDecodeQuery(f *testing.F) {
+	tab, err := sthist.NewTable("x", "y")
+	if err != nil {
+		f.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 800; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	est, err := sthist.Open(tab, sthist.Options{Buckets: 15, Seed: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := NewServer()
+	if err := s.Register("orders", est); err != nil {
+		f.Fatal(err)
+	}
+
+	seeds := []string{
+		`{"table":"orders","lo":[0,0],"hi":[1,1]}`,
+		`{"table":"orders","lo":[0,0],"hi":[1,1],"actual":12}`,
+		`{"table":"orders","lo":[0,0],"hi":[1,1],"actual":-1}`,
+		`{"table":"orders","lo":[0,0],"hi":[1,1],"actual":1e999}`,
+		`{"table":"orders","lo":[1,1],"hi":[0,0]}`,
+		`{"table":"orders","lo":[0],"hi":[1]}`,
+		`{"table":"orders","lo":[],"hi":[]}`,
+		`{"table":"nope","lo":[0,0],"hi":[1,1]}`,
+		`{"table":"orders","lo":[0,0],"hi":[1,1],"extra":true}`,
+		`{"table":"orders","lo":[0,0]`,
+		`[]`,
+		`null`,
+		``,
+		`{"table":"orders","lo":[null,0],"hi":[1,1]}`,
+		`{"table":"orders","lo":[-1e308,-1e308],"hi":[1e308,1e308],"actual":0}`,
+		strings.Repeat(`[`, 1000),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/feedback", strings.NewReader(string(body)))
+		ent, q, req, err := s.decodeQuery(w, r)
+		if err != nil {
+			return // rejected: the invariant is just "no panic"
+		}
+		// Accepted requests must be fully usable downstream.
+		if ent == nil || req == nil {
+			t.Fatalf("nil entry/request without error for %q", body)
+		}
+		if q.Dims() != ent.est.Domain().Dims() {
+			t.Fatalf("accepted rect with %d dims for %d-dim table: %q", q.Dims(), ent.est.Domain().Dims(), body)
+		}
+		for d := 0; d < q.Dims(); d++ {
+			if math.IsNaN(q.Lo[d]) || math.IsNaN(q.Hi[d]) || q.Lo[d] > q.Hi[d] {
+				t.Fatalf("accepted malformed rect %v for %q", q, body)
+			}
+		}
+		if req.Actual != nil {
+			// The decoder leaves actual-validation to the handler, but the
+			// value must at least have round-tripped through JSON (finite).
+			if math.IsNaN(*req.Actual) || math.IsInf(*req.Actual, 0) {
+				t.Fatalf("non-finite actual survived JSON decoding: %q", body)
+			}
+		}
+	})
+}

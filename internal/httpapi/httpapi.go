@@ -5,35 +5,92 @@
 //
 //	GET  /tables                         -> ["orders", "sensors"]
 //	POST /estimate {"table","lo","hi"}   -> {"estimate","selectivity"}
-//	POST /feedback {"table","lo","hi","actual"} -> {"ok":true}
-//	GET  /stats?table=orders             -> histogram maintenance counters
+//	POST /feedback {"table","lo","hi","actual"} -> {"ok":true,"seq":n}
+//	GET  /stats?table=orders             -> maintenance counters + health + wal state
+//	GET  /healthz                        -> readiness + per-table health
+//
+// The server is hardened for unattended operation: request bodies are
+// size-capped, malformed or non-finite feedback is rejected with 400, a
+// panic inside an estimator quarantines that table (serving degrades to its
+// last good snapshot) instead of killing the process, and tables registered
+// with RegisterDurable write every accepted feedback to a write-ahead log
+// before applying it, with periodic checkpoints via Checkpoint/CheckpointAll
+// (see internal/wal for the recovery protocol).
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sthist"
 	"sthist/internal/geom"
+	"sthist/internal/wal"
 )
+
+// DefaultMaxBodyBytes caps request bodies; estimate/feedback requests are a
+// few hundred bytes even at high dimensionality.
+const DefaultMaxBodyBytes = 1 << 20
+
+// entry is one served table: the estimator plus its (optional) durability
+// state. jmu serializes the WAL-append + apply pair against checkpoints so a
+// snapshot never captures a feedback its log position does not.
+type entry struct {
+	est *sthist.Estimator
+
+	jmu            sync.Mutex
+	log            *wal.Log
+	appendErrors   int // WAL appends that failed (served anyway, durability degraded)
+	sinceCkpt      int // records appended since the last checkpoint
+	panicRecovered int // estimator panics recovered by the handler
+}
 
 // Server routes estimator traffic. Register tables before serving; handlers
 // are safe for concurrent use (the Estimator itself is synchronized).
 type Server struct {
-	mu     sync.RWMutex
-	tables map[string]*sthist.Estimator
+	mu       sync.RWMutex
+	tables   map[string]*entry
+	maxBody  int64
+	draining atomic.Bool
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{tables: make(map[string]*sthist.Estimator)}
+	return &Server{tables: make(map[string]*entry), maxBody: DefaultMaxBodyBytes}
+}
+
+// SetMaxBodyBytes overrides the request body cap (values < 1 keep the
+// default).
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n >= 1 {
+		s.maxBody = n
+	}
 }
 
 // Register adds an estimator under the given table name.
 func (s *Server) Register(name string, est *sthist.Estimator) error {
+	return s.register(name, est, nil)
+}
+
+// RegisterDurable adds an estimator whose accepted feedback is appended to
+// the write-ahead log before being applied. The caller owns recovery (replay
+// into est before registering) and the log's lifetime; use Checkpoint /
+// CheckpointAll to rotate snapshots.
+func (s *Server) RegisterDurable(name string, est *sthist.Estimator, l *wal.Log) error {
+	if l == nil {
+		return fmt.Errorf("httpapi: nil wal for %q", name)
+	}
+	return s.register(name, est, l)
+}
+
+func (s *Server) register(name string, est *sthist.Estimator, l *wal.Log) error {
 	if name == "" {
 		return fmt.Errorf("httpapi: empty table name")
 	}
@@ -45,28 +102,53 @@ func (s *Server) Register(name string, est *sthist.Estimator) error {
 	if _, ok := s.tables[name]; ok {
 		return fmt.Errorf("httpapi: table %q already registered", name)
 	}
-	s.tables[name] = est
+	s.tables[name] = &entry{est: est, log: l}
 	return nil
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// SetDraining flips the readiness state: while draining, /healthz returns
+// 503 so load balancers stop routing new traffic, but in-flight and
+// straggler requests are still served. Called at the start of graceful
+// shutdown.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// Handler returns the HTTP handler with all routes mounted, wrapped in
+// panic-recovery middleware: a panic that escapes a handler is answered
+// with 500 instead of unwinding the whole server. (Estimator panics are
+// additionally caught per-table and quarantine the estimator — see
+// entry.apply.)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/feedback", s.handleFeedback)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return recoverMiddleware(mux)
 }
 
-func (s *Server) lookup(name string) (*sthist.Estimator, error) {
+// recoverMiddleware converts an escaped panic into a 500 response.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("httpapi: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				// The handler may have written already; this is best-effort.
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) lookup(name string) (*entry, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	est, ok := s.tables[name]
+	ent, ok := s.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown table %q", name)
 	}
-	return est, nil
+	return ent, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -102,12 +184,21 @@ type queryRequest struct {
 	Actual *float64  `json:"actual,omitempty"` // feedback only
 }
 
-func (s *Server) decodeQuery(r *http.Request) (*sthist.Estimator, geom.Rect, *queryRequest, error) {
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (*entry, geom.Rect, *queryRequest, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	// Unknown fields are client bugs (a misspelled "actual" would otherwise
+	// silently drop the observation); reject them loudly.
+	dec.DisallowUnknownFields()
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, geom.Rect{}, nil, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
 		return nil, geom.Rect{}, nil, fmt.Errorf("decoding request: %w", err)
 	}
-	est, err := s.lookup(req.Table)
+	ent, err := s.lookup(req.Table)
 	if err != nil {
 		return nil, geom.Rect{}, nil, err
 	}
@@ -115,10 +206,10 @@ func (s *Server) decodeQuery(r *http.Request) (*sthist.Estimator, geom.Rect, *qu
 	if err != nil {
 		return nil, geom.Rect{}, nil, err
 	}
-	if q.Dims() != est.Domain().Dims() {
-		return nil, geom.Rect{}, nil, fmt.Errorf("query has %d dimensions, table %q has %d", q.Dims(), req.Table, est.Domain().Dims())
+	if q.Dims() != ent.est.Domain().Dims() {
+		return nil, geom.Rect{}, nil, fmt.Errorf("query has %d dimensions, table %q has %d", q.Dims(), req.Table, ent.est.Domain().Dims())
 	}
-	return est, q, &req, nil
+	return ent, q, &req, nil
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -126,15 +217,35 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
 	}
-	est, q, _, err := s.decodeQuery(r)
+	ent, q, _, err := s.decodeQuery(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	est, sel, err := ent.estimate(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]float64{
-		"estimate":    est.Estimate(q),
-		"selectivity": est.Selectivity(q),
+		"estimate":    est,
+		"selectivity": sel,
 	})
+}
+
+// estimate serves an estimate, quarantining the table if the histogram
+// panics instead of propagating the panic to the server.
+func (e *entry) estimate(q geom.Rect) (est, sel float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.est.Quarantine(fmt.Errorf("panic during estimate: %v", p))
+			e.jmu.Lock()
+			e.panicRecovered++
+			e.jmu.Unlock()
+			err = fmt.Errorf("estimate failed; table degraded to last good snapshot")
+		}
+	}()
+	return e.est.Estimate(q), e.est.Selectivity(q), nil
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -142,17 +253,167 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
 	}
-	est, q, req, err := s.decodeQuery(r)
+	ent, q, req, err := s.decodeQuery(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Actual == nil || *req.Actual < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback needs a non-negative \"actual\" row count"))
+	if req.Actual == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback needs an \"actual\" row count"))
 		return
 	}
-	est.Feedback(q, *req.Actual)
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	actual := *req.Actual
+	if math.IsNaN(actual) || math.IsInf(actual, 0) || actual < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback \"actual\" must be finite and non-negative, got %g", actual))
+		return
+	}
+	// Full validation (domain overlap etc.) before the record is logged:
+	// the WAL must only ever contain replayable feedback.
+	if err := ent.est.ValidateFeedback(q, actual); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seq, err := ent.feedback(q, actual)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]any{"ok": true}
+	if seq > 0 {
+		resp["seq"] = seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// feedback logs (when durable) and applies one validated observation.
+// A failed WAL append degrades durability but not availability: the
+// feedback is still applied and the failure is counted for /stats and
+// /healthz. A panic inside the estimator quarantines the table.
+func (e *entry) feedback(q geom.Rect, actual float64) (uint64, error) {
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	var seq uint64
+	if e.log != nil {
+		var err error
+		seq, err = e.log.Append(wal.Record{Lo: q.Lo, Hi: q.Hi, Actual: actual})
+		if err != nil {
+			e.appendErrors++
+		} else {
+			e.sinceCkpt++
+		}
+	}
+	return seq, e.apply(q, actual)
+}
+
+func (e *entry) apply(q geom.Rect, actual float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.est.Quarantine(fmt.Errorf("panic during feedback: %v", p))
+			e.panicRecovered++
+			err = fmt.Errorf("feedback failed; table degraded to last good snapshot")
+		}
+	}()
+	return e.est.Feedback(q, actual)
+}
+
+// Checkpoint snapshots the named table's histogram and rotates its WAL.
+// Tables without durability are a no-op.
+func (s *Server) Checkpoint(name string) error {
+	ent, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	return ent.checkpoint()
+}
+
+func (e *entry) checkpoint() error {
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	if e.log == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := e.est.SaveHistogram(&buf); err != nil {
+		return fmt.Errorf("snapshotting: %w", err)
+	}
+	if err := e.log.Checkpoint(buf.Bytes()); err != nil {
+		return err
+	}
+	e.sinceCkpt = 0
+	return nil
+}
+
+// CheckpointAll checkpoints every durable table, returning the first error
+// after attempting all of them.
+func (s *Server) CheckpointAll() error {
+	var first error
+	for _, name := range s.names() {
+		if err := s.Checkpoint(name); err != nil && first == nil {
+			first = fmt.Errorf("checkpointing %q: %w", name, err)
+		}
+	}
+	return first
+}
+
+// CheckpointDue checkpoints the durable tables that have logged at least
+// minRecords since their last checkpoint, or whose WAL is in a failed state
+// (a successful checkpoint rotates to a fresh segment and heals it).
+func (s *Server) CheckpointDue(minRecords int) error {
+	var first error
+	for _, name := range s.names() {
+		ent, err := s.lookup(name)
+		if err != nil {
+			continue
+		}
+		ent.jmu.Lock()
+		due := ent.log != nil && (ent.sinceCkpt >= minRecords || ent.log.Err() != nil)
+		ent.jmu.Unlock()
+		if !due {
+			continue
+		}
+		if err := ent.checkpoint(); err != nil && first == nil {
+			first = fmt.Errorf("checkpointing %q: %w", name, err)
+		}
+	}
+	return first
+}
+
+func (s *Server) names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// walStats is the durability block of /stats and /healthz.
+type walStats struct {
+	Enabled          bool   `json:"enabled"`
+	LastSeq          uint64 `json:"last_seq,omitempty"`
+	AppendErrors     int    `json:"append_errors"`
+	RecordsSinceCkpt int    `json:"records_since_checkpoint"`
+	Failed           bool   `json:"failed"`
+	FailedError      string `json:"failed_error,omitempty"`
+	PanicsRecovered  int    `json:"panics_recovered"`
+}
+
+func (e *entry) walStats() walStats {
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	ws := walStats{AppendErrors: e.appendErrors, PanicsRecovered: e.panicRecovered}
+	if e.log != nil {
+		ws.Enabled = true
+		ws.LastSeq = e.log.LastSeq()
+		ws.RecordsSinceCkpt = e.sinceCkpt
+		if err := e.log.Err(); err != nil {
+			ws.Failed = true
+			ws.FailedError = err.Error()
+		}
+	}
+	return ws
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -160,13 +421,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
-	est, err := s.lookup(r.URL.Query().Get("table"))
+	ent, err := s.lookup(r.URL.Query().Get("table"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	h := est.Histogram()
-	writeJSON(w, http.StatusOK, map[string]int{
+	h := ent.est.Histogram()
+	writeJSON(w, http.StatusOK, map[string]any{
 		"buckets":              h.BucketCount(),
 		"max_buckets":          h.MaxBuckets(),
 		"queries":              h.Stats.Queries,
@@ -175,5 +436,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"parent_child_merges":  h.Stats.ParentChildMerges,
 		"sibling_merges":       h.Stats.SiblingMerges,
 		"subspace_buckets":     len(h.SubspaceBuckets()),
+		"health":               ent.est.Health(),
+		"wal":                  ent.walStats(),
 	})
+}
+
+// handleHealthz is the readiness probe: 200 while serving, 503 while
+// draining (graceful shutdown in progress). The body details per-table
+// degradation so dashboards can alert on quarantined tables or failing WALs
+// even though the server keeps answering.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	status := http.StatusOK
+	overall := "ok"
+	if s.draining.Load() {
+		status, overall = http.StatusServiceUnavailable, "draining"
+	}
+	type tableHealth struct {
+		Health sthist.Health `json:"health"`
+		WAL    walStats      `json:"wal"`
+	}
+	tables := make(map[string]tableHealth)
+	for _, name := range s.names() {
+		ent, err := s.lookup(name)
+		if err != nil {
+			continue
+		}
+		th := tableHealth{Health: ent.est.Health(), WAL: ent.walStats()}
+		if overall == "ok" && (th.Health.State != "ok" || th.WAL.Failed) {
+			overall = "degraded"
+		}
+		tables[name] = th
+	}
+	writeJSON(w, status, map[string]any{"status": overall, "tables": tables})
 }

@@ -150,12 +150,34 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats map[string]int
+	var stats map[string]json.RawMessage
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats["max_buckets"] != 40 {
-		t.Errorf("max_buckets = %d", stats["max_buckets"])
+	var maxBuckets int
+	if err := json.Unmarshal(stats["max_buckets"], &maxBuckets); err != nil {
+		t.Fatal(err)
+	}
+	if maxBuckets != 40 {
+		t.Errorf("max_buckets = %d", maxBuckets)
+	}
+	var health struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(stats["health"], &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.State != "ok" {
+		t.Errorf("health.state = %q", health.State)
+	}
+	var ws struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(stats["wal"], &ws); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Enabled {
+		t.Error("wal reported enabled on a non-durable table")
 	}
 	r2, err := http.Get(ts.URL + "/stats?table=nope")
 	if err != nil {

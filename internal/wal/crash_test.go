@@ -1,0 +1,249 @@
+package wal_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sthist"
+	"sthist/internal/wal"
+)
+
+// crashTable builds the deterministic data the crash-recovery scenario
+// serves: two Gaussian-ish clusters plus uniform background noise.
+func crashTable(t *testing.T) *sthist.Table {
+	t.Helper()
+	tab, err := sthist.NewTable("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1200; i++ {
+		tab.MustAppend([]float64{150 + rng.Float64()*80, 600 + rng.Float64()*90})
+	}
+	for i := 0; i < 800; i++ {
+		tab.MustAppend([]float64{700 + rng.Float64()*60, 100 + rng.Float64()*70})
+	}
+	for i := 0; i < 400; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	return tab
+}
+
+func crashOpen(t *testing.T, tab *sthist.Table) *sthist.Estimator {
+	t.Helper()
+	est, err := sthist.Open(tab, sthist.Options{Buckets: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// probeQueries returns the evaluation workload used to compare estimators.
+func probeQueries(rng *rand.Rand, n int) []sthist.Rect {
+	out := make([]sthist.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		w, h := 20+rng.Float64()*200, 20+rng.Float64()*200
+		r, err := sthist.NewRect(
+			[]float64{math.Max(0, cx-w/2), math.Max(0, cy-h/2)},
+			[]float64{math.Min(1000, cx+w/2), math.Min(1000, cy+h/2)},
+		)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestCrashRecoveryBitIdentical is the headline durability test: a serving
+// estimator WAL-logs every feedback and checkpoints part-way through; the
+// "crash" truncates the live segment at an arbitrary byte offset (including
+// mid-record); recovery restores the checkpoint snapshot and replays the
+// surviving tail. The recovered estimator must return bit-identical
+// estimates to an uninterrupted estimator that applied exactly the surviving
+// feedback prefix — proving that snapshot + replay loses nothing and alters
+// nothing beyond the records the crash destroyed.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	tab := crashTable(t)
+	rng := rand.New(rand.NewSource(17))
+
+	// The feedback workload, with exact counts as the observed truths.
+	ref := crashOpen(t, tab)
+	type fb struct {
+		q      sthist.Rect
+		actual float64
+	}
+	workload := make([]fb, 0, 120)
+	for _, q := range probeQueries(rng, 120) {
+		workload = append(workload, fb{q, ref.TrueCount(q)})
+	}
+	probes := probeQueries(rng, 50)
+	const checkpointAt = 40 // feedbacks applied before the snapshot rotates
+
+	// The durable run: log + apply every feedback, checkpoint mid-stream.
+	dir := filepath.Join(t.TempDir(), "orders")
+	l, rc, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Snapshot != nil || len(rc.Records) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rc)
+	}
+	served := crashOpen(t, tab)
+	for i, f := range workload {
+		if _, err := l.Append(wal.Record{Lo: f.q.Lo, Hi: f.q.Hi, Actual: f.actual}); err != nil {
+			t.Fatal(err)
+		}
+		if err := served.Feedback(f.q, f.actual); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 == checkpointAt {
+			var buf bytes.Buffer
+			if err := served.SaveHistogram(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Checkpoint(buf.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, "wal-00000002.log")
+	segData, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapData, err := os.ReadFile(filepath.Join(dir, "checkpoint-00000002.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash at arbitrary segment offsets, including 0 (right after the
+	// checkpoint) and len (no tail loss), and mid-record in between.
+	cuts := []int{0, 1, len(segData) / 3, len(segData) / 2, len(segData) - 1, len(segData)}
+	for i := 0; i < 10; i++ {
+		cuts = append(cuts, rng.Intn(len(segData)+1))
+	}
+	for _, cut := range cuts {
+		crashDir := filepath.Join(t.TempDir(), "crashed")
+		if err := os.MkdirAll(crashDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, "MANIFEST"), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, "checkpoint-00000002.snap"), snapData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, "wal-00000002.log"), segData[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// Recover: snapshot + tail replay, the sthistd startup path.
+		l2, rc2, err := wal.Open(crashDir, wal.Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery open: %v", cut, err)
+		}
+		if rc2.Snapshot == nil {
+			t.Fatalf("cut=%d: snapshot lost", cut)
+		}
+		recovered := crashOpen(t, tab)
+		if err := recovered.LoadHistogram(bytes.NewReader(rc2.Snapshot)); err != nil {
+			t.Fatalf("cut=%d: loading snapshot: %v", cut, err)
+		}
+		for _, r := range rc2.Records {
+			q, err := sthist.NewRect(r.Lo, r.Hi)
+			if err != nil {
+				t.Fatalf("cut=%d: bad replay rect: %v", cut, err)
+			}
+			if err := recovered.Feedback(q, r.Actual); err != nil {
+				t.Fatalf("cut=%d: replay feedback: %v", cut, err)
+			}
+		}
+		l2.Close()
+
+		// The uninterrupted reference: a fresh estimator that applies
+		// exactly the feedback prefix that survived the crash.
+		survived := checkpointAt + len(rc2.Records)
+		if survived > len(workload) {
+			t.Fatalf("cut=%d: %d records survived a %d-feedback run", cut, survived, len(workload))
+		}
+		uninterrupted := crashOpen(t, tab)
+		for _, f := range workload[:survived] {
+			if err := uninterrupted.Feedback(f.q, f.actual); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for pi, p := range probes {
+			got := recovered.Estimate(p)
+			want := uninterrupted.Estimate(p)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("cut=%d probe=%d: recovered %v (%x) != uninterrupted %v (%x), %d records survived",
+					cut, pi, got, math.Float64bits(got), want, math.Float64bits(want), survived)
+			}
+		}
+	}
+}
+
+// TestRecoveryWithoutCheckpoint covers the crash-before-first-checkpoint
+// path: recovery rebuilds the cluster-seeded initial histogram (same data,
+// same seed) and replays the whole surviving log.
+func TestRecoveryWithoutCheckpoint(t *testing.T) {
+	tab := crashTable(t)
+	rng := rand.New(rand.NewSource(23))
+	served := crashOpen(t, tab)
+
+	dir := filepath.Join(t.TempDir(), "t")
+	l, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := probeQueries(rng, 30)
+	for _, q := range queries {
+		actual := served.TrueCount(q)
+		if _, err := l.Append(wal.Record{Lo: q.Lo, Hi: q.Hi, Actual: actual}); err != nil {
+			t.Fatal(err)
+		}
+		if err := served.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2, rc, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rc.Snapshot != nil || len(rc.Records) != 30 {
+		t.Fatalf("recovery = snapshot %v, %d records", rc.Snapshot != nil, len(rc.Records))
+	}
+	recovered := crashOpen(t, tab)
+	for _, r := range rc.Records {
+		q, err := sthist.NewRect(r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := recovered.Feedback(q, r.Actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range probeQueries(rng, 40) {
+		got, want := recovered.Estimate(p), served.Estimate(p)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("recovered %v != served %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sthist/internal/faultfs"
+)
+
+// populate creates a log at dir with a committed snapshot and a tail of
+// records, returning the log opened through fsys.
+func populate(t *testing.T, dir string, fsys faultfs.FS) *Log {
+	t.Helper()
+	l, _, err := Open(dir, Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(rec(0, []float64{float64(i)}, []float64{float64(i) + 1}, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint([]byte("base-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 8; i++ {
+		if _, err := l.Append(rec(0, []float64{float64(i)}, []float64{float64(i) + 1}, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// TestCheckpointAtomicUnderFaults sweeps a failure over every mutating
+// filesystem operation of the checkpoint protocol and verifies rotation is
+// all-or-nothing: recovery afterwards sees either the old state (snapshot
+// "base-snapshot" + 5 tail records) or the new state (snapshot "new-snapshot"
+// + 0 tail records) — never a mixture and never silent loss.
+func TestCheckpointAtomicUnderFaults(t *testing.T) {
+	// Measure how many mutating ops a fault-free checkpoint performs.
+	probeDir := filepath.Join(t.TempDir(), "probe")
+	probe := faultfs.NewInjector(faultfs.OS{})
+	l := populate(t, probeDir, probe)
+	before := probe.Count(faultfs.OpAny)
+	if err := l.Checkpoint([]byte("new-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := probe.Count(faultfs.OpAny) - before
+	l.Close()
+	if totalOps < 5 {
+		t.Fatalf("checkpoint performed only %d mutating ops; protocol changed?", totalOps)
+	}
+
+	for k := 1; k <= totalOps; k++ {
+		t.Run(fmt.Sprintf("fail-op-%d", k), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "t")
+			// Build the pre-checkpoint state with a healthy filesystem.
+			setup := populate(t, dir, faultfs.OS{})
+			setup.Close()
+
+			// Reopen through an injector that fails the k-th mutating op,
+			// then attempt the checkpoint. Reopening performs no mutating
+			// ops (the segment exists, tail is clean), so op counting starts
+			// at the checkpoint.
+			in := faultfs.NewInjector(faultfs.OS{}, faultfs.Fault{Op: faultfs.OpAny, Nth: k, Mode: faultfs.Fail})
+			lf, rc, err := Open(dir, Options{FS: in})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if len(rc.Records) != 5 {
+				t.Fatalf("pre-state: %d tail records", len(rc.Records))
+			}
+			ckErr := lf.Checkpoint([]byte("new-snapshot"))
+			lf.Close()
+
+			// Recover with a healthy filesystem: all-or-nothing.
+			l2, rc2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer l2.Close()
+			switch string(rc2.Snapshot) {
+			case "base-snapshot":
+				if len(rc2.Records) != 5 {
+					t.Errorf("old state with %d tail records, want 5", len(rc2.Records))
+				}
+				if ckErr == nil && len(in.Fired()) > 0 {
+					// A fired fault that still reports success may only
+					// happen for post-commit cleanup ops — but then recovery
+					// must see the NEW state, not the old one.
+					t.Errorf("checkpoint reported success but old state recovered")
+				}
+			case "new-snapshot":
+				if len(rc2.Records) != 0 {
+					t.Errorf("new state with %d tail records, want 0", len(rc2.Records))
+				}
+			default:
+				t.Errorf("recovered snapshot = %q, want base- or new-snapshot", rc2.Snapshot)
+			}
+			// Whatever happened, the log must still accept appends and make
+			// them durable.
+			if _, err := l2.Append(rec(0, []float64{9}, []float64{10}, 99)); err != nil {
+				t.Errorf("append after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointFailureKeepsOldSegmentLive verifies that when a checkpoint
+// fails before its commit point, the log keeps appending to the old segment
+// and nothing acknowledged is lost.
+func TestCheckpointFailureKeepsOldSegmentLive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "t")
+	setup := populate(t, dir, faultfs.OS{})
+	setup.Close()
+
+	// Fail the very first mutating op of the checkpoint (the temp snapshot
+	// create).
+	in := faultfs.NewInjector(faultfs.OS{}, faultfs.Fault{Op: faultfs.OpAny, Nth: 1, Mode: faultfs.Fail})
+	l, _, err := Open(dir, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint([]byte("doomed")); err == nil {
+		t.Fatal("checkpoint succeeded despite injected failure")
+	}
+	// Appends continue on the old segment.
+	if _, err := l.Append(rec(0, []float64{8}, []float64{9}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, rc, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rc.Snapshot) != "base-snapshot" || len(rc.Records) != 6 {
+		t.Fatalf("recovery = snapshot %q, %d records; want base-snapshot, 6", rc.Snapshot, len(rc.Records))
+	}
+}
+
+// TestCorruptedSnapshotSurfacedNotFatal verifies a damaged checkpoint file is
+// reported via Recovery.SnapshotErr while the WAL tail is still delivered.
+func TestCorruptedSnapshotSurfacedNotFatal(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "t")
+	l := populate(t, dir, faultfs.OS{})
+	l.Close()
+	if err := os.Remove(filepath.Join(dir, snapName(2))); err != nil {
+		t.Fatal(err)
+	}
+	_, rc, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with missing snapshot failed hard: %v", err)
+	}
+	if rc.SnapshotErr == nil {
+		t.Error("missing snapshot not surfaced")
+	}
+	if len(rc.Records) != 5 {
+		t.Errorf("tail records = %d, want 5", len(rc.Records))
+	}
+}

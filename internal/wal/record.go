@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// A segment is a sequence of frames:
+//
+//	frame   := length:u32le  crc:u32le  payload
+//	payload := seq:u64le  actual:f64le(bits)  dims:u32le
+//	           lo[0..dims):f64le(bits)  hi[0..dims):f64le(bits)
+//
+// length covers the payload only; crc is CRC-32 (IEEE) of the payload.
+// Floats are stored as their IEEE-754 bit patterns, so replay reconstructs
+// the exact values fed to the estimator — bit-identical recovery depends on
+// this. A frame that extends past the end of the segment is a torn tail
+// (the crash interrupted the append) and replay stops cleanly before it.
+
+const (
+	frameHeader = 8 // length + crc
+
+	// MaxRecordBytes bounds a single payload. A length field above this is
+	// treated as corruption rather than an instruction to allocate.
+	MaxRecordBytes = 1 << 20
+
+	// maxDims bounds the dimensionality of a record; consistent with
+	// MaxRecordBytes (20 + 16*dims <= MaxRecordBytes).
+	maxDims = 4096
+)
+
+// Record is one accepted feedback observation: the query rectangle and the
+// true cardinality the client reported. Seq is assigned by Log.Append and is
+// strictly increasing across checkpoints.
+type Record struct {
+	Seq    uint64
+	Lo, Hi []float64
+	Actual float64
+}
+
+// payloadSize returns the encoded payload length for dims dimensions.
+func payloadSize(dims int) int { return 8 + 8 + 4 + 16*dims }
+
+// appendFrame appends the framed encoding of r to dst.
+func appendFrame(dst []byte, r Record) ([]byte, error) {
+	dims := len(r.Lo)
+	if dims == 0 || dims != len(r.Hi) {
+		return dst, fmt.Errorf("wal: record has lo/hi dims %d/%d", dims, len(r.Hi))
+	}
+	if dims > maxDims {
+		return dst, fmt.Errorf("wal: record has %d dims, max %d", dims, maxDims)
+	}
+	n := payloadSize(dims)
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeader+n)...)
+	payload := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint64(payload[0:], r.Seq)
+	binary.LittleEndian.PutUint64(payload[8:], math.Float64bits(r.Actual))
+	binary.LittleEndian.PutUint32(payload[16:], uint32(dims))
+	off := 20
+	for _, v := range r.Lo {
+		binary.LittleEndian.PutUint64(payload[off:], math.Float64bits(v))
+		off += 8
+	}
+	for _, v := range r.Hi {
+		binary.LittleEndian.PutUint64(payload[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// decodePayload decodes a checksummed payload into a Record.
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) < 20 {
+		return Record{}, fmt.Errorf("wal: payload too short (%d bytes)", len(payload))
+	}
+	dims := int(binary.LittleEndian.Uint32(payload[16:]))
+	if dims == 0 || dims > maxDims {
+		return Record{}, fmt.Errorf("wal: payload dims %d out of range", dims)
+	}
+	if len(payload) != payloadSize(dims) {
+		return Record{}, fmt.Errorf("wal: payload length %d != %d for %d dims", len(payload), payloadSize(dims), dims)
+	}
+	r := Record{
+		Seq:    binary.LittleEndian.Uint64(payload[0:]),
+		Actual: math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		Lo:     make([]float64, dims),
+		Hi:     make([]float64, dims),
+	}
+	off := 20
+	for d := 0; d < dims; d++ {
+		r.Lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	for d := 0; d < dims; d++ {
+		r.Hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	return r, nil
+}
+
+// CorruptPolicy controls how replay treats a frame whose checksum or
+// structure is invalid.
+type CorruptPolicy int
+
+const (
+	// StopAtCorrupt ends replay at the first invalid frame. Everything after
+	// it is discarded — the conservative default, since bytes after a
+	// corruption are untrustworthy.
+	StopAtCorrupt CorruptPolicy = iota
+	// SkipCorrupt skips an invalid frame whose length field is still
+	// plausible and keeps replaying. When the length field itself is
+	// implausible (zero or beyond MaxRecordBytes) there is no safe resync
+	// point and replay stops regardless.
+	SkipCorrupt
+)
+
+// Replay decodes the frames of a segment.
+//
+// It returns the decoded records, cleanLen (the byte offset just past the
+// last structurally complete frame — the safe truncation point for further
+// appends), the number of corrupt frames skipped under SkipCorrupt, and
+// torn=true when replay ended before the end of data (torn tail or
+// corruption under StopAtCorrupt). Replay never fails: a damaged segment
+// yields the longest trustworthy prefix.
+func Replay(data []byte, policy CorruptPolicy) (recs []Record, cleanLen int64, skipped int, torn bool) {
+	off := 0
+	for {
+		if off == len(data) {
+			return recs, int64(off), skipped, false
+		}
+		if len(data)-off < frameHeader {
+			return recs, int64(off), skipped, true // torn header
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		if length == 0 || length > MaxRecordBytes {
+			return recs, int64(off), skipped, true // no safe resync
+		}
+		if len(data)-off-frameHeader < length {
+			return recs, int64(off), skipped, true // torn payload
+		}
+		payload := data[off+frameHeader : off+frameHeader+length]
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		rec, derr := decodePayload(payload)
+		if crc32.ChecksumIEEE(payload) != wantCRC || derr != nil {
+			if policy == SkipCorrupt {
+				skipped++
+				off += frameHeader + length
+				continue
+			}
+			return recs, int64(off), skipped, true
+		}
+		recs = append(recs, rec)
+		off += frameHeader + length
+	}
+}

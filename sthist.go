@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"sthist/internal/core"
@@ -94,6 +95,11 @@ type Options struct {
 	Clustering ClusterConfig
 	// Seed drives clustering; deterministic per seed.
 	Seed int64
+	// ValidateEvery is the amortized self-check period: after every
+	// ValidateEvery drills the histogram's structural invariants are
+	// verified, and on violation the estimator quarantines the histogram
+	// (see Estimator.Health). Default 64; negative disables the check.
+	ValidateEvery int
 }
 
 // Estimator is the user-facing selectivity estimator: an STHoles histogram
@@ -110,6 +116,37 @@ type Estimator struct {
 	idx      *index.KDTree
 	domain   Rect
 	clusters []Cluster
+
+	// Degradation state. The histogram is accumulated feedback; rather than
+	// panicking or serving garbage when its invariants break (a bug, or a
+	// caller mutating a Box() in place), the estimator quarantines it:
+	// the live tree is replaced by the last validated snapshot (or, failing
+	// that, a uniform single-bucket histogram) and serving continues.
+	validateEvery int               // drills between invariant checks; <0 disables
+	sinceValidate int               // drills since the last check
+	lastGood      *sthole.Histogram // last snapshot that passed Validate
+	degraded      bool              // true from quarantine until a clean validate
+	quarantines   int               // total quarantine events
+	lastErr       error             // cause of the most recent quarantine
+}
+
+// DefaultValidateEvery is the default amortized invariant-check period, in
+// drills.
+const DefaultValidateEvery = 64
+
+// Health describes the estimator's degradation state, exported by the
+// /stats and /healthz endpoints of the HTTP server.
+type Health struct {
+	// State is "ok", or "degraded" after a quarantine until the rebuilt
+	// histogram passes its next invariant check.
+	State string `json:"state"`
+	// Quarantines counts invariant violations (or recovered panics) that
+	// forced a reset to the last good snapshot.
+	Quarantines int `json:"quarantines"`
+	// LastError describes the most recent quarantine cause.
+	LastError string `json:"last_error,omitempty"`
+	// ValidateEvery is the amortized check period in drills (0 = disabled).
+	ValidateEvery int `json:"validate_every"`
 }
 
 // Open builds an estimator over the table: it indexes the data, runs
@@ -140,7 +177,14 @@ func Open(tab *Table, opts Options) (*Estimator, error) {
 		return nil, err
 	}
 	e := &Estimator{hist: hist, idx: idx, domain: domain}
+	switch {
+	case opts.ValidateEvery > 0:
+		e.validateEvery = opts.ValidateEvery
+	case opts.ValidateEvery == 0:
+		e.validateEvery = DefaultValidateEvery
+	} // negative: disabled (stays 0)
 	if opts.SkipInitialization {
+		e.lastGood = e.hist.Clone()
 		return e, nil
 	}
 	ccfg := opts.Clustering
@@ -165,6 +209,7 @@ func Open(tab *Table, opts Options) (*Estimator, error) {
 		return nil, err
 	}
 	e.clusters = clusters
+	e.lastGood = e.hist.Clone()
 	return e, nil
 }
 
@@ -176,19 +221,53 @@ func (e *Estimator) Estimate(q Rect) float64 {
 	return e.hist.Estimate(q)
 }
 
-// Selectivity returns Estimate(q) divided by the total tuple count.
+// Selectivity returns Estimate(q) divided by the total tuple count, or 0
+// when the estimator holds no tuples (instead of NaN).
 func (e *Estimator) Selectivity(q Rect) float64 {
-	return e.Estimate(q) / float64(e.idx.Total())
+	total := float64(e.idx.Total())
+	if total <= 0 {
+		return 0
+	}
+	return e.Estimate(q) / total
+}
+
+// ValidateFeedback checks a feedback observation without applying it: the
+// query must match the estimator's dimensionality and overlap its domain,
+// and the actual count must be finite and non-negative. Feedback and
+// FeedbackWith run the same checks; servers call this first so they can
+// reject bad input before writing it to a write-ahead log.
+func (e *Estimator) ValidateFeedback(q Rect, actual float64) error {
+	if q.Dims() != e.domain.Dims() {
+		return fmt.Errorf("sthist: feedback query has %d dimensions, estimator domain has %d", q.Dims(), e.domain.Dims())
+	}
+	if math.IsNaN(actual) || math.IsInf(actual, 0) {
+		return fmt.Errorf("sthist: feedback actual count %g is not finite", actual)
+	}
+	if actual < 0 {
+		return fmt.Errorf("sthist: feedback actual count %g is negative", actual)
+	}
+	if !q.Intersects(e.domain) {
+		return fmt.Errorf("sthist: feedback query %v lies outside the estimation domain %v", q, e.domain)
+	}
+	return nil
 }
 
 // Feedback refines the histogram with the observed true cardinality of an
 // executed query. Sub-region counts needed while drilling are interpolated
 // from the observation under the uniformity assumption.
-func (e *Estimator) Feedback(q Rect, actual float64) {
+//
+// Invalid observations (dimension mismatch, non-finite or negative actual,
+// query outside the domain) are rejected with an error instead of being
+// silently dropped, so client bugs surface instead of slowly starving the
+// histogram of feedback.
+func (e *Estimator) Feedback(q Rect, actual float64) error {
+	if err := e.ValidateFeedback(q, actual); err != nil {
+		return err
+	}
 	vol := q.Volume()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.hist.Drill(q, func(r Rect) float64 {
+	return e.drillLocked(q, func(r Rect) float64 {
 		if vol <= 0 {
 			return actual
 		}
@@ -203,10 +282,13 @@ func (e *Estimator) Feedback(q Rect, actual float64) {
 // typically close over the scanned result set). Prefer this over Feedback
 // when such counting is possible — scalar feedback has to interpolate and
 // converges more slowly on skewed data.
-func (e *Estimator) FeedbackWith(q Rect, count func(r Rect) float64) {
+func (e *Estimator) FeedbackWith(q Rect, count func(r Rect) float64) error {
+	if q.Dims() != e.domain.Dims() {
+		return fmt.Errorf("sthist: feedback query has %d dimensions, estimator domain has %d", q.Dims(), e.domain.Dims())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.hist.Drill(q, count)
+	return e.drillLocked(q, count)
 }
 
 // Train replays a workload against the build-time data snapshot with exact
@@ -216,8 +298,86 @@ func (e *Estimator) Train(queries []Rect) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, q := range queries {
-		e.hist.Drill(q, e.exact)
+		// Exact counts from our own index cannot fail validation; drill
+		// errors (recovered panics) quarantine internally.
+		_ = e.drillLocked(q, e.exact)
 	}
+}
+
+// drillLocked applies one drill under the write lock, recovering from a
+// panicking maintenance path and running the amortized invariant check.
+func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			// A panic mid-drill means the bucket tree can no longer be
+			// trusted; degrade instead of taking the process down.
+			e.quarantineLocked(fmt.Errorf("sthist: panic during drill: %v", p))
+			err = fmt.Errorf("sthist: feedback dropped, histogram quarantined: %v", p)
+		}
+	}()
+	e.hist.Drill(q, count)
+	if e.validateEvery > 0 {
+		e.sinceValidate++
+		if e.sinceValidate >= e.validateEvery {
+			e.sinceValidate = 0
+			if verr := e.hist.Validate(); verr != nil {
+				e.quarantineLocked(verr)
+			} else {
+				e.lastGood = e.hist.Clone()
+				e.degraded = false
+			}
+		}
+	}
+	return nil
+}
+
+// quarantineLocked replaces the live histogram after an invariant violation:
+// first with a clone of the last validated snapshot, or — should that also
+// fail validation — with the uniform single-bucket histogram over the
+// domain. Serving continues either way; Health reports the degradation.
+func (e *Estimator) quarantineLocked(cause error) {
+	e.quarantines++
+	e.lastErr = cause
+	e.degraded = true
+	if e.lastGood != nil {
+		restored := e.lastGood.Clone()
+		if restored.Validate() == nil {
+			e.hist = restored
+			return
+		}
+	}
+	budget := 1
+	if e.hist != nil && e.hist.MaxBuckets() > 0 {
+		budget = e.hist.MaxBuckets()
+	}
+	if h, err := sthole.New(e.domain, budget, float64(e.idx.Total())); err == nil {
+		e.hist = h
+		e.lastGood = h.Clone()
+	}
+}
+
+// Quarantine forces a degradation cycle, as if an invariant check had
+// failed: the live histogram is discarded in favor of the last good
+// snapshot (or uniform fallback). Servers call this when a request handler
+// recovers a panic that implicates a table's estimator.
+func (e *Estimator) Quarantine(cause error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.quarantineLocked(cause)
+}
+
+// Health reports the estimator's degradation state.
+func (e *Estimator) Health() Health {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h := Health{State: "ok", Quarantines: e.quarantines, ValidateEvery: e.validateEvery}
+	if e.degraded {
+		h.State = "degraded"
+	}
+	if e.lastErr != nil {
+		h.LastError = e.lastErr.Error()
+	}
+	return h
 }
 
 func (e *Estimator) exact(r Rect) float64 { return float64(e.idx.Count(r)) }
@@ -246,7 +406,10 @@ func (e *Estimator) SaveHistogram(w io.Writer) error {
 
 // LoadHistogram replaces the estimator's histogram with one saved by
 // SaveHistogram. The histogram's dimensionality must match the estimator's
-// domain.
+// domain, and its structural invariants are verified before it is installed,
+// so a corrupt or hand-crafted snapshot cannot poison the serving tree. A
+// successful load clears any degradation state — the snapshot becomes the
+// new "last good" recovery point.
 func (e *Estimator) LoadHistogram(r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -259,9 +422,17 @@ func (e *Estimator) LoadHistogram(r io.Reader) error {
 	if h.Dims() != e.domain.Dims() {
 		return fmt.Errorf("sthist: saved histogram has %d dimensions, estimator domain has %d", h.Dims(), e.domain.Dims())
 	}
+	// UnmarshalJSON validates; re-check here so the guarantee does not
+	// depend on the deserializer's internals.
+	if err := h.Validate(); err != nil {
+		return fmt.Errorf("sthist: rejecting invalid histogram: %w", err)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.hist = &h
+	e.lastGood = h.Clone()
+	e.degraded = false
+	e.sinceValidate = 0
 	return nil
 }
 
@@ -282,8 +453,14 @@ func (e *Estimator) MeanAbsoluteError(queries []Rect) (float64, error) {
 
 // NormalizedError evaluates the estimator over a workload, normalized by the
 // error of the trivial single-bucket histogram (the paper's NAE, Eq. 10).
+// An estimator over zero tuples has no meaningful normalization and returns
+// an explicit error instead of NaN.
 func (e *Estimator) NormalizedError(queries []Rect) (float64, error) {
+	total := float64(e.idx.Total())
+	if total <= 0 {
+		return 0, fmt.Errorf("sthist: normalized error undefined over an empty table")
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return metrics.NormalizedAbsoluteError(e.hist, queries, e.exact, e.domain, float64(e.idx.Total()))
+	return metrics.NormalizedAbsoluteError(e.hist, queries, e.exact, e.domain, total)
 }
