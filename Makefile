@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-micro bench-json examples experiments cover
+.PHONY: all build vet test race bench bench-micro bench-json bench-guard obs-demo examples experiments cover
 
 all: build vet test
 
@@ -35,6 +35,21 @@ LABEL ?= current
 bench-json:
 	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_sthole.json
 
+# Telemetry overhead guard: the instrumented feedback round must stay within
+# 5% of the uninstrumented one on the Drill@250 workload. benchjson keeps the
+# MIN ns/op across -count repeats, so transient machine noise does not fail
+# the gate. Results land in results/BENCH_telemetry.json for trending.
+bench-guard:
+	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_telemetry.json \
+		-pkg . -bench 'BenchmarkFeedbackRound$$' -benchtime 2x -count 6 \
+		-guard-base 'BenchmarkFeedbackRound/telemetry=off' \
+		-guard-subject 'BenchmarkFeedbackRound/telemetry=on' \
+		-guard-max-ratio 1.05
+
+# Observability walkthrough: rolling NAE decay + /metrics + /debug/trace.
+obs-demo:
+	$(GO) run ./examples/obs
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/queryopt
@@ -43,6 +58,7 @@ examples:
 	$(GO) run ./examples/adaptive
 	$(GO) run ./examples/catalog
 	$(GO) run ./examples/joinplan
+	$(GO) run ./examples/obs
 
 experiments:
 	$(GO) run ./cmd/sthist -all

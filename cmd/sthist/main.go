@@ -9,9 +9,11 @@
 //	sthist -exp table2 -buckets 50,100,250
 //	sthist -all                             # every experiment at the default scale
 //	sthist -exp fig11 -cpuprofile cpu.out -memprofile mem.out   # profile a run
+//	sthist -trace 20                        # traced Cross session, dump last 20 flight-recorder events
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,7 +22,11 @@ import (
 	"strings"
 	"time"
 
+	"sthist"
+	"sthist/internal/datagen"
 	"sthist/internal/experiment"
+	"sthist/internal/telemetry"
+	"sthist/internal/workload"
 )
 
 func main() {
@@ -45,6 +51,7 @@ func run(args []string) error {
 		outPath = fs.String("out", "", "also write results to this file")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile after the run to this file")
+		trace   = fs.Int("trace", 0, "run a telemetry-instrumented Cross session and dump the last N flight-recorder events as JSON lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +113,8 @@ func run(args []string) error {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	switch {
+	case *trace > 0:
+		return runTrace(*trace, cfg, w)
 	case *all:
 		for _, name := range experiment.Names() {
 			fmt.Fprintf(w, "=== %s ===\n", name)
@@ -120,8 +129,46 @@ func run(args []string) error {
 		return experiment.Run(*exp, cfg, w)
 	default:
 		fs.Usage()
-		return fmt.Errorf("one of -exp, -all or -list is required")
+		return fmt.Errorf("one of -exp, -all, -list or -trace is required")
 	}
+}
+
+// runTrace drives a Cross feedback session with the flight recorder attached
+// and dumps the last n trace events as JSON lines, followed by the rolling
+// accuracy and latency quantiles the recorder accumulated.
+func runTrace(n int, cfg experiment.Config, w io.Writer) error {
+	ds := datagen.Cross(cfg.Scale, cfg.Seed)
+	est, err := sthist.Open(ds.Table, sthist.Options{Buckets: cfg.Buckets[len(cfg.Buckets)-1], Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	tel := telemetry.New(telemetry.Options{})
+	rec := tel.Table(ds.Name)
+	est.SetRecorder(rec)
+
+	queries, err := workload.Generate(ds.Domain, workload.Config{
+		VolumeFraction: cfg.VolumeFraction, N: cfg.TrainQueries, Seed: cfg.Seed,
+	}, ds.Table)
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if err := est.Feedback(q, est.TrueCount(q)); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	for _, ev := range rec.Last(n) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	rounds, mae, nae := rec.Rolling()
+	p50, p95, p99 := rec.Quantiles()
+	fmt.Fprintf(w, "# %s: %d rounds traced, rolling(%d) MAE=%.2f NAE=%.4f, feedback p50=%.3gs p95=%.3gs p99=%.3gs\n",
+		ds.Name, len(queries), rounds, mae, nae, p50, p95, p99)
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -41,6 +42,7 @@ import (
 	"sthist/internal/datagen"
 	"sthist/internal/dataset"
 	"sthist/internal/httpapi"
+	"sthist/internal/telemetry"
 	"sthist/internal/wal"
 )
 
@@ -57,6 +59,7 @@ func (t *tableSpecs) Set(v string) error {
 // config is the parsed command line.
 type config struct {
 	addr          string
+	debugAddr     string
 	dataDir       string
 	fsync         string
 	ckptInterval  time.Duration
@@ -73,6 +76,7 @@ type daemon struct {
 	srv  *httpapi.Server
 	cfg  config
 	logs map[string]*wal.Log
+	tel  *telemetry.Telemetry
 }
 
 func main() {
@@ -106,6 +110,10 @@ func setup(args []string) (*daemon, error) {
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 	maxBody := fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	shutdownGrace := fs.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on shutdown")
+	telemetryOn := fs.Bool("telemetry", true, "enable metrics, flight recorder and rolling accuracy tracking")
+	slowQuery := fs.Duration("slow-query", telemetry.DefaultSlowThreshold, "log feedback rounds at or above this latency (0 disables)")
+	traceEvents := fs.Int("trace-events", telemetry.DefaultTraceEvents, "flight-recorder ring capacity per table")
+	debugAddr := fs.String("debug-addr", "", "separate listen address for /debug/pprof, /metrics and /debug/trace (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -126,6 +134,7 @@ func setup(args []string) (*daemon, error) {
 		srv: httpapi.NewServer(),
 		cfg: config{
 			addr:          *addr,
+			debugAddr:     *debugAddr,
 			dataDir:       *dataDir,
 			fsync:         *fsync,
 			ckptInterval:  *ckptInterval,
@@ -138,6 +147,14 @@ func setup(args []string) (*daemon, error) {
 		logs: make(map[string]*wal.Log),
 	}
 	d.srv.SetMaxBodyBytes(*maxBody)
+	if *telemetryOn {
+		slow := *slowQuery
+		if slow == 0 {
+			slow = -1 // Options: negative disables, zero means default
+		}
+		d.tel = telemetry.New(telemetry.Options{TraceEvents: *traceEvents, SlowThreshold: slow})
+		d.srv.EnableTelemetry(d.tel)
+	}
 
 	opts := sthist.Options{Buckets: *buckets, Seed: *seed, ValidateEvery: *validateEvery}
 	for _, spec := range specs {
@@ -176,7 +193,11 @@ func setup(args []string) (*daemon, error) {
 // replays the surviving log tail and registers the recovered estimator.
 func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options, sync wal.SyncPolicy) error {
 	dir := filepath.Join(d.cfg.dataDir, name)
-	l, rc, err := wal.Open(dir, wal.Options{Sync: sync})
+	wopts := wal.Options{Sync: sync}
+	if d.tel != nil {
+		wopts.Observer = d.tel.WAL(name)
+	}
+	l, rc, err := wal.Open(dir, wopts)
 	if err != nil {
 		return fmt.Errorf("opening wal for %q: %w", name, err)
 	}
@@ -260,6 +281,18 @@ func (d *daemon) run(ctx context.Context) error {
 		WriteTimeout: d.cfg.writeTimeout,
 	}
 
+	// Shutdown-path gauges: how long the last ticker checkpoint pass took,
+	// and how long the SIGTERM drain took (set once, on the way down, so a
+	// final scrape — or a test — can read it).
+	var ckptPassDur, drainDur *telemetry.Gauge
+	if d.tel != nil {
+		reg := d.tel.Registry()
+		ckptPassDur = reg.Gauge("sthistd_checkpoint_pass_duration_seconds",
+			"Duration of the last periodic checkpoint pass over all due tables.", nil)
+		drainDur = reg.Gauge("sthistd_drain_duration_seconds",
+			"Duration of the in-flight request drain during graceful shutdown.", nil)
+	}
+
 	// Periodic checkpointing: rotate any WAL that accumulated enough
 	// records, and retry failed ones (a successful checkpoint heals a WAL
 	// whose append errored).
@@ -273,12 +306,29 @@ func (d *daemon) run(ctx context.Context) error {
 			case <-ctx.Done():
 				return
 			case <-t.C:
+				start := time.Now()
 				if err := d.srv.CheckpointDue(d.cfg.ckptRecords); err != nil {
 					log.Printf("sthistd: checkpoint: %v", err)
+				}
+				if ckptPassDur != nil {
+					ckptPassDur.Set(time.Since(start).Seconds())
 				}
 			}
 		}
 	}()
+
+	// Optional debug listener: pprof plus the observability routes, on an
+	// address that can stay firewalled off from estimator traffic.
+	var ds *http.Server
+	if d.cfg.debugAddr != "" {
+		ds = &http.Server{Addr: d.cfg.debugAddr, Handler: d.debugHandler()}
+		go func() {
+			if err := ds.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("sthistd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("sthistd debug listener on %s", d.cfg.debugAddr)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -301,16 +351,40 @@ func (d *daemon) run(ctx context.Context) error {
 	d.srv.SetDraining(true)
 	shCtx, cancel := context.WithTimeout(context.Background(), d.cfg.shutdownGrace)
 	defer cancel()
+	drainStart := time.Now()
 	if err := hs.Shutdown(shCtx); err != nil {
 		log.Printf("sthistd: drain: %v", err)
+	}
+	if drainDur != nil {
+		drainDur.Set(time.Since(drainStart).Seconds())
+		log.Printf("sthistd: drained in %v", time.Since(drainStart).Round(time.Millisecond))
 	}
 	<-ckptDone
 	if err := d.srv.CheckpointAll(); err != nil {
 		log.Printf("sthistd: final checkpoint: %v", err)
 	}
+	if ds != nil {
+		_ = ds.Close()
+	}
 	d.closeLogs()
 	log.Printf("sthistd: bye")
 	return nil
+}
+
+// debugHandler mounts net/http/pprof alongside the telemetry routes on the
+// -debug-addr listener.
+func (d *daemon) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if d.tel != nil {
+		mux.Handle("/metrics", d.tel.MetricsHandler())
+		mux.Handle("/debug/trace", d.tel.TraceHandler())
+	}
+	return mux
 }
 
 // loadTable reads a CSV/binary file, or generates @DATASET:SCALE.

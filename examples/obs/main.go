@@ -1,0 +1,137 @@
+// Observability walkthrough: serve a self-tuning histogram over HTTP with
+// the telemetry plane enabled, stream a Cross workload through /feedback,
+// and watch the instruments react — the rolling NAE (Eq. 10) decays as the
+// histogram drills holes, /metrics exposes Prometheus series, and
+// /debug/trace replays the last feedback rounds with drill/merge detail.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"sthist"
+	"sthist/internal/datagen"
+	"sthist/internal/httpapi"
+	"sthist/internal/telemetry"
+	"sthist/internal/workload"
+)
+
+func run(w io.Writer) error {
+	// A clustered dataset and an uninitialized histogram: accuracy starts
+	// poor, so the learning curve is visible in the rolling error.
+	ds := datagen.Cross(0.04, 1)
+	est, err := sthist.Open(ds.Table, sthist.Options{
+		Buckets: 100, Seed: 1, SkipInitialization: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	tel := telemetry.New(telemetry.Options{Window: 100, SlowThreshold: -1})
+	srv := httpapi.NewServer()
+	srv.EnableTelemetry(tel)
+	if err := srv.Register(ds.Name, est); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Stream query feedback through the HTTP API, exactly as a query
+	// engine would, and sample the rolling NAE every 100 rounds.
+	qs := workload.MustGenerate(ds.Domain, workload.Config{
+		VolumeFraction: 0.01, N: 400, Seed: 7,
+	}, ds.Table)
+	rec := tel.Table(ds.Name)
+	fmt.Fprintf(w, "rolling NAE over the last %d rounds (Eq. 10), sampled as the histogram learns:\n", 100)
+	for i, q := range qs {
+		body, err := json.Marshal(map[string]any{
+			"table":  ds.Name,
+			"lo":     q.Lo,
+			"hi":     q.Hi,
+			"actual": est.TrueCount(q),
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("feedback round %d: status %d", i, resp.StatusCode)
+		}
+		if (i+1)%100 == 0 {
+			n, mae, nae := rec.Rolling()
+			fmt.Fprintf(w, "  after %3d rounds: NAE=%.4f MAE=%.2f (window=%d)\n", i+1, nae, mae, n)
+		}
+	}
+
+	// Scrape /metrics like Prometheus would and show a few series.
+	metrics, err := get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nselected /metrics series:")
+	for _, line := range strings.Split(metrics, "\n") {
+		for _, prefix := range []string{
+			"sthist_feedback_rounds_total",
+			"sthist_buckets{",
+			"sthist_tree_depth{",
+			"sthist_rolling_nae{",
+			"sthist_merges_total{",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Fprintf(w, "  %s\n", line)
+			}
+		}
+	}
+
+	// Replay the flight recorder: the last rounds with drill/merge detail.
+	trace, err := get(ts.URL + "/debug/trace?table=" + ds.Name + "&n=2")
+	if err != nil {
+		return err
+	}
+	var tr struct {
+		Events []telemetry.TraceEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(trace), &tr); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nflight recorder (/debug/trace, newest rounds):")
+	for _, ev := range tr.Events {
+		fmt.Fprintf(w, "  round %d: est=%.1f actual=%.0f drills=%d merges=%d\n",
+			ev.Seq, ev.Estimate, ev.Actual, ev.Drills, len(ev.Merges))
+	}
+	return nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(data), nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"rolling NAE",
+		"sthist_feedback_rounds_total",
+		"sthist_rolling_nae{",
+		"flight recorder",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The learning must be visible: the first sampled NAE exceeds the last.
+	naes := regexp.MustCompile(`NAE=([0-9.]+)`).FindAllStringSubmatch(s, -1)
+	if len(naes) < 2 {
+		t.Fatalf("expected several NAE samples, got %d:\n%s", len(naes), s)
+	}
+	first, last := naes[0][1], naes[len(naes)-1][1]
+	if !(last < first) { // string compare works: fixed %.4f width
+		t.Errorf("rolling NAE did not decay: first=%s last=%s", first, last)
+	}
+}

@@ -27,11 +27,14 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sthist"
 	"sthist/internal/geom"
+	"sthist/internal/telemetry"
 	"sthist/internal/wal"
 )
 
@@ -44,12 +47,15 @@ const DefaultMaxBodyBytes = 1 << 20
 // snapshot never captures a feedback its log position does not.
 type entry struct {
 	est *sthist.Estimator
+	rec *telemetry.Recorder // nil when telemetry is disabled
 
 	jmu            sync.Mutex
 	log            *wal.Log
-	appendErrors   int // WAL appends that failed (served anyway, durability degraded)
-	sinceCkpt      int // records appended since the last checkpoint
-	panicRecovered int // estimator panics recovered by the handler
+	appendErrors   int           // WAL appends that failed (served anyway, durability degraded)
+	sinceCkpt      int           // records appended since the last checkpoint
+	panicRecovered int           // estimator panics recovered by the handler
+	lastCkptAt     time.Time     // when the last successful checkpoint finished
+	lastCkptDur    time.Duration // how long it took
 }
 
 // Server routes estimator traffic. Register tables before serving; handlers
@@ -59,6 +65,7 @@ type Server struct {
 	tables   map[string]*entry
 	maxBody  int64
 	draining atomic.Bool
+	tel      *telemetry.Telemetry
 }
 
 // NewServer returns an empty server.
@@ -102,8 +109,58 @@ func (s *Server) register(name string, est *sthist.Estimator, l *wal.Log) error 
 	if _, ok := s.tables[name]; ok {
 		return fmt.Errorf("httpapi: table %q already registered", name)
 	}
-	s.tables[name] = &entry{est: est, log: l}
+	ent := &entry{est: est, log: l}
+	s.tables[name] = ent
+	s.wireTelemetryLocked(name, ent)
 	return nil
+}
+
+// EnableTelemetry attaches the telemetry plane: every table (already
+// registered or registered later) gets a flight recorder wired into its
+// estimator plus structural gauges (bucket count, tree depth, subspace
+// buckets) collected at scrape time, and Handler() additionally mounts
+// GET /metrics and GET /debug/trace and instruments every route with
+// request counters and latency histograms. Call before serving traffic.
+func (s *Server) EnableTelemetry(t *telemetry.Telemetry) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = t
+	for name, ent := range s.tables {
+		s.wireTelemetryLocked(name, ent)
+	}
+}
+
+// wireTelemetryLocked connects one table to the telemetry plane. s.mu held.
+func (s *Server) wireTelemetryLocked(name string, ent *entry) {
+	if s.tel == nil || ent.rec != nil {
+		return
+	}
+	ent.rec = s.tel.Table(name)
+	ent.est.SetRecorder(ent.rec)
+	reg := s.tel.Registry()
+	lbl := telemetry.L("table", name)
+	buckets := reg.Gauge("sthist_buckets", "Non-root buckets currently held.", lbl)
+	depth := reg.Gauge("sthist_tree_depth", "Maximum depth of the bucket tree.", lbl)
+	subspace := reg.Gauge("sthist_subspace_buckets", "Buckets spanning the full domain on >= 1 dimension.", lbl)
+	maxBuckets := reg.Gauge("sthist_max_buckets", "Bucket budget.", lbl)
+	est := ent.est
+	reg.RegisterCollector(func() {
+		st := est.StatsSnapshot()
+		buckets.Set(float64(st.Buckets))
+		depth.Set(float64(st.TreeDepth))
+		subspace.Set(float64(st.SubspaceBuckets))
+		maxBuckets.Set(float64(st.MaxBuckets))
+	})
+}
+
+// Telemetry returns the attached telemetry plane, or nil.
+func (s *Server) Telemetry() *telemetry.Telemetry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel
 }
 
 // SetDraining flips the readiness state: while draining, /healthz returns
@@ -124,7 +181,57 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/feedback", s.handleFeedback)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return recoverMiddleware(mux)
+	var h http.Handler = mux
+	if tel := s.Telemetry(); tel != nil {
+		mux.Handle("/metrics", tel.MetricsHandler())
+		mux.Handle("/debug/trace", tel.TraceHandler())
+		h = s.instrumentMiddleware(tel, h)
+	}
+	return recoverMiddleware(h)
+}
+
+// instrumentedRoutes is the fixed label set of the HTTP metrics; anything
+// else (404s, probes) is folded into "other" so scrapes cannot explode the
+// label cardinality.
+var instrumentedRoutes = map[string]bool{
+	"/tables": true, "/estimate": true, "/feedback": true,
+	"/stats": true, "/healthz": true, "/metrics": true, "/debug/trace": true,
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumentMiddleware counts requests by route and status code and records
+// per-route latency.
+func (s *Server) instrumentMiddleware(tel *telemetry.Telemetry, next http.Handler) http.Handler {
+	reg := tel.Registry()
+	durs := make(map[string]*telemetry.Histogram, len(instrumentedRoutes)+1)
+	for route := range instrumentedRoutes {
+		durs[route] = reg.Histogram("sthist_http_request_duration_seconds",
+			"HTTP request latency by route.", telemetry.LatencyBuckets(), telemetry.L("route", route))
+	}
+	durs["other"] = reg.Histogram("sthist_http_request_duration_seconds",
+		"HTTP request latency by route.", telemetry.LatencyBuckets(), telemetry.L("route", "other"))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		if !instrumentedRoutes[route] {
+			route = "other"
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		durs[route].Observe(time.Since(start).Seconds())
+		reg.Counter("sthist_http_requests_total", "HTTP requests by route and status code.",
+			telemetry.Labels{{Key: "route", Value: route}, {Key: "code", Value: strconv.Itoa(sw.code)}}).Inc()
+	})
 }
 
 // recoverMiddleware converts an escaped panic into a 500 response.
@@ -222,7 +329,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	est, sel, err := ent.estimate(q)
+	ent.rec.RecordEstimate(time.Since(start))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -259,17 +368,20 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Actual == nil {
+		ent.rec.RecordRejected()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback needs an \"actual\" row count"))
 		return
 	}
 	actual := *req.Actual
 	if math.IsNaN(actual) || math.IsInf(actual, 0) || actual < 0 {
+		ent.rec.RecordRejected()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback \"actual\" must be finite and non-negative, got %g", actual))
 		return
 	}
 	// Full validation (domain overlap etc.) before the record is logged:
 	// the WAL must only ever contain replayable feedback.
 	if err := ent.est.ValidateFeedback(q, actual); err != nil {
+		ent.rec.RecordRejected()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -332,6 +444,7 @@ func (e *entry) checkpoint() error {
 	if e.log == nil {
 		return nil
 	}
+	start := time.Now()
 	var buf bytes.Buffer
 	if err := e.est.SaveHistogram(&buf); err != nil {
 		return fmt.Errorf("snapshotting: %w", err)
@@ -340,6 +453,8 @@ func (e *entry) checkpoint() error {
 		return err
 	}
 	e.sinceCkpt = 0
+	e.lastCkptDur = time.Since(start)
+	e.lastCkptAt = time.Now()
 	return nil
 }
 
@@ -391,13 +506,15 @@ func (s *Server) names() []string {
 
 // walStats is the durability block of /stats and /healthz.
 type walStats struct {
-	Enabled          bool   `json:"enabled"`
-	LastSeq          uint64 `json:"last_seq,omitempty"`
-	AppendErrors     int    `json:"append_errors"`
-	RecordsSinceCkpt int    `json:"records_since_checkpoint"`
-	Failed           bool   `json:"failed"`
-	FailedError      string `json:"failed_error,omitempty"`
-	PanicsRecovered  int    `json:"panics_recovered"`
+	Enabled          bool    `json:"enabled"`
+	LastSeq          uint64  `json:"last_seq,omitempty"`
+	AppendErrors     int     `json:"append_errors"`
+	RecordsSinceCkpt int     `json:"records_since_checkpoint"`
+	Failed           bool    `json:"failed"`
+	FailedError      string  `json:"failed_error,omitempty"`
+	PanicsRecovered  int     `json:"panics_recovered"`
+	LastCkptSeconds  float64 `json:"last_checkpoint_seconds,omitempty"` // duration of the last checkpoint
+	LastCkptAge      float64 `json:"last_checkpoint_age_seconds,omitempty"`
 }
 
 func (e *entry) walStats() walStats {
@@ -411,6 +528,10 @@ func (e *entry) walStats() walStats {
 		if err := e.log.Err(); err != nil {
 			ws.Failed = true
 			ws.FailedError = err.Error()
+		}
+		if !e.lastCkptAt.IsZero() {
+			ws.LastCkptSeconds = e.lastCkptDur.Seconds()
+			ws.LastCkptAge = time.Since(e.lastCkptAt).Seconds()
 		}
 	}
 	return ws
@@ -426,16 +547,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	h := ent.est.Histogram()
+	// StatsSnapshot copies the counters under the estimator's read lock;
+	// reading h.Stats fields directly here would race with feedback rounds.
+	st := ent.est.StatsSnapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"buckets":              h.BucketCount(),
-		"max_buckets":          h.MaxBuckets(),
-		"queries":              h.Stats.Queries,
-		"drills":               h.Stats.Drills,
-		"skipped_exact_drills": h.Stats.SkippedExactDrills,
-		"parent_child_merges":  h.Stats.ParentChildMerges,
-		"sibling_merges":       h.Stats.SiblingMerges,
-		"subspace_buckets":     len(h.SubspaceBuckets()),
+		"buckets":              st.Buckets,
+		"max_buckets":          st.MaxBuckets,
+		"tree_depth":           st.TreeDepth,
+		"queries":              st.Queries,
+		"drills":               st.Drills,
+		"skipped_exact_drills": st.SkippedExactDrills,
+		"parent_child_merges":  st.ParentChildMerges,
+		"sibling_merges":       st.SiblingMerges,
+		"subspace_buckets":     st.SubspaceBuckets,
 		"health":               ent.est.Health(),
 		"wal":                  ent.walStats(),
 	})

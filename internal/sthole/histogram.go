@@ -145,6 +145,10 @@ type Histogram struct {
 	sibOwnVol      float64 // parent's ownVolume(), pair-invariant
 	partIdxScratch []int
 
+	// mergeObs, when non-nil, receives one callback per executed merge
+	// (merge.go). Not copied by Clone and not serialized.
+	mergeObs MergeObserver
+
 	// Stats accumulates maintenance counters for the experiments.
 	Stats Stats
 }
@@ -249,6 +253,21 @@ func (h *Histogram) SetMaxBuckets(n int) error {
 
 // TotalTuples returns the tuple count currently stored across all buckets.
 func (h *Histogram) TotalTuples() float64 { return h.root.subtreeFreq() }
+
+// Depth returns the maximum depth of the bucket tree (0 for a bare root).
+// Tree depth bounds both the estimation descent and the drill candidate
+// scan, so it is the structural health number the telemetry plane exports.
+func (h *Histogram) Depth() int { return subtreeDepth(h.root) }
+
+func subtreeDepth(b *Bucket) int {
+	max := 0
+	for _, c := range b.children {
+		if d := subtreeDepth(c) + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
 
 // SetFrozen stops (true) or resumes (false) self-tuning: while frozen, Drill
 // records nothing. Used by the Fig. 17 experiment, which cuts off learning

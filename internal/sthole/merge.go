@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"sthist/internal/geom"
 )
@@ -65,6 +66,36 @@ const (
 	kindParentChild = iota
 	kindSibling
 )
+
+// MergeKind identifies the merge type in observer callbacks.
+type MergeKind int
+
+// The two STHoles merge kinds (§2.3).
+const (
+	MergeParentChild MergeKind = kindParentChild
+	MergeSibling     MergeKind = kindSibling
+)
+
+// String names the kind for logs and metric labels.
+func (k MergeKind) String() string {
+	if k == MergeParentChild {
+		return "parent-child"
+	}
+	return "sibling"
+}
+
+// MergeObserver receives one callback per executed merge: the kind, the
+// penalty (Eq. 2) of the selected candidate, and how long applying the merge
+// took. Callbacks run synchronously inside budget enforcement — on the drill
+// path, under whatever lock the caller holds around Drill — so
+// implementations must be fast and must not re-enter the histogram. A nil
+// observer (the default) adds no work and no allocations to the merge path.
+type MergeObserver interface {
+	ObserveMerge(kind MergeKind, penalty float64, d time.Duration)
+}
+
+// SetMergeObserver installs (or, with nil, removes) the merge observer.
+func (h *Histogram) SetMergeObserver(o MergeObserver) { h.mergeObs = o }
 
 // mergeItem is one scheduled candidate on the lazy-deletion heap. bucket is
 // the child for parent-child candidates and the parent for sibling
@@ -259,11 +290,18 @@ func (h *Histogram) performBestMerge() {
 				choice.kind, choice.penalty, choice.seq, slow.kind, slow.penalty, slow.seq)
 		}
 	}
+	var start time.Time
+	if h.mergeObs != nil {
+		start = time.Now()
+	}
 	if choice.kind == kindParentChild {
 		h.mergeParentChild(choice.p, choice.c)
-		return
+	} else {
+		h.mergeSiblings(choice.p, choice.s1, choice.s2)
 	}
-	h.mergeSiblings(choice.p, choice.s1, choice.s2)
+	if h.mergeObs != nil {
+		h.mergeObs.ObserveMerge(MergeKind(choice.kind), choice.penalty, time.Since(start))
+	}
 }
 
 // validateMergeState checks that the merge scheduling state covers the tree:

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE comments, escaped label values, cumulative
+// histogram buckets with the mandatory +Inf bound, and _sum/_count series.
+// Output is deterministic — families sorted by name, series by label string
+// — so the format is golden-file testable.
+
+// WritePrometheus renders every metric family to w after running the
+// registered collectors. It returns the first write error.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	// Collectors take external locks (e.g. an estimator's read lock), so they
+	// run outside r.mu.
+	for _, fn := range collectors {
+		fn()
+	}
+
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if err := renderFamily(&b, f); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderFamily(b *strings.Builder, f *family) error {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		switch {
+		case s.c != nil:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, braced(s.labels), formatUint(s.c.Value()))
+		case s.g != nil:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, braced(s.labels), formatFloat(s.g.Value()))
+		case s.h != nil:
+			renderHistogram(b, f.name, s)
+		}
+	}
+	return nil
+}
+
+// renderHistogram emits the cumulative _bucket series, then _sum and _count.
+func renderHistogram(b *strings.Builder, name string, s *series) {
+	counts, inf, count, sum := s.h.snapshot()
+	cum := uint64(0)
+	for i, bound := range s.h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %s\n", name, bracedWith(s.labels, "le", formatFloat(bound)), formatUint(cum))
+	}
+	cum += inf
+	fmt.Fprintf(b, "%s_bucket%s %s\n", name, bracedWith(s.labels, "le", "+Inf"), formatUint(cum))
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, braced(s.labels), formatFloat(sum))
+	fmt.Fprintf(b, "%s_count%s %s\n", name, braced(s.labels), formatUint(count))
+}
+
+// braced wraps a pre-rendered label string in curly braces, or returns ""
+// for the unlabeled series.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// bracedWith appends one extra label (already escaped by the caller when
+// needed; bound strings contain no escapable characters).
+func bracedWith(labels, key, value string) string {
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ContentType is the value served in the Content-Type header of /metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler returns the GET /metrics handler for this registry.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w) // client gone: nothing useful to do
+	})
+}

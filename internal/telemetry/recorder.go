@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"sthist/internal/geom"
+)
+
+// MergeKindParentChild / MergeKindSibling name the two STHoles merge kinds
+// in trace events and metric labels.
+const (
+	MergeKindParentChild = "parent-child"
+	MergeKindSibling     = "sibling"
+)
+
+// MergeOp is one merge executed during a feedback round.
+type MergeOp struct {
+	Kind    string  `json:"kind"`
+	Penalty float64 `json:"penalty"`
+	Nanos   int64   `json:"ns"`
+}
+
+// TraceEvent is one feedback round as captured by the flight recorder: the
+// query rectangle, what the histogram believed before the round, the
+// observed truth, the maintenance work the round triggered, and nanosecond
+// timings.
+type TraceEvent struct {
+	Seq           uint64    `json:"seq"`
+	Time          time.Time `json:"time"`
+	Lo            []float64 `json:"lo"`
+	Hi            []float64 `json:"hi"`
+	Estimate      float64   `json:"estimate"`
+	Actual        float64   `json:"actual"`
+	AbsError      float64   `json:"abs_error"`
+	Drills        int       `json:"drills"`
+	SkippedDrills int       `json:"skipped_drills"`
+	Merges        []MergeOp `json:"merges,omitempty"`
+	Nanos         int64     `json:"ns"`
+	Slow          bool      `json:"slow,omitempty"`
+}
+
+// Round is the input to Recorder.RecordRound: one feedback round observed by
+// the estimator. Query and Merges are borrowed for the duration of the call
+// (the recorder copies what it keeps), so the caller can reuse scratch
+// buffers.
+type Round struct {
+	Query    geom.Rect
+	Estimate float64 // estimate before the round
+	Actual   float64 // observed true cardinality
+	Trivial  float64 // 1-bucket (uniform) estimate, the NAE denominator term
+	Drills   int
+	Skipped  int
+	Merges   []MergeOp
+	Duration time.Duration
+}
+
+// Recorder captures one table's feedback-round telemetry: the flight ring,
+// the slow-round log, the rolling accuracy windows and the per-table
+// instruments. A nil *Recorder is valid and records nothing.
+type Recorder struct {
+	table string
+
+	mu       sync.Mutex
+	ring     []TraceEvent // fixed capacity; ring[next%cap] is the next slot
+	next     uint64       // total rounds recorded
+	slowRing []TraceEvent
+	slowNext uint64
+	slowThr  time.Duration
+
+	// Rolling accuracy windows: |est-actual| and |trivial-actual| over the
+	// last window rounds, with incrementally maintained sums. Rolling
+	// MAE = sumAbs/n (Eq. 9 over the window); rolling NAE = sumAbs/sumTriv
+	// (Eq. 10 — both means share the 1/n factor, so it cancels).
+	window  int
+	absErr  []float64
+	trivErr []float64
+	winN    int
+	winIdx  int
+	sumAbs  float64
+	sumTriv float64
+
+	// Instruments (shared registry, per-table labels). Always non-nil.
+	rounds       *Counter
+	drills       *Counter
+	skipped      *Counter
+	mergesPC     *Counter
+	mergesSib    *Counter
+	quarantines  *Counter
+	rejected     *Counter
+	slowRounds   *Counter
+	estimates    *Counter
+	feedbackDur  *Histogram
+	estimateDur  *Histogram
+	mergeDur     *Histogram
+	mergePenalty *Histogram
+	rollingMAE   *Gauge
+	rollingNAE   *Gauge
+	rollingN     *Gauge
+}
+
+// Table returns the table name the recorder serves.
+func (r *Recorder) Table() string { return r.table }
+
+// SlowThreshold returns the slow-round threshold.
+func (r *Recorder) SlowThreshold() time.Duration { return r.slowThr }
+
+// RecordRound captures one feedback round: it appends a trace event to the
+// flight ring (and the slow log when the round exceeded the threshold),
+// advances the rolling error windows, and updates the instruments. The ring
+// slots reuse their Lo/Hi/Merges backing arrays, so steady-state recording
+// allocates only when a round's geometry outgrows the previous occupant of
+// its slot.
+func (r *Recorder) RecordRound(round Round) {
+	if r == nil {
+		return
+	}
+	absErr := round.Estimate - round.Actual
+	if absErr < 0 {
+		absErr = -absErr
+	}
+	trivErr := round.Trivial - round.Actual
+	if trivErr < 0 {
+		trivErr = -trivErr
+	}
+
+	r.mu.Lock()
+	// Flight ring: overwrite the oldest slot in place.
+	ev := &r.ring[r.next%uint64(len(r.ring))]
+	fillEvent(ev, r.next, round, absErr, round.Duration >= r.slowThr && r.slowThr > 0)
+	r.next++
+
+	if ev.Slow {
+		slot := &r.slowRing[r.slowNext%uint64(len(r.slowRing))]
+		copyEvent(slot, ev)
+		r.slowNext++
+	}
+
+	// Rolling windows.
+	if r.winN == len(r.absErr) {
+		r.sumAbs -= r.absErr[r.winIdx]
+		r.sumTriv -= r.trivErr[r.winIdx]
+	} else {
+		r.winN++
+	}
+	r.absErr[r.winIdx] = absErr
+	r.trivErr[r.winIdx] = trivErr
+	r.winIdx = (r.winIdx + 1) % len(r.absErr)
+	r.sumAbs += absErr
+	r.sumTriv += trivErr
+	mae := r.sumAbs / float64(r.winN)
+	nae := 0.0
+	if r.sumTriv > 0 {
+		nae = r.sumAbs / r.sumTriv
+	}
+	winN := r.winN
+	slow := ev.Slow
+	r.mu.Unlock()
+
+	// Instruments are atomic; update them outside the ring lock.
+	r.rounds.Inc()
+	r.drills.Add(uint64(round.Drills))
+	r.skipped.Add(uint64(round.Skipped))
+	r.feedbackDur.Observe(round.Duration.Seconds())
+	for _, m := range round.Merges {
+		if m.Kind == MergeKindParentChild {
+			r.mergesPC.Inc()
+		} else {
+			r.mergesSib.Inc()
+		}
+		r.mergePenalty.Observe(m.Penalty)
+		r.mergeDur.Observe(float64(m.Nanos) / 1e9)
+	}
+	if slow {
+		r.slowRounds.Inc()
+	}
+	r.rollingMAE.Set(mae)
+	r.rollingNAE.Set(nae)
+	r.rollingN.Set(float64(winN))
+}
+
+// fillEvent populates a ring slot in place, reusing its backing arrays.
+func fillEvent(ev *TraceEvent, seq uint64, round Round, absErr float64, slow bool) {
+	ev.Seq = seq
+	ev.Time = time.Now()
+	ev.Lo = append(ev.Lo[:0], round.Query.Lo...)
+	ev.Hi = append(ev.Hi[:0], round.Query.Hi...)
+	ev.Estimate = round.Estimate
+	ev.Actual = round.Actual
+	ev.AbsError = absErr
+	ev.Drills = round.Drills
+	ev.SkippedDrills = round.Skipped
+	ev.Merges = append(ev.Merges[:0], round.Merges...)
+	ev.Nanos = round.Duration.Nanoseconds()
+	ev.Slow = slow
+}
+
+// copyEvent deep-copies src into dst, reusing dst's backing arrays.
+func copyEvent(dst, src *TraceEvent) {
+	lo := append(dst.Lo[:0], src.Lo...)
+	hi := append(dst.Hi[:0], src.Hi...)
+	merges := append(dst.Merges[:0], src.Merges...)
+	*dst = *src
+	dst.Lo, dst.Hi, dst.Merges = lo, hi, merges
+}
+
+// RecordEstimate observes one serving-path estimate latency.
+func (r *Recorder) RecordEstimate(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.estimates.Inc()
+	r.estimateDur.Observe(d.Seconds())
+}
+
+// RecordQuarantine counts one quarantine event (invariant violation or
+// recovered panic that degraded the table to its last good snapshot).
+func (r *Recorder) RecordQuarantine() {
+	if r == nil {
+		return
+	}
+	r.quarantines.Inc()
+}
+
+// RecordRejected counts one rejected feedback observation (validation
+// failure before the observation reached the histogram or its WAL).
+func (r *Recorder) RecordRejected() {
+	if r == nil {
+		return
+	}
+	r.rejected.Inc()
+}
+
+// Last returns deep copies of the most recent n trace events, oldest first.
+// n <= 0 or n larger than the captured count returns everything retained.
+func (r *Recorder) Last(n int) []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return lastEvents(r.ring, r.next, n)
+}
+
+// Slow returns deep copies of the most recent n slow-round events, oldest
+// first.
+func (r *Recorder) Slow(n int) []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return lastEvents(r.slowRing, r.slowNext, n)
+}
+
+func lastEvents(ring []TraceEvent, next uint64, n int) []TraceEvent {
+	have := int(next)
+	if uint64(have) != next || have > len(ring) {
+		have = len(ring)
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]TraceEvent, n)
+	for i := 0; i < n; i++ {
+		src := &ring[(next-uint64(n-i))%uint64(len(ring))]
+		copyEvent(&out[i], src)
+	}
+	return out
+}
+
+// Rolling returns the current rolling-window accuracy: the number of rounds
+// in the window, the mean absolute error (Eq. 9) and the normalized absolute
+// error (Eq. 10) over those rounds.
+func (r *Recorder) Rolling() (n int, mae, nae float64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.winN == 0 {
+		return 0, 0, 0
+	}
+	mae = r.sumAbs / float64(r.winN)
+	if r.sumTriv > 0 {
+		nae = r.sumAbs / r.sumTriv
+	}
+	return r.winN, mae, nae
+}
+
+// Quantiles returns the p50/p95/p99 of the feedback-round latency
+// distribution, in seconds.
+func (r *Recorder) Quantiles() (p50, p95, p99 float64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	return r.feedbackDur.Quantile(0.50), r.feedbackDur.Quantile(0.95), r.feedbackDur.Quantile(0.99)
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sthist/internal/geom"
+)
+
+func testRound(est, actual, trivial float64, d time.Duration) Round {
+	return Round{
+		Query:    geom.MustRect([]float64{0, 0}, []float64{10, 10}),
+		Estimate: est,
+		Actual:   actual,
+		Trivial:  trivial,
+		Drills:   2,
+		Skipped:  1,
+		Merges: []MergeOp{
+			{Kind: MergeKindParentChild, Penalty: 3, Nanos: 100},
+			{Kind: MergeKindSibling, Penalty: 7, Nanos: 200},
+		},
+		Duration: d,
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordRound(testRound(1, 2, 3, time.Millisecond))
+	r.RecordEstimate(time.Millisecond)
+	r.RecordQuarantine()
+	r.RecordRejected()
+	if r.Last(5) != nil || r.Slow(5) != nil {
+		t.Error("nil recorder returned events")
+	}
+	if n, mae, nae := r.Rolling(); n != 0 || mae != 0 || nae != 0 {
+		t.Error("nil recorder returned rolling stats")
+	}
+	var tel *Telemetry
+	if tel.Table("x") != nil || tel.Registry() != nil || tel.WAL("x") != nil {
+		t.Error("nil telemetry minted instruments")
+	}
+	var wm *WALMetrics
+	wm.ObserveAppend(0, nil)
+	wm.ObserveSync(0, nil)
+	wm.ObserveCheckpoint(0, nil)
+}
+
+func TestRollingWindowMAEAndNAE(t *testing.T) {
+	tel := New(Options{Window: 4, SlowThreshold: -1})
+	r := tel.Table("t")
+	// |est-actual| = 2 each round; |trivial-actual| = 8 each round.
+	for i := 0; i < 3; i++ {
+		r.RecordRound(testRound(10, 12, 20, time.Microsecond))
+	}
+	n, mae, nae := r.Rolling()
+	if n != 3 {
+		t.Fatalf("window rounds = %d, want 3", n)
+	}
+	if math.Abs(mae-2) > 1e-12 {
+		t.Errorf("MAE = %g, want 2", mae)
+	}
+	if math.Abs(nae-0.25) > 1e-12 {
+		t.Errorf("NAE = %g, want 2/8", nae)
+	}
+	// Overflow the window with perfect rounds: the old errors must fall out.
+	for i := 0; i < 4; i++ {
+		r.RecordRound(testRound(5, 5, 9, time.Microsecond))
+	}
+	n, mae, nae = r.Rolling()
+	if n != 4 {
+		t.Fatalf("window rounds = %d, want 4 (capacity)", n)
+	}
+	if mae != 0 || nae != 0 {
+		t.Errorf("after perfect rounds MAE=%g NAE=%g, want 0", mae, nae)
+	}
+	if got := r.rollingMAE.Value(); got != 0 {
+		t.Errorf("gauge MAE = %g, want 0", got)
+	}
+}
+
+func TestFlightRingRetainsLastEvents(t *testing.T) {
+	tel := New(Options{TraceEvents: 4, SlowThreshold: -1})
+	r := tel.Table("t")
+	for i := 0; i < 10; i++ {
+		r.RecordRound(testRound(float64(i), 0, 0, time.Microsecond))
+	}
+	evs := r.Last(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest first)", i, ev.Seq, want)
+		}
+	}
+	if evs[3].Estimate != 9 {
+		t.Errorf("newest event estimate = %g, want 9", evs[3].Estimate)
+	}
+	if len(evs[0].Merges) != 2 || evs[0].Merges[0].Kind != MergeKindParentChild {
+		t.Errorf("merge detail lost: %+v", evs[0].Merges)
+	}
+	// Deep copies: mutating the returned slice must not corrupt the ring.
+	evs[0].Lo[0] = -999
+	if r.Last(0)[0].Lo[0] == -999 {
+		t.Error("Last returned a slice aliasing the ring")
+	}
+	if got := r.Last(2); len(got) != 2 || got[1].Seq != 9 {
+		t.Errorf("Last(2) = %d events, newest seq %d", len(got), got[len(got)-1].Seq)
+	}
+}
+
+func TestSlowRoundLog(t *testing.T) {
+	tel := New(Options{SlowThreshold: 10 * time.Millisecond})
+	r := tel.Table("t")
+	r.RecordRound(testRound(1, 1, 1, time.Millisecond))     // fast
+	r.RecordRound(testRound(2, 2, 2, 50*time.Millisecond))  // slow
+	r.RecordRound(testRound(3, 3, 3, time.Millisecond))     // fast
+	r.RecordRound(testRound(4, 4, 4, 500*time.Millisecond)) // slow
+	slow := r.Slow(0)
+	if len(slow) != 2 {
+		t.Fatalf("slow log has %d events, want 2", len(slow))
+	}
+	if slow[0].Seq != 1 || slow[1].Seq != 3 {
+		t.Errorf("slow seqs = %d,%d want 1,3", slow[0].Seq, slow[1].Seq)
+	}
+	if !slow[0].Slow {
+		t.Error("slow event not flagged")
+	}
+	if got := r.slowRounds.Value(); got != 2 {
+		t.Errorf("slow counter = %d, want 2", got)
+	}
+	// Disabled threshold: nothing is slow.
+	tel2 := New(Options{SlowThreshold: -1})
+	r2 := tel2.Table("t")
+	r2.RecordRound(testRound(1, 1, 1, time.Hour))
+	if len(r2.Slow(0)) != 0 {
+		t.Error("disabled slow threshold still logged")
+	}
+}
+
+func TestCountersFeedInstruments(t *testing.T) {
+	tel := New(Options{})
+	r := tel.Table("t")
+	r.RecordRound(testRound(1, 2, 3, time.Millisecond))
+	r.RecordEstimate(time.Microsecond)
+	r.RecordQuarantine()
+	r.RecordRejected()
+	if r.rounds.Value() != 1 || r.drills.Value() != 2 || r.skipped.Value() != 1 {
+		t.Errorf("round counters = %d/%d/%d", r.rounds.Value(), r.drills.Value(), r.skipped.Value())
+	}
+	if r.mergesPC.Value() != 1 || r.mergesSib.Value() != 1 {
+		t.Errorf("merge counters = %d/%d", r.mergesPC.Value(), r.mergesSib.Value())
+	}
+	if r.mergePenalty.Count() != 2 || r.mergePenalty.Sum() != 10 {
+		t.Errorf("penalty histogram count=%d sum=%g", r.mergePenalty.Count(), r.mergePenalty.Sum())
+	}
+	if r.estimates.Value() != 1 || r.quarantines.Value() != 1 || r.rejected.Value() != 1 {
+		t.Errorf("estimate/quarantine/reject = %d/%d/%d", r.estimates.Value(), r.quarantines.Value(), r.rejected.Value())
+	}
+	p50, p95, p99 := r.Quantiles()
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: %g %g %g", p50, p95, p99)
+	}
+}
+
+func TestTableIsIdempotentAndRecordersSorted(t *testing.T) {
+	tel := New(Options{})
+	a := tel.Table("b-table")
+	if tel.Table("b-table") != a {
+		t.Error("Table minted a second recorder for the same name")
+	}
+	tel.Table("a-table")
+	recs := tel.Recorders()
+	if len(recs) != 2 || recs[0].Table() != "a-table" || recs[1].Table() != "b-table" {
+		t.Errorf("Recorders() = %v", recs)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tel := New(Options{SlowThreshold: 10 * time.Millisecond})
+	r := tel.Table("cross")
+	for i := 0; i < 5; i++ {
+		r.RecordRound(testRound(float64(i), 1, 1, time.Millisecond))
+	}
+	r.RecordRound(testRound(9, 1, 1, time.Second)) // slow
+	srv := httptest.NewServer(tel.TraceHandler())
+	defer srv.Close()
+
+	var body struct {
+		Table  string       `json:"table"`
+		Events []TraceEvent `json:"events"`
+	}
+	getJSON := func(url string, wantStatus int) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s status = %d, want %d", url, resp.StatusCode, wantStatus)
+		}
+		if wantStatus == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	getJSON(srv.URL+"?table=cross&n=3", http.StatusOK)
+	if body.Table != "cross" || len(body.Events) != 3 {
+		t.Fatalf("table=%q events=%d, want cross/3", body.Table, len(body.Events))
+	}
+	if body.Events[2].Seq != 5 || len(body.Events[2].Merges) != 2 {
+		t.Errorf("newest event seq=%d merges=%d", body.Events[2].Seq, len(body.Events[2].Merges))
+	}
+	getJSON(srv.URL+"?table=cross&slow=1", http.StatusOK)
+	if len(body.Events) != 1 || !body.Events[0].Slow {
+		t.Errorf("slow query returned %d events", len(body.Events))
+	}
+	getJSON(srv.URL+"?table=unknown", http.StatusBadRequest)
+	getJSON(srv.URL+"?table=cross&n=-1", http.StatusBadRequest)
+}

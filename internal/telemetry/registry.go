@@ -1,0 +1,324 @@
+// Package telemetry is the observability plane of the serving stack: a
+// lock-cheap metrics registry with Prometheus text-format exposition, a
+// fixed-size flight recorder that captures one structured trace event per
+// feedback round, and online accuracy tracking (rolling-window mean absolute
+// and normalized error, Eq. 9/10 of the paper, computed incrementally from
+// the live feedback stream instead of an offline evaluation workload).
+//
+// The package is stdlib-only and race-safe. Instrument hot paths are
+// implemented with atomics; the registry mutex is only taken when an
+// instrument is first created and during exposition. Callers cache the
+// returned instrument pointers, so steady-state recording never touches a
+// lock or allocates.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a log-bucketed distribution: observations are counted into
+// fixed upper-bound buckets (cumulative on exposition, Prometheus style) and
+// summed, so both promql quantiles and the in-process Quantile estimator
+// work off the same counters. All methods are safe for concurrent use and
+// allocation-free.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// ExponentialBuckets returns n ascending upper bounds starting at start and
+// growing by factor — the log-bucketed layout used for latencies and merge
+// penalties.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LatencyBuckets spans 1µs to ~67s in doubling steps, in seconds.
+func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 2, 27) }
+
+// PenaltyBuckets spans merge penalties from 1 tuple to ~16M in 4x steps.
+func PenaltyBuckets() []float64 { return ExponentialBuckets(1, 4, 13) }
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Binary search over a handful of bounds; cheaper than it looks and
+	// branch-predictable for clustered observations.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation inside the selected bucket. It returns 0 when nothing
+// was observed. Estimates are monotone in q (property-tested).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	lower := 0.0
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(b-lower)
+		}
+		cum += c
+		lower = b
+	}
+	// Rank falls into the +Inf overflow bucket: the best bound we can give is
+	// the largest finite boundary.
+	return lower
+}
+
+// snapshot is one consistent read of the bucket counters for exposition.
+func (h *Histogram) snapshot() (counts []uint64, inf, count uint64, sum float64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.inf.Load(), h.count.Load(), h.Sum()
+}
+
+// metric type names used in the TYPE comment of the exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels string // pre-rendered `k1="v1",k2="v2"` (escaped, sorted by key)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series map[string]*series
+}
+
+// Registry holds named metric families and renders them in Prometheus text
+// format. Instrument creation is idempotent: asking for the same name+labels
+// returns the existing instrument; asking for an existing name with a
+// different type panics (a wiring bug, not a runtime condition).
+type Registry struct {
+	mu         sync.Mutex
+	fams       map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Labels is an ordered set of label key/value pairs. Keys must be valid
+// Prometheus label names; values are escaped on exposition.
+type Labels []Label
+
+// Label is one key/value pair.
+type Label struct{ Key, Value string }
+
+// L is shorthand for a single-label set.
+func L(key, value string) Labels { return Labels{{key, value}} }
+
+// renderLabels returns the canonical, escaped `k="v"` form, sorted by key.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	cp := make(Labels, len(ls))
+	copy(cp, ls)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
+	var b strings.Builder
+	for i, l := range cp {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline as the
+// Prometheus text format requires.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// lookupLocked finds or creates the series for name+labels. r.mu must be
+// held by the caller.
+func (r *Registry) lookupLocked(name, help, typ string, labels Labels) *series {
+	key := renderLabels(labels)
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter for name+labels.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookupLocked(name, help, typeCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookupLocked(name, help, typeGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns (creating if needed) the histogram for name+labels with
+// the given upper bounds. Bounds are fixed by the first creation.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookupLocked(name, help, typeHistogram, labels)
+	if s.h == nil {
+		s.h = newHistogram(bounds)
+	}
+	return s.h
+}
+
+// RegisterCollector adds a callback run at the start of every exposition,
+// before the metric families are rendered. Used for gauges whose value is a
+// snapshot of external state (bucket count, tree depth) rather than an event
+// stream.
+func (r *Registry) RegisterCollector(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultTraceEvents   = 256
+	DefaultSlowThreshold = 50 * time.Millisecond
+	DefaultWindow        = 512
+)
+
+// Options configures New.
+type Options struct {
+	// TraceEvents is the flight-recorder ring capacity per table.
+	TraceEvents int
+	// SlowThreshold flags feedback rounds at or above this latency for the
+	// slow-round log. Zero uses the default; negative disables slow logging.
+	SlowThreshold time.Duration
+	// Window is the rolling accuracy window, in feedback rounds.
+	Window int
+}
+
+// Telemetry is the shared observability plane: one metrics registry plus a
+// per-table flight recorder. A nil *Telemetry is valid and disables
+// everything it would otherwise wire.
+type Telemetry struct {
+	reg  *Registry
+	opts Options
+
+	mu     sync.Mutex
+	tables map[string]*Recorder
+}
+
+// New returns a telemetry plane with its own registry.
+func New(opts Options) *Telemetry {
+	if opts.TraceEvents <= 0 {
+		opts.TraceEvents = DefaultTraceEvents
+	}
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = DefaultSlowThreshold
+	}
+	if opts.SlowThreshold < 0 {
+		opts.SlowThreshold = 0 // disables slow logging (RecordRound checks > 0)
+	}
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	return &Telemetry{reg: NewRegistry(), opts: opts, tables: make(map[string]*Recorder)}
+}
+
+// Registry returns the underlying metrics registry (nil-safe).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Table returns (creating if needed) the recorder for the named table. All
+// of the recorder's instruments are created eagerly so the hot path never
+// touches the registry. Returns nil on a nil Telemetry.
+func (t *Telemetry) Table(name string) *Recorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r, ok := t.tables[name]; ok {
+		return r
+	}
+	lbl := L("table", name)
+	slowCap := 64
+	if slowCap > t.opts.TraceEvents {
+		slowCap = t.opts.TraceEvents
+	}
+	r := &Recorder{
+		table:    name,
+		ring:     make([]TraceEvent, t.opts.TraceEvents),
+		slowRing: make([]TraceEvent, slowCap),
+		slowThr:  t.opts.SlowThreshold,
+		window:   t.opts.Window,
+		absErr:   make([]float64, t.opts.Window),
+		trivErr:  make([]float64, t.opts.Window),
+
+		rounds:       t.reg.Counter("sthist_feedback_rounds_total", "Feedback rounds processed.", lbl),
+		drills:       t.reg.Counter("sthist_drills_total", "Holes drilled by feedback rounds.", lbl),
+		skipped:      t.reg.Counter("sthist_skipped_drills_total", "Drill candidates skipped because the estimate was already exact.", lbl),
+		mergesPC:     t.reg.Counter("sthist_merges_total", "Bucket merges executed by budget enforcement.", Labels{{"table", name}, {"kind", MergeKindParentChild}}),
+		mergesSib:    t.reg.Counter("sthist_merges_total", "Bucket merges executed by budget enforcement.", Labels{{"table", name}, {"kind", MergeKindSibling}}),
+		quarantines:  t.reg.Counter("sthist_quarantines_total", "Histogram quarantine events (invariant violations or recovered panics).", lbl),
+		rejected:     t.reg.Counter("sthist_feedback_rejected_total", "Feedback observations rejected by validation.", lbl),
+		slowRounds:   t.reg.Counter("sthist_slow_feedback_total", "Feedback rounds at or above the slow threshold.", lbl),
+		estimates:    t.reg.Counter("sthist_estimates_total", "Serving-path estimates.", lbl),
+		feedbackDur:  t.reg.Histogram("sthist_feedback_duration_seconds", "Feedback round latency (drill + budget enforcement).", LatencyBuckets(), lbl),
+		estimateDur:  t.reg.Histogram("sthist_estimate_duration_seconds", "Serving-path estimate latency.", LatencyBuckets(), lbl),
+		mergeDur:     t.reg.Histogram("sthist_merge_duration_seconds", "Latency of individual bucket merges.", LatencyBuckets(), lbl),
+		mergePenalty: t.reg.Histogram("sthist_merge_penalty", "Penalty (Eq. 2, in tuples) of executed merges.", PenaltyBuckets(), lbl),
+		rollingMAE:   t.reg.Gauge("sthist_rolling_mae", "Rolling-window mean absolute error (Eq. 9) over the live feedback stream.", lbl),
+		rollingNAE:   t.reg.Gauge("sthist_rolling_nae", "Rolling-window normalized absolute error (Eq. 10) over the live feedback stream.", lbl),
+		rollingN:     t.reg.Gauge("sthist_rolling_window_rounds", "Feedback rounds currently in the rolling accuracy window.", lbl),
+	}
+	t.tables[name] = r
+	return r
+}
+
+// Recorders returns the table recorders, sorted by table name.
+func (t *Telemetry) Recorders() []*Recorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Recorder, 0, len(t.tables))
+	for _, r := range t.tables {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].table < out[j].table })
+	return out
+}
+
+// lookupTable returns the recorder for name, or nil when absent — unlike
+// Table it never creates one (the trace handler must not mint recorders for
+// arbitrary query strings).
+func (t *Telemetry) lookupTable(name string) *Recorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tables[name]
+}
+
+// MetricsHandler serves GET /metrics in Prometheus text format.
+func (t *Telemetry) MetricsHandler() http.Handler {
+	return t.reg.MetricsHandler()
+}
+
+// TraceHandler serves GET /debug/trace?table=T&n=K[&slow=1]: the last K
+// flight-recorder events of table T as JSON, oldest first. Without n it
+// returns everything retained; with slow=1 it serves the slow-round log
+// instead of the full ring.
+func (t *Telemetry) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := req.URL.Query().Get("table")
+		rec := t.lookupTable(name)
+		if rec == nil {
+			http.Error(w, fmt.Sprintf("unknown table %q", name), http.StatusBadRequest)
+			return
+		}
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n %q", s), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		var events []TraceEvent
+		if req.URL.Query().Get("slow") == "1" {
+			events = rec.Slow(n)
+		} else {
+			events = rec.Last(n)
+		}
+		if events == nil {
+			events = []TraceEvent{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"table":  name,
+			"events": events,
+		})
+	})
+}

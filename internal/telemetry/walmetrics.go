@@ -1,0 +1,73 @@
+package telemetry
+
+import "time"
+
+// WALMetrics records write-ahead-log durability timings. It structurally
+// satisfies wal.Observer without this package importing internal/wal (the
+// caller wires it into wal.Options), keeping telemetry dependency-free.
+// A nil *WALMetrics records nothing.
+type WALMetrics struct {
+	appendDur  *Histogram
+	syncDur    *Histogram
+	ckptDur    *Histogram
+	appendErrs *Counter
+	ckptErrs   *Counter
+	lastCkptAt *Gauge
+	lastCkptS  *Gauge
+}
+
+// WAL returns (creating if needed) the WAL metrics for the named table.
+// Returns nil on a nil Telemetry.
+func (t *Telemetry) WAL(table string) *WALMetrics {
+	if t == nil {
+		return nil
+	}
+	lbl := L("table", table)
+	return &WALMetrics{
+		appendDur:  t.reg.Histogram("sthist_wal_append_duration_seconds", "WAL record append latency (framing + write, excluding fsync).", LatencyBuckets(), lbl),
+		syncDur:    t.reg.Histogram("sthist_wal_fsync_duration_seconds", "WAL fsync latency.", LatencyBuckets(), lbl),
+		ckptDur:    t.reg.Histogram("sthist_wal_checkpoint_duration_seconds", "WAL checkpoint rotation latency (snapshot write + segment swap + manifest commit).", LatencyBuckets(), lbl),
+		appendErrs: t.reg.Counter("sthist_wal_append_errors_total", "Failed WAL appends (feedback served anyway, durability degraded).", lbl),
+		ckptErrs:   t.reg.Counter("sthist_wal_checkpoint_errors_total", "Failed WAL checkpoints.", lbl),
+		lastCkptAt: t.reg.Gauge("sthist_last_checkpoint_timestamp_seconds", "Unix time of the last successful checkpoint.", lbl),
+		lastCkptS:  t.reg.Gauge("sthist_last_checkpoint_duration_seconds", "Duration of the last successful checkpoint.", lbl),
+	}
+}
+
+// ObserveAppend records one append (frame + write, excluding fsync).
+func (m *WALMetrics) ObserveAppend(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.appendErrs.Inc()
+		return
+	}
+	m.appendDur.Observe(d.Seconds())
+}
+
+// ObserveSync records one fsync.
+func (m *WALMetrics) ObserveSync(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.appendErrs.Inc()
+		return
+	}
+	m.syncDur.Observe(d.Seconds())
+}
+
+// ObserveCheckpoint records one checkpoint rotation.
+func (m *WALMetrics) ObserveCheckpoint(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.ckptErrs.Inc()
+		return
+	}
+	m.ckptDur.Observe(d.Seconds())
+	m.lastCkptAt.Set(float64(time.Now().UnixNano()) / 1e9)
+	m.lastCkptS.Set(d.Seconds())
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"sthist/internal/faultfs"
 )
@@ -51,6 +52,23 @@ type Options struct {
 	Sync SyncPolicy
 	// Corrupt is the replay policy for checksum failures.
 	Corrupt CorruptPolicy
+	// Observer, when non-nil, receives a timing callback per durability
+	// operation. Callbacks run synchronously under the log's lock and must
+	// not re-enter the Log.
+	Observer Observer
+}
+
+// Observer receives the durability-path timings the telemetry plane exports:
+// how long appends, fsyncs and checkpoint rotations take, and whether they
+// failed. internal/telemetry's WALMetrics satisfies this interface.
+type Observer interface {
+	// ObserveAppend reports one record append (framing + write, excluding
+	// the fsync, which is reported separately).
+	ObserveAppend(d time.Duration, err error)
+	// ObserveSync reports one append-path fsync.
+	ObserveSync(d time.Duration, err error)
+	// ObserveCheckpoint reports one checkpoint rotation attempt.
+	ObserveCheckpoint(d time.Duration, err error)
 }
 
 // Recovery reports what Open reconstructed from the directory.
@@ -227,19 +245,42 @@ func (l *Log) Append(r Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: log is failed (checkpoint to recover): %w", l.err)
 	}
 	r.Seq = l.lastSeq + 1
+	obs := l.opts.Observer
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	buf, err := appendFrame(l.buf[:0], r)
 	if err != nil {
+		if obs != nil {
+			obs.ObserveAppend(time.Since(start), err)
+		}
 		return 0, err
 	}
 	l.buf = buf
 	if _, err := l.f.Write(buf); err != nil {
 		l.err = err
+		if obs != nil {
+			obs.ObserveAppend(time.Since(start), err)
+		}
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
+	if obs != nil {
+		obs.ObserveAppend(time.Since(start), nil)
+	}
 	if l.opts.Sync == SyncAlways {
+		if obs != nil {
+			start = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			l.err = err
+			if obs != nil {
+				obs.ObserveSync(time.Since(start), err)
+			}
 			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		if obs != nil {
+			obs.ObserveSync(time.Since(start), nil)
 		}
 	}
 	l.lastSeq = r.Seq
@@ -252,9 +293,13 @@ func (l *Log) Append(r Record) (uint64, error) {
 // segment. On success the previous checkpoint/segment files are deleted
 // (best-effort) and any sticky append error is cleared — the snapshot
 // captures the in-memory state the failed segment could not make durable.
-func (l *Log) Checkpoint(snapshot []byte) error {
+func (l *Log) Checkpoint(snapshot []byte) (err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if obs := l.opts.Observer; obs != nil {
+		start := time.Now()
+		defer func() { obs.ObserveCheckpoint(time.Since(start), err) }()
+	}
 	newGen := l.gen + 1
 	newSnap, newSeg := snapName(newGen), segName(newGen)
 

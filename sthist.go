@@ -31,6 +31,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"sthist/internal/core"
 	"sthist/internal/dataset"
@@ -39,6 +40,7 @@ import (
 	"sthist/internal/metrics"
 	"sthist/internal/mineclus"
 	"sthist/internal/sthole"
+	"sthist/internal/telemetry"
 	"sthist/internal/workload"
 )
 
@@ -128,6 +130,45 @@ type Estimator struct {
 	degraded      bool              // true from quarantine until a clean validate
 	quarantines   int               // total quarantine events
 	lastErr       error             // cause of the most recent quarantine
+
+	// Telemetry (optional, see SetRecorder). rec is nil when disabled; the
+	// nil path adds a single branch to the feedback round and keeps it
+	// allocation-free. mergeScratch collects the merges of the current round
+	// (reused across rounds) via the tap installed on the histogram.
+	rec          *telemetry.Recorder
+	mergeScratch []telemetry.MergeOp
+}
+
+// mergeTap adapts the estimator to sthole.MergeObserver without exposing the
+// callback on the public API. It runs inside Drill, under the write lock.
+type mergeTap struct{ e *Estimator }
+
+func (t mergeTap) ObserveMerge(kind sthole.MergeKind, penalty float64, d time.Duration) {
+	t.e.mergeScratch = append(t.e.mergeScratch, telemetry.MergeOp{
+		Kind: kind.String(), Penalty: penalty, Nanos: d.Nanoseconds(),
+	})
+}
+
+// SetRecorder wires a telemetry recorder into the estimator: every feedback
+// round is captured as a flight-recorder trace event and folded into the
+// rolling accuracy window, and every merge is observed with its kind and
+// penalty. Pass nil to detach. Call before serving traffic — the recorder
+// reference is read without synchronization on the validation fast path.
+func (e *Estimator) SetRecorder(rec *telemetry.Recorder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec = rec
+	e.installTapLocked()
+}
+
+// installTapLocked (re)installs the merge tap on the live histogram; called
+// whenever e.hist is replaced (quarantine, LoadHistogram).
+func (e *Estimator) installTapLocked() {
+	if e.rec == nil {
+		e.hist.SetMergeObserver(nil)
+		return
+	}
+	e.hist.SetMergeObserver(mergeTap{e})
 }
 
 // DefaultValidateEvery is the default amortized invariant-check period, in
@@ -262,6 +303,7 @@ func (e *Estimator) ValidateFeedback(q Rect, actual float64) error {
 // histogram of feedback.
 func (e *Estimator) Feedback(q Rect, actual float64) error {
 	if err := e.ValidateFeedback(q, actual); err != nil {
+		e.rec.RecordRejected()
 		return err
 	}
 	vol := q.Volume()
@@ -272,7 +314,7 @@ func (e *Estimator) Feedback(q Rect, actual float64) error {
 			return actual
 		}
 		return actual * q.IntersectionVolume(r) / vol
-	})
+	}, actual, true)
 }
 
 // FeedbackWith refines the histogram with exact sub-rectangle counts from an
@@ -288,7 +330,7 @@ func (e *Estimator) FeedbackWith(q Rect, count func(r Rect) float64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.drillLocked(q, count)
+	return e.drillLocked(q, count, 0, false)
 }
 
 // Train replays a workload against the build-time data snapshot with exact
@@ -300,13 +342,32 @@ func (e *Estimator) Train(queries []Rect) {
 	for _, q := range queries {
 		// Exact counts from our own index cannot fail validation; drill
 		// errors (recovered panics) quarantine internally.
-		_ = e.drillLocked(q, e.exact)
+		_ = e.drillLocked(q, e.exact, 0, false)
 	}
 }
 
 // drillLocked applies one drill under the write lock, recovering from a
 // panicking maintenance path and running the amortized invariant check.
-func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc) (err error) {
+//
+// actual is the observed whole-query cardinality when haveActual is true;
+// otherwise the instrumented path obtains it with one extra count(q) call
+// (exact-count feedback sources return the true value for the full query).
+// With no recorder attached the round takes the lean path: no timestamps, no
+// pre-estimate, no allocations.
+func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc, actual float64, haveActual bool) (err error) {
+	rec := e.rec
+	var start time.Time
+	var preEst float64
+	var statsBefore sthole.Stats
+	if rec != nil {
+		start = time.Now()
+		preEst = e.hist.Estimate(q)
+		if !haveActual {
+			actual = count(q)
+		}
+		e.mergeScratch = e.mergeScratch[:0]
+		statsBefore = e.hist.Stats
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			// A panic mid-drill means the bucket tree can no longer be
@@ -328,6 +389,34 @@ func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc) (err error) {
 			}
 		}
 	}
+	if rec != nil {
+		st := e.hist.Stats
+		// A quarantine mid-round replaces the histogram (fresh stats); clamp
+		// the deltas so the counters never go backwards.
+		drills := st.Drills - statsBefore.Drills
+		skipped := st.SkippedExactDrills - statsBefore.SkippedExactDrills
+		if drills < 0 {
+			drills = 0
+		}
+		if skipped < 0 {
+			skipped = 0
+		}
+		total := float64(e.idx.Total())
+		triv := 0.0
+		if v := e.domain.Volume(); v > 0 {
+			triv = total * e.domain.IntersectionVolume(q) / v
+		}
+		rec.RecordRound(telemetry.Round{
+			Query:    q,
+			Estimate: preEst,
+			Actual:   actual,
+			Trivial:  triv,
+			Drills:   drills,
+			Skipped:  skipped,
+			Merges:   e.mergeScratch,
+			Duration: time.Since(start),
+		})
+	}
 	return nil
 }
 
@@ -339,6 +428,8 @@ func (e *Estimator) quarantineLocked(cause error) {
 	e.quarantines++
 	e.lastErr = cause
 	e.degraded = true
+	e.rec.RecordQuarantine()
+	defer e.installTapLocked() // the replacement histogram needs the merge tap
 	if e.lastGood != nil {
 		restored := e.lastGood.Clone()
 		if restored.Validate() == nil {
@@ -381,6 +472,44 @@ func (e *Estimator) Health() Health {
 }
 
 func (e *Estimator) exact(r Rect) float64 { return float64(e.idx.Count(r)) }
+
+// TableStats is a consistent snapshot of the histogram's structure and
+// maintenance counters, taken under the estimator's lock — the raw material
+// of the /stats endpoint and the telemetry structural gauges. Reading the
+// same numbers through Histogram() races with concurrent feedback; use this
+// instead when the estimator is being served.
+type TableStats struct {
+	Buckets            int     `json:"buckets"`
+	MaxBuckets         int     `json:"max_buckets"`
+	TreeDepth          int     `json:"tree_depth"`
+	Queries            int     `json:"queries"`
+	Drills             int     `json:"drills"`
+	SkippedExactDrills int     `json:"skipped_exact_drills"`
+	ParentChildMerges  int     `json:"parent_child_merges"`
+	SiblingMerges      int     `json:"sibling_merges"`
+	SubspaceBuckets    int     `json:"subspace_buckets"`
+	TotalTuples        float64 `json:"total_tuples"`
+}
+
+// StatsSnapshot returns the histogram structure and maintenance counters
+// under the read lock, so it is safe against concurrent feedback.
+func (e *Estimator) StatsSnapshot() TableStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h := e.hist
+	return TableStats{
+		Buckets:            h.BucketCount(),
+		MaxBuckets:         h.MaxBuckets(),
+		TreeDepth:          h.Depth(),
+		Queries:            h.Stats.Queries,
+		Drills:             h.Stats.Drills,
+		SkippedExactDrills: h.Stats.SkippedExactDrills,
+		ParentChildMerges:  h.Stats.ParentChildMerges,
+		SiblingMerges:      h.Stats.SiblingMerges,
+		SubspaceBuckets:    len(h.SubspaceBuckets()),
+		TotalTuples:        h.TotalTuples(),
+	}
+}
 
 // TrueCount returns the exact number of tuples in q in the build-time
 // snapshot.
@@ -433,6 +562,7 @@ func (e *Estimator) LoadHistogram(r io.Reader) error {
 	e.lastGood = h.Clone()
 	e.degraded = false
 	e.sinceValidate = 0
+	e.installTapLocked()
 	return nil
 }
 

@@ -1,0 +1,149 @@
+package sthist
+
+import (
+	"bytes"
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/telemetry"
+	"sthist/internal/workload"
+)
+
+// crossEstimator opens an uninitialized estimator over the Cross dataset so
+// accuracy starts poor and the learning is visible, plus its workload.
+func crossEstimator(t testing.TB, buckets, queries int) (*Estimator, []Rect) {
+	t.Helper()
+	ds := datagen.Cross(0.04, 1)
+	est, err := Open(ds.Table, Options{Buckets: buckets, Seed: 1, SkipInitialization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.MustGenerate(ds.Domain, workload.Config{
+		VolumeFraction: 0.01, N: queries, Seed: 7,
+	}, ds.Table)
+	return est, qs
+}
+
+// TestRollingNAEDecreasesOnCross is the end-to-end accuracy-tracking check:
+// over a Cross workload the rolling NAE (Eq. 10, computed online from the
+// feedback stream) of an initially uninitialized histogram must decay as the
+// holes are drilled.
+func TestRollingNAEDecreasesOnCross(t *testing.T) {
+	est, qs := crossEstimator(t, 100, 400)
+	tel := telemetry.New(telemetry.Options{Window: 100, SlowThreshold: -1})
+	rec := tel.Table("cross")
+	est.SetRecorder(rec)
+
+	var naeEarly float64
+	for i, q := range qs {
+		if err := est.Feedback(q, est.TrueCount(q)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 99 {
+			_, _, naeEarly = rec.Rolling()
+		}
+	}
+	n, mae, naeLate := rec.Rolling()
+	if n != 100 {
+		t.Fatalf("rolling window holds %d rounds, want 100", n)
+	}
+	if naeEarly <= 0 || naeLate <= 0 {
+		t.Fatalf("NAE not tracked: early=%g late=%g", naeEarly, naeLate)
+	}
+	if naeLate >= naeEarly {
+		t.Errorf("rolling NAE did not decay: %g (rounds 1-100) -> %g (rounds 301-400)", naeEarly, naeLate)
+	}
+	if mae < 0 {
+		t.Errorf("rolling MAE = %g", mae)
+	}
+	evs := rec.Last(5)
+	if len(evs) != 5 {
+		t.Fatalf("flight recorder retained %d events, want 5", len(evs))
+	}
+	last := evs[len(evs)-1]
+	if last.Actual != est.TrueCount(qs[len(qs)-1]) {
+		t.Errorf("last trace event actual = %g, want the fed truth", last.Actual)
+	}
+}
+
+// TestFeedbackSteadyStateZeroAllocs asserts the PR 1 invariant survives the
+// telemetry hooks: with no recorder attached, a steady-state feedback round
+// (every candidate drill skipped, amortized validation off) performs zero
+// heap allocations.
+func TestFeedbackSteadyStateZeroAllocs(t *testing.T) {
+	ds := datagen.Cross(0.04, 1)
+	est, err := Open(ds.Table, Options{Buckets: 100, Seed: 1, ValidateEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.MustGenerate(ds.Domain, workload.Config{
+		VolumeFraction: 0.01, N: 64, Seed: 7,
+	}, ds.Table)
+	steady := func(r Rect) float64 { return est.hist.Estimate(r) }
+	for _, q := range qs { // converge + warm scratch buffers
+		if err := est.FeedbackWith(q, steady); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := est.FeedbackWith(qs[i%len(qs)], steady); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state feedback with telemetry disabled allocates %g times per round, want 0", allocs)
+	}
+}
+
+// BenchmarkFeedbackRound measures the estimator feedback round at the
+// paper's largest budget (250 buckets), with and without a recorder attached.
+// CI guards the ratio: telemetry=on must stay within 5% of telemetry=off
+// (see cmd/benchjson -guard-* and the bench-guard make target).
+//
+// One benchmark op is a full deterministic pass: restore the warmed
+// histogram snapshot (off the clock), then replay the fixed workload with
+// precomputed true cardinalities. Restoring per op keeps both variants on
+// the exact same tree trajectory — drill and merge cost depends on tree
+// state, so letting the state diverge with b.N would drown a 5% budget in
+// path-dependent noise.
+func BenchmarkFeedbackRound(b *testing.B) {
+	run := func(b *testing.B, withTelemetry bool) {
+		est, qs := crossEstimator(b, 250, 256)
+		actuals := make([]float64, len(qs))
+		for i, q := range qs {
+			actuals[i] = est.TrueCount(q)
+		}
+		if withTelemetry {
+			tel := telemetry.New(telemetry.Options{})
+			est.SetRecorder(tel.Table("bench"))
+		}
+		// Warm up: drill the workload once so the op measures the steady
+		// maintenance regime rather than initial tree growth.
+		for i, q := range qs {
+			if err := est.Feedback(q, actuals[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var snap bytes.Buffer
+		if err := est.SaveHistogram(&snap); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := est.LoadHistogram(bytes.NewReader(snap.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for j, q := range qs {
+				if err := est.Feedback(q, actuals[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("telemetry=off", func(b *testing.B) { run(b, false) })
+	b.Run("telemetry=on", func(b *testing.B) { run(b, true) })
+}
