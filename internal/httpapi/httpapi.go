@@ -209,17 +209,42 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// instrumentedCodes is the status-code set whose request counters are minted
+// at construction, so the serving hot path never takes the registry mutex or
+// renders a label string. Anything else (rare codes) falls back to the
+// registry's own locked, idempotent lookup.
+var instrumentedCodes = []int{
+	http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+	http.StatusMethodNotAllowed, http.StatusInternalServerError,
+	http.StatusServiceUnavailable,
+}
+
+const httpRequestsHelp = "HTTP requests by route and status code."
+
 // instrumentMiddleware counts requests by route and status code and records
 // per-route latency.
 func (s *Server) instrumentMiddleware(tel *telemetry.Telemetry, next http.Handler) http.Handler {
 	reg := tel.Registry()
-	durs := make(map[string]*telemetry.Histogram, len(instrumentedRoutes)+1)
+	routes := make([]string, 0, len(instrumentedRoutes)+1)
 	for route := range instrumentedRoutes {
+		routes = append(routes, route)
+	}
+	routes = append(routes, "other")
+	durs := make(map[string]*telemetry.Histogram, len(routes))
+	type routeCode struct {
+		route string
+		code  int
+	}
+	// Read-only after construction, so steady-state lookups are lock-free.
+	counters := make(map[routeCode]*telemetry.Counter, len(routes)*len(instrumentedCodes))
+	for _, route := range routes {
 		durs[route] = reg.Histogram("sthist_http_request_duration_seconds",
 			"HTTP request latency by route.", telemetry.LatencyBuckets(), telemetry.L("route", route))
+		for _, code := range instrumentedCodes {
+			counters[routeCode{route, code}] = reg.Counter("sthist_http_requests_total", httpRequestsHelp,
+				telemetry.Labels{{Key: "route", Value: route}, {Key: "code", Value: strconv.Itoa(code)}})
+		}
 	}
-	durs["other"] = reg.Histogram("sthist_http_request_duration_seconds",
-		"HTTP request latency by route.", telemetry.LatencyBuckets(), telemetry.L("route", "other"))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := r.URL.Path
 		if !instrumentedRoutes[route] {
@@ -229,8 +254,12 @@ func (s *Server) instrumentMiddleware(tel *telemetry.Telemetry, next http.Handle
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		durs[route].Observe(time.Since(start).Seconds())
-		reg.Counter("sthist_http_requests_total", "HTTP requests by route and status code.",
-			telemetry.Labels{{Key: "route", Value: route}, {Key: "code", Value: strconv.Itoa(sw.code)}}).Inc()
+		c := counters[routeCode{route, sw.code}]
+		if c == nil {
+			c = reg.Counter("sthist_http_requests_total", httpRequestsHelp,
+				telemetry.Labels{{Key: "route", Value: route}, {Key: "code", Value: strconv.Itoa(sw.code)}})
+		}
+		c.Inc()
 	})
 }
 

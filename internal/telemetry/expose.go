@@ -27,10 +27,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fn()
 	}
 
+	// Snapshot families and their series under the lock: series are minted
+	// lazily at request time (e.g. the first occurrence of a new status
+	// code), so iterating the live maps while rendering would be a
+	// concurrent map iteration + write. The series pointers themselves are
+	// safe to read after unlocking — instruments are assigned before the
+	// creating goroutine releases r.mu, and record/render paths are atomic.
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.fams))
+	fams := make([]familySnapshot, 0, len(r.fams))
 	for _, f := range r.fams {
-		fams = append(fams, f)
+		fs := familySnapshot{name: f.name, help: f.help, typ: f.typ, series: make([]*series, 0, len(f.series))}
+		for _, s := range f.series {
+			fs.series = append(fs.series, s)
+		}
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -48,16 +59,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func renderFamily(b *strings.Builder, f *family) error {
+// familySnapshot is one family's state copied out of the registry under its
+// lock, so rendering never touches the live series map.
+type familySnapshot struct {
+	name, help, typ string
+	series          []*series // sorted by label string
+}
+
+func renderFamily(b *strings.Builder, f familySnapshot) error {
 	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
-	keys := make([]string, 0, len(f.series))
-	for k := range f.series {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		s := f.series[k]
+	for _, s := range f.series {
 		switch {
 		case s.c != nil:
 			fmt.Fprintf(b, "%s%s %s\n", f.name, braced(s.labels), formatUint(s.c.Value()))
@@ -71,8 +83,12 @@ func renderFamily(b *strings.Builder, f *family) error {
 }
 
 // renderHistogram emits the cumulative _bucket series, then _sum and _count.
+// _count is derived from the bucket counts (the +Inf cumulative value), not
+// from the histogram's own count field: under concurrent observation the
+// fields are incremented at slightly different times, and deriving makes the
+// rendered series self-consistent by construction.
 func renderHistogram(b *strings.Builder, name string, s *series) {
-	counts, inf, count, sum := s.h.snapshot()
+	counts, inf, sum := s.h.snapshot()
 	cum := uint64(0)
 	for i, bound := range s.h.bounds {
 		cum += counts[i]
@@ -81,7 +97,7 @@ func renderHistogram(b *strings.Builder, name string, s *series) {
 	cum += inf
 	fmt.Fprintf(b, "%s_bucket%s %s\n", name, bracedWith(s.labels, "le", "+Inf"), formatUint(cum))
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, braced(s.labels), formatFloat(sum))
-	fmt.Fprintf(b, "%s_count%s %s\n", name, braced(s.labels), formatUint(count))
+	fmt.Fprintf(b, "%s_count%s %s\n", name, braced(s.labels), formatUint(cum))
 }
 
 // braced wraps a pre-rendered label string in curly braces, or returns ""

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -47,6 +48,32 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	wm.ObserveAppend(0, nil)
 	wm.ObserveSync(0, nil)
 	wm.ObserveCheckpoint(0, nil)
+}
+
+// TestWALMetricsErrorAttribution pins that append, fsync and checkpoint
+// failures land in their own counters — fsync errors were once misattributed
+// to the append-error counter, making degraded durability undiagnosable.
+func TestWALMetricsErrorAttribution(t *testing.T) {
+	tel := New(Options{})
+	wm := tel.WAL("t")
+	boom := errors.New("boom")
+	wm.ObserveAppend(0, boom)
+	wm.ObserveSync(0, boom)
+	wm.ObserveSync(0, boom)
+	wm.ObserveCheckpoint(0, boom)
+	if got := wm.appendErrs.Value(); got != 1 {
+		t.Errorf("append errors = %d, want 1", got)
+	}
+	if got := wm.syncErrs.Value(); got != 2 {
+		t.Errorf("fsync errors = %d, want 2", got)
+	}
+	if got := wm.ckptErrs.Value(); got != 1 {
+		t.Errorf("checkpoint errors = %d, want 1", got)
+	}
+	// Failed observations record no duration.
+	if wm.appendDur.Count() != 0 || wm.syncDur.Count() != 0 || wm.ckptDur.Count() != 0 {
+		t.Error("failed observations recorded durations")
+	}
 }
 
 func TestRollingWindowMAEAndNAE(t *testing.T) {

@@ -153,13 +153,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return lower
 }
 
-// snapshot is one consistent read of the bucket counters for exposition.
-func (h *Histogram) snapshot() (counts []uint64, inf, count uint64, sum float64) {
+// snapshot reads the bucket counters for exposition. The exposed _count is
+// derived from these counts by the renderer rather than read from h.count,
+// so concurrent Observe calls cannot make +Inf and _count disagree.
+func (h *Histogram) snapshot() (counts []uint64, inf uint64, sum float64) {
 	counts = make([]uint64, len(h.counts))
 	for i := range h.counts {
 		counts[i] = h.counts[i].Load()
 	}
-	return counts, h.inf.Load(), h.count.Load(), h.Sum()
+	return counts, h.inf.Load(), h.Sum()
 }
 
 // metric type names used in the TYPE comment of the exposition.

@@ -10,6 +10,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -247,6 +248,54 @@ func checkExpositionInvariants(t *testing.T, exposition string) {
 			t.Errorf("histogram %s: +Inf bucket %g != _count %g", key, st.infCum, count)
 		}
 	}
+}
+
+// TestExpositionConcurrentWithSeriesCreation is the regression test for a
+// crash found in review: rendering iterated each family's live series map
+// outside the registry lock, so a /metrics scrape concurrent with a lazily
+// minted series (e.g. the first request producing a new status code) was a
+// concurrent map iteration + write — a Go runtime fatal error. Run with
+// -race; pre-fix this also crashed without it.
+func TestExpositionConcurrentWithSeriesCreation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sthist_hammer_seconds", "Lazily labeled histogram.", []float64{0.001, 0.1}, L("code", "200"))
+	const goroutines, perG = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// New label values keep inserting series into both families
+				// while scrapes render them; concurrent observations stress
+				// the histogram snapshot consistency as well.
+				code := strconv.Itoa(g*perG + i)
+				r.Counter("sthist_hammer_total", "Lazily labeled counter.", L("code", code)).Inc()
+				r.Histogram("sthist_hammer_seconds", "Lazily labeled histogram.", []float64{0.001, 0.1}, L("code", code)).Observe(0.01)
+				h.Observe(float64(i) * 1e-4)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Writers are done; one final scrape must satisfy every exposition
+	// invariant (cumulative buckets, +Inf == _count).
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkExpositionInvariants(t, b.String())
 }
 
 func TestEscapeLabelValue(t *testing.T) {

@@ -11,6 +11,7 @@ type WALMetrics struct {
 	syncDur    *Histogram
 	ckptDur    *Histogram
 	appendErrs *Counter
+	syncErrs   *Counter
 	ckptErrs   *Counter
 	lastCkptAt *Gauge
 	lastCkptS  *Gauge
@@ -28,6 +29,7 @@ func (t *Telemetry) WAL(table string) *WALMetrics {
 		syncDur:    t.reg.Histogram("sthist_wal_fsync_duration_seconds", "WAL fsync latency.", LatencyBuckets(), lbl),
 		ckptDur:    t.reg.Histogram("sthist_wal_checkpoint_duration_seconds", "WAL checkpoint rotation latency (snapshot write + segment swap + manifest commit).", LatencyBuckets(), lbl),
 		appendErrs: t.reg.Counter("sthist_wal_append_errors_total", "Failed WAL appends (feedback served anyway, durability degraded).", lbl),
+		syncErrs:   t.reg.Counter("sthist_wal_fsync_errors_total", "Failed WAL fsyncs (feedback served anyway, durability degraded).", lbl),
 		ckptErrs:   t.reg.Counter("sthist_wal_checkpoint_errors_total", "Failed WAL checkpoints.", lbl),
 		lastCkptAt: t.reg.Gauge("sthist_last_checkpoint_timestamp_seconds", "Unix time of the last successful checkpoint.", lbl),
 		lastCkptS:  t.reg.Gauge("sthist_last_checkpoint_duration_seconds", "Duration of the last successful checkpoint.", lbl),
@@ -52,7 +54,7 @@ func (m *WALMetrics) ObserveSync(d time.Duration, err error) {
 		return
 	}
 	if err != nil {
-		m.appendErrs.Inc()
+		m.syncErrs.Inc()
 		return
 	}
 	m.syncDur.Observe(d.Seconds())
