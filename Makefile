@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-micro bench-json bench-guard obs-demo examples experiments cover
+.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard obs-demo examples experiments cover
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: noalloc, lockcheck, determinism and errflow
+# over every package (see DESIGN.md "Static analysis & enforced invariants").
+# Exits non-zero on any un-ignored diagnostic.
+lint:
+	$(GO) run ./cmd/sthlint ./...
 
 test:
 	$(GO) test ./...
@@ -39,7 +45,7 @@ bench-json:
 # 5% of the uninstrumented one on the Drill@250 workload. benchjson keeps the
 # MIN ns/op across -count repeats, so transient machine noise does not fail
 # the gate. Results land in results/BENCH_telemetry.json for trending.
-bench-guard:
+bench-guard: vet lint
 	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_telemetry.json \
 		-pkg . -bench 'BenchmarkFeedbackRound$$' -benchtime 2x -count 6 \
 		-guard-base 'BenchmarkFeedbackRound/telemetry=off' \

@@ -220,7 +220,7 @@ func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options
 	}
 	est, err := sthist.Open(tab, estOpts)
 	if err != nil {
-		l.Close()
+		_ = l.Close()
 		return fmt.Errorf("opening estimator for %q: %w", name, err)
 	}
 	if haveSnap {
@@ -229,7 +229,7 @@ func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options
 			// one: re-seed from the data, then replay.
 			log.Printf("sthistd: table %q: rejecting checkpoint snapshot (%v); re-seeding from data", name, err)
 			if est, err = sthist.Open(tab, opts); err != nil {
-				l.Close()
+				_ = l.Close()
 				return fmt.Errorf("re-opening estimator for %q: %w", name, err)
 			}
 		}
@@ -253,7 +253,7 @@ func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options
 			name, haveSnap, len(rc.Records), l.LastSeq())
 	}
 	if err := d.srv.RegisterDurable(name, est, l); err != nil {
-		l.Close()
+		_ = l.Close()
 		return err
 	}
 	d.logs[name] = l
@@ -287,9 +287,9 @@ func (d *daemon) run(ctx context.Context) error {
 	var ckptPassDur, drainDur *telemetry.Gauge
 	if d.tel != nil {
 		reg := d.tel.Registry()
-		ckptPassDur = reg.Gauge("sthistd_checkpoint_pass_duration_seconds",
+		ckptPassDur = reg.Gauge("sthist_checkpoint_pass_duration_seconds",
 			"Duration of the last periodic checkpoint pass over all due tables.", nil)
-		drainDur = reg.Gauge("sthistd_drain_duration_seconds",
+		drainDur = reg.Gauge("sthist_drain_duration_seconds",
 			"Duration of the in-flight request drain during graceful shutdown.", nil)
 	}
 
@@ -409,7 +409,7 @@ func loadTable(src string, seed int64) (*sthist.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle
 	if strings.HasSuffix(src, ".bin") {
 		return dataset.ReadBinary(f)
 	}

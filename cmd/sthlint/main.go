@@ -1,0 +1,57 @@
+// Command sthlint runs the repo's static-analysis suite (internal/lint) over
+// a set of package patterns and reports invariant violations.
+//
+// Usage:
+//
+//	sthlint [-json] [-dir d] [packages...]
+//
+// With no patterns it analyzes ./.... Exit status is 0 when clean, 1 when
+// diagnostics were reported, 2 when loading or type-checking failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sthist/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (CI annotation format)")
+	dir := flag.String("dir", "", "directory to run the go command in (default: current directory)")
+	list := flag.Bool("checks", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sthlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sthlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		if err := lint.WriteText(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sthlint:", err)
+			os.Exit(2)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "sthlint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

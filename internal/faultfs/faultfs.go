@@ -46,7 +46,7 @@ func ReadFile(fsys FS, name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle
 	return io.ReadAll(f)
 }
 
@@ -67,7 +67,7 @@ func (OS) SyncDir(name string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // read-only handle; Sync error is returned
 	return d.Sync()
 }
 

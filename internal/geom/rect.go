@@ -134,6 +134,8 @@ func (r Rect) Equal(s Rect) bool {
 
 // Intersects reports whether r and s share any volume or touch. Rectangles
 // that only share a boundary intersect with zero-volume overlap.
+//
+//sthlint:noalloc
 func (r Rect) Intersects(s Rect) bool {
 	if r.Dims() != s.Dims() {
 		return false
@@ -148,6 +150,8 @@ func (r Rect) Intersects(s Rect) bool {
 
 // IntersectsOpen reports whether r and s share strictly positive volume,
 // i.e. their interiors overlap.
+//
+//sthlint:noalloc
 func (r Rect) IntersectsOpen(s Rect) bool {
 	if r.Dims() != s.Dims() {
 		return false
@@ -188,6 +192,8 @@ func (r *Rect) setDims(n int) {
 
 // CopyInto writes r into dst, reusing dst's corner slices when they have
 // sufficient capacity. dst may alias r.
+//
+//sthlint:noalloc
 func (r Rect) CopyInto(dst *Rect) {
 	dst.setDims(len(r.Lo))
 	copy(dst.Lo, r.Lo)
@@ -198,6 +204,8 @@ func (r Rect) CopyInto(dst *Rect) {
 // into dst, reusing dst's corner slices when they have sufficient capacity,
 // and reports whether the intersection is non-empty (dst is untouched when it
 // is empty). dst may alias r or s.
+//
+//sthlint:noalloc
 func (r Rect) IntersectInto(s Rect, dst *Rect) bool {
 	if !r.Intersects(s) {
 		return false
@@ -211,6 +219,8 @@ func (r Rect) IntersectInto(s Rect, dst *Rect) bool {
 }
 
 // IntersectionVolume returns Volume(r ∩ s), zero if disjoint.
+//
+//sthlint:noalloc
 func (r Rect) IntersectionVolume(s Rect) float64 {
 	v := 1.0
 	for d := range r.Lo {
@@ -235,6 +245,8 @@ func (r Rect) Enclose(s Rect) Rect {
 // minimal rectangle containing both r and s into dst, reusing dst's corner
 // slices when they have sufficient capacity. dst may alias r or s, so a
 // rectangle can be grown in place with r.EncloseInto(s, &r).
+//
+//sthlint:noalloc
 func (r Rect) EncloseInto(s Rect, dst *Rect) {
 	dst.setDims(len(r.Lo))
 	for d := range r.Lo {
@@ -275,6 +287,8 @@ func (r Rect) Shrink(cutter Rect) Rect {
 // r.ShrinkInto(cutter, &r). The cut chosen is bit-identical to Shrink's: the
 // candidate volumes are evaluated with the same per-dimension multiplication
 // order, just without materializing the candidate rectangles.
+//
+//sthlint:noalloc
 func (r Rect) ShrinkInto(cutter Rect, dst *Rect) {
 	if !r.IntersectsOpen(cutter) {
 		r.CopyInto(dst)
@@ -317,6 +331,8 @@ func (r Rect) ShrinkInto(cutter Rect, dst *Rect) {
 // volumeWithSide returns r's volume with the extent on dimension d replaced
 // by side, multiplying in the same dimension order as Volume so results are
 // bit-identical to evaluating Volume on a modified clone.
+//
+//sthlint:noalloc
 func (r Rect) volumeWithSide(d int, side float64) float64 {
 	v := 1.0
 	for dd := range r.Lo {

@@ -50,22 +50,22 @@ type entry struct {
 	rec *telemetry.Recorder // nil when telemetry is disabled
 
 	jmu            sync.Mutex
-	log            *wal.Log
-	appendErrors   int           // WAL appends that failed (served anyway, durability degraded)
-	sinceCkpt      int           // records appended since the last checkpoint
-	panicRecovered int           // estimator panics recovered by the handler
-	lastCkptAt     time.Time     // when the last successful checkpoint finished
-	lastCkptDur    time.Duration // how long it took
+	log            *wal.Log      // guarded by jmu
+	appendErrors   int           // WAL appends that failed (served anyway, durability degraded); guarded by jmu
+	sinceCkpt      int           // records appended since the last checkpoint; guarded by jmu
+	panicRecovered int           // estimator panics recovered by the handler; guarded by jmu
+	lastCkptAt     time.Time     // when the last successful checkpoint finished; guarded by jmu
+	lastCkptDur    time.Duration // how long it took; guarded by jmu
 }
 
 // Server routes estimator traffic. Register tables before serving; handlers
 // are safe for concurrent use (the Estimator itself is synchronized).
 type Server struct {
 	mu       sync.RWMutex
-	tables   map[string]*entry
-	maxBody  int64
+	tables   map[string]*entry // guarded by mu
+	maxBody  int64             // immutable after construction
 	draining atomic.Bool
-	tel      *telemetry.Telemetry
+	tel      *telemetry.Telemetry // guarded by mu
 }
 
 // NewServer returns an empty server.
@@ -443,10 +443,12 @@ func (e *entry) feedback(q geom.Rect, actual float64) (uint64, error) {
 			e.sinceCkpt++
 		}
 	}
-	return seq, e.apply(q, actual)
+	return seq, e.applyLocked(q, actual)
 }
 
-func (e *entry) apply(q geom.Rect, actual float64) (err error) {
+// applyLocked feeds one observation to the estimator; e.jmu is held by the
+// caller (feedback) so the recovery path may bump panicRecovered directly.
+func (e *entry) applyLocked(q geom.Rect, actual float64) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			e.est.Quarantine(fmt.Errorf("panic during feedback: %v", p))

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism returns the analyzer enforcing the repo's bit-determinism
+// contract: the histogram's final shape must depend only on the feedback
+// sequence, never on Go's randomized map iteration order or on ambient
+// entropy. Two families of checks:
+//
+//  1. In the pure estimation packages (geom, sthole, mineclus, stgrid) any
+//     use of wall-clock time (time.Now/Since/Until/Tick/After) or of the
+//     global math/rand source is flagged. Explicitly seeded sources
+//     (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG, rand.NewChaCha8)
+//     stay legal — MineClus is a randomized algorithm, but its randomness
+//     must flow from a caller-provided seed.
+//
+//  2. In every package, a `for ... range m` loop over a map must not drive
+//     order-sensitive effects in its body:
+//     - inserting into the ranged map itself (the Go spec leaves it
+//     unspecified whether the new key is produced — the WritePrometheus
+//     crash class),
+//     - deleting a key other than the current iteration key,
+//     - calling mutating pointer-receiver methods on sthole's Histogram or
+//     Bucket (merge/drill scheduling must be sequence-driven),
+//     - appending WAL records (wal.Log Append/Checkpoint) or writing to an
+//     io.Writer via fmt.Fprint* (emission order would be random).
+//
+// Sites that are order-independent by construction (e.g. draining a dirty
+// set into a totally-ordered heap) carry //sthlint:ignore determinism
+// directives with the proof sketch as the reason.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "map iteration must not drive mutation or emission; pure packages must not read clocks or global rand",
+		Run:  runDeterminism,
+	}
+}
+
+// purePackages are the package names (not paths, so fixtures participate)
+// whose output must be a pure function of their inputs.
+var purePackages = map[string]bool{
+	"geom":     true,
+	"sthole":   true,
+	"mineclus": true,
+	"stgrid":   true,
+}
+
+// seededRandConstructors are the math/rand entry points that accept or build
+// an explicit seed and are therefore allowed in pure packages.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// bannedTimeFuncs are the wall-clock entry points banned in pure packages.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+	"After": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if purePackages[pass.Name] {
+		checkAmbientEntropy(pass)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+}
+
+// checkAmbientEntropy flags wall-clock and global-rand uses in a pure
+// package by scanning resolved identifier uses (sorted reporting happens in
+// Run, so map iteration here is harmless).
+func checkAmbientEntropy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[fn.Name()] {
+					pass.Reportf("determinism", id.Pos(),
+						"pure package %s reads the wall clock via time.%s; thread timing through the caller", pass.Name, fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on *rand.Rand carry a receiver — those flow from an
+				// explicit source and are fine. Package-level functions use
+				// the shared global source.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				if !seededRandConstructors[fn.Name()] {
+					pass.Reportf("determinism", id.Pos(),
+						"pure package %s uses the global math/rand source via rand.%s; use an explicitly seeded *rand.Rand", pass.Name, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody flags order-sensitive effects inside one map range loop.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	rangedKey := exprString(rng.X)
+	var iterKey string
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		iterKey = id.Name
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if exprString(idx.X) == rangedKey {
+					pass.Reportf("determinism", lhs.Pos(),
+						"assignment into map %s while ranging over it: the spec leaves iteration of new keys unspecified", rangedKey)
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, n, rangedKey, iterKey)
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall inspects one call inside a map-range body.
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr, rangedKey, iterKey string) {
+	// delete(ranged, k) with k != the iteration key.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(call.Args) == 2 {
+			if exprString(call.Args[0]) == rangedKey && exprString(call.Args[1]) != iterKey {
+				pass.Reportf("determinism", call.Pos(),
+					"delete of a non-current key from map %s while ranging over it is iteration-order dependent", rangedKey)
+			}
+			return
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// fmt.Fprint* emission inside a map range.
+	if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
+		if obj.Pkg().Path() == "fmt" && (obj.Name() == "Fprintf" || obj.Name() == "Fprint" || obj.Name() == "Fprintln") {
+			pass.Reportf("determinism", call.Pos(),
+				"fmt.%s inside a map range emits output in randomized iteration order; collect and sort first", obj.Name())
+			return
+		}
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recv := selection.Recv()
+	// Mutating pointer-receiver methods on Histogram/Bucket.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+			if namedTypeIn(recv, "sthole", "Histogram") || namedTypeIn(recv, "sthole", "Bucket") {
+				pass.Reportf("determinism", call.Pos(),
+					"pointer-receiver call %s.%s inside a map range may mutate histogram state in iteration order", exprString(sel.X), fn.Name())
+				return
+			}
+		}
+	}
+	// WAL record emission.
+	if namedTypeIn(recv, "wal", "Log") && (fn.Name() == "Append" || fn.Name() == "Checkpoint") {
+		pass.Reportf("determinism", call.Pos(),
+			"wal.Log.%s inside a map range writes records in randomized iteration order", fn.Name())
+	}
+}

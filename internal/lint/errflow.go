@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrFlow returns the analyzer enforcing error consumption on the durability
+// and response paths, plus the telemetry naming contract:
+//
+//  1. In the durability/response packages (wal, faultfs, httpapi, and the
+//     sthistd command) a call to Close, Sync, Write, WriteString or Flush
+//     whose last result is an error must not be silently discarded as a bare
+//     expression or defer statement. Assigning the result to _ is accepted:
+//     it is a visible, reviewable decision. Receivers that cannot fail
+//     (bytes.Buffer, strings.Builder) are exempt.
+//
+//  2. Every metric minted through telemetry.Registry Counter/Gauge/Histogram
+//     must use a constant name matching sthist_* snake_case, and a constant,
+//     non-empty help string — so the exposition surface is enumerable by
+//     grepping for the prefix and every series is documented.
+func ErrFlow() *Analyzer {
+	return &Analyzer{
+		Name: "errflow",
+		Doc:  "durability-path error returns must be consumed; metric names must be sthist_* snake_case with help",
+		Run:  runErrFlow,
+	}
+}
+
+// errPathPackages are the package names whose discarded errors are flagged.
+var errPathPackages = map[string]bool{
+	"wal":     true,
+	"faultfs": true,
+	"httpapi": true,
+}
+
+// errFuncs are the method names whose error results must be consumed.
+var errFuncs = map[string]bool{
+	"Close":       true,
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+	"Flush":       true,
+}
+
+var metricNameRe = regexp.MustCompile(`^sthist_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+func runErrFlow(pass *Pass) {
+	if errPathPackages[pass.Name] || strings.HasSuffix(pass.ImportPath, "cmd/sthistd") || pass.Name == "fixture" {
+		checkDiscardedErrors(pass)
+	}
+	checkMetricRegistrations(pass)
+}
+
+// checkDiscardedErrors flags bare-statement and deferred calls that drop an
+// error result from the watched method set.
+func checkDiscardedErrors(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					call, how = c, "discarded"
+				}
+			case *ast.DeferStmt:
+				call, how = n.Call, "discarded by defer"
+			}
+			if call == nil {
+				return true
+			}
+			if name, recv, ok := droppedErrCall(pass, call); ok {
+				pass.Reportf("errflow", call.Pos(),
+					"error returned by %s.%s is %s; handle it or assign to _ explicitly", recv, name, how)
+			}
+			return true
+		})
+	}
+}
+
+// droppedErrCall reports whether call is a watched method whose final result
+// is an error, returning the method name and a printable receiver.
+func droppedErrCall(pass *Pass, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !errFuncs[sel.Sel.Name] {
+		return "", "", false
+	}
+	tv, found := pass.Info.Types[call.Fun]
+	if !found || tv.Type == nil {
+		return "", "", false
+	}
+	sig, isSig := tv.Type.Underlying().(*types.Signature)
+	if !isSig {
+		return "", "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, isNamed := last.(*types.Named)
+	if !isNamed || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", "", false
+	}
+	// Receivers that never fail.
+	if rtv, found := pass.Info.Types[sel.X]; found {
+		rt := rtv.Type
+		if namedTypeIn(rt, "bytes", "Buffer") || namedTypeIn(rt, "strings", "Builder") {
+			return "", "", false
+		}
+	}
+	return sel.Sel.Name, exprString(sel.X), true
+}
+
+// checkMetricRegistrations validates names and help strings at every
+// Registry.Counter/Gauge/Histogram call site.
+func checkMetricRegistrations(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if !namedTypeIn(selection.Recv(), "telemetry", "Registry") {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			if name, ok := constString(pass, call.Args[0]); !ok {
+				pass.Reportf("errflow", call.Args[0].Pos(),
+					"metric name passed to Registry.%s is not a constant string; the exposition surface must be enumerable", sel.Sel.Name)
+			} else if !metricNameRe.MatchString(name) {
+				pass.Reportf("errflow", call.Args[0].Pos(),
+					"metric name %q does not match the sthist_* snake_case convention", name)
+			}
+			if help, ok := constString(pass, call.Args[1]); !ok || strings.TrimSpace(help) == "" {
+				pass.Reportf("errflow", call.Args[1].Pos(),
+					"metric registered via Registry.%s must have a constant, non-empty help string", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// constString extracts a compile-time string constant from e.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

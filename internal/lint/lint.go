@@ -1,0 +1,272 @@
+// Package lint is sthist's repo-specific static-analysis suite. It enforces,
+// at compile-shape level, the invariants the rest of the codebase only states
+// in comments:
+//
+//   - noalloc: functions annotated //sthlint:noalloc (the geometry kernels
+//     and the steady-state feedback path) must not contain constructs that
+//     heap-allocate on every call.
+//   - lockcheck: struct fields annotated "guarded by <mu>" may only be
+//     accessed while <mu> is definitely held (RLock suffices for reads).
+//   - determinism: histogram mutation, WAL emission and data output must not
+//     be driven by map iteration order, and the pure estimation packages
+//     must not read wall-clock time or the global math/rand source.
+//   - errflow: error returns of Close/Sync/Write on the durability and
+//     response paths must be consumed, and telemetry metric registrations
+//     must use sthist_* snake_case names with non-empty help strings.
+//
+// The suite is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types against export data obtained from the go
+// command (loader.go), consistent with the repo's zero-dependency rule.
+//
+// Diagnostics can be suppressed per line with an escape hatch that forces a
+// reason on the author:
+//
+//	//sthlint:ignore <check> <reason>
+//
+// placed on the offending line or on the line directly above it. A directive
+// without a reason, or naming an unknown check, is itself a diagnostic.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for editors and CI annotators.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// String renders the classic file:line:col: [check] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Column, d.Check, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Analyzer is one pluggable check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass gives an analyzer one package plus a reporting sink.
+type Pass struct {
+	*Package
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic for the running analyzer at pos.
+func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Check:   check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoAlloc(), LockCheck(), Determinism(), ErrFlow()}
+}
+
+// checkNames returns the set of valid check names (for directive validation).
+func checkNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// ignoreDirective is one parsed //sthlint:ignore comment.
+type ignoreDirective struct {
+	check  string
+	reason string
+	file   string
+	line   int
+}
+
+const ignorePrefix = "//sthlint:ignore"
+
+// collectIgnores parses every //sthlint:ignore directive in the package.
+// Malformed directives (no reason, unknown check) are reported via report.
+func collectIgnores(pkg *Package, valid map[string]bool, report func(Diagnostic)) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				check, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				bad := func(format string, args ...any) {
+					report(Diagnostic{
+						Check: "directive", File: pos.Filename, Line: pos.Line,
+						Column: pos.Column, Message: fmt.Sprintf(format, args...),
+					})
+				}
+				switch {
+				case check == "":
+					bad("ignore directive names no check (want //sthlint:ignore <check> <reason>)")
+				case !valid[check]:
+					bad("ignore directive names unknown check %q", check)
+				case reason == "":
+					bad("ignore directive for %q has no reason (want //sthlint:ignore <check> <reason>)", check)
+				default:
+					dirs = append(dirs, ignoreDirective{check: check, reason: reason, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+// suppressed reports whether d is covered by a directive on its own line or
+// the line directly above.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.check != d.Check || dir.file != d.File {
+			continue
+		}
+		if dir.line == d.Line || dir.line == d.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by position. Directive errors are never suppressible.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	valid := checkNames(analyzers)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		collect := func(d Diagnostic) { raw = append(raw, d) }
+		dirs := collectIgnores(pkg, valid, collect)
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, report: collect}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if d.Check != "directive" && suppressed(d, dirs) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// WriteJSON renders diagnostics as a JSON array (CI annotation format).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// WriteText renders diagnostics one per line.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- shared helpers used by several analyzers ---
+
+// funcDirective reports whether fn's doc comment carries the given
+// //sthlint:<name> marker.
+func funcDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	marker := "//sthlint:" + name
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// isInterface reports whether t's underlying type is a non-empty-or-empty
+// interface (i.e. any interface).
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// namedTypeIn reports whether t (after pointer stripping) is a named type
+// with the given name whose package has the given package name.
+func namedTypeIn(t types.Type, pkgName, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != typeName {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// exprString renders e compactly for matching lock bases against accesses.
+func exprString(e ast.Expr) string { return types.ExprString(e) }

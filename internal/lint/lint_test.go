@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the standalone fixture module under testdata once per
+// test binary. The fixture is a real module (its own go.mod) so the loader
+// path under test is exactly the one cmd/sthlint uses.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture module loaded no packages")
+	}
+	return pkgs
+}
+
+var wantRe = regexp.MustCompile(`// want ([a-z ]+)$`)
+
+// collectWants scans the fixture sources for "// want <check>..." comments.
+// A trailing comment expects the diagnostics on its own line; a standalone
+// comment line expects them on the line above (for diagnostics positioned on
+// full-line comments, e.g. malformed directives). Returns a map from
+// "file:line" to the sorted list of expected check names.
+func collectWants(t *testing.T, pkgs []*Package) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(bytes.NewReader(src))
+			line := 0
+			for sc.Scan() {
+				line++
+				m := wantRe.FindStringSubmatch(sc.Text())
+				if m == nil {
+					continue
+				}
+				target := line
+				if strings.HasPrefix(strings.TrimSpace(sc.Text()), "//") {
+					target = line - 1 // standalone comment: expectation is for the line above
+				}
+				key := fmt.Sprintf("%s:%d", name, target)
+				wants[key] = append(wants[key], strings.Fields(m[1])...)
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, w := range wants {
+		sort.Strings(w)
+	}
+	return wants
+}
+
+// TestFixtureDiagnostics runs the full suite over the fixture module and
+// requires the reported diagnostics to match the // want expectations
+// exactly — every known-bad snippet caught, every known-good snippet
+// accepted, every escape hatch honored.
+func TestFixtureDiagnostics(t *testing.T) {
+	pkgs := loadFixture(t)
+	wants := collectWants(t, pkgs)
+
+	got := make(map[string][]string)
+	for _, d := range Run(pkgs, Analyzers()) {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		got[key] = append(got[key], d.Check)
+	}
+	for _, g := range got {
+		sort.Strings(g)
+	}
+
+	for key, w := range wants {
+		g := got[key]
+		if strings.Join(g, " ") != strings.Join(w, " ") {
+			t.Errorf("%s: want checks %v, got %v", key, w, g)
+		}
+	}
+	for key, g := range got {
+		if _, ok := wants[key]; !ok {
+			t.Errorf("%s: unexpected diagnostics %v", key, g)
+		}
+	}
+}
+
+// TestFixtureRegressions pins the two regressions the CI gate must catch:
+// the WritePrometheus map-iteration exposition race and an allocation inside
+// a //sthlint:noalloc geometry kernel.
+func TestFixtureRegressions(t *testing.T) {
+	pkgs := loadFixture(t)
+	diags := Run(pkgs, Analyzers())
+
+	find := func(file, check, fragment string) bool {
+		for _, d := range diags {
+			if filepath.Base(d.File) == file && d.Check == check && strings.Contains(d.Message, fragment) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find("telemetry.go", "lockcheck", "r.fams") {
+		t.Error("WritePrometheus regression: unlocked read of the family map not caught by lockcheck")
+	}
+	if !find("telemetry.go", "determinism", "map range") {
+		t.Error("WritePrometheus regression: map-iteration-ordered exposition not caught by determinism")
+	}
+	if !find("geom.go", "noalloc", "make allocates") {
+		t.Error("noalloc regression: make inside an annotated kernel not caught")
+	}
+	if !find("geom.go", "noalloc", "composite literal") {
+		t.Error("noalloc regression: composite literal inside an annotated kernel not caught")
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode round-trips and stays an
+// array even when empty.
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var empty []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatalf("empty output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Fatalf("want empty array, got %v", empty)
+	}
+
+	buf.Reset()
+	in := []Diagnostic{{Check: "noalloc", File: "a.go", Line: 3, Column: 7, Message: "m"}}
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round-trip mismatch: %+v", out)
+	}
+}
+
+// TestDiagnosticOrdering checks Run's output is sorted by position, so runs
+// are diffable in CI.
+func TestDiagnosticOrdering(t *testing.T) {
+	pkgs := loadFixture(t)
+	diags := Run(pkgs, Analyzers())
+	if len(diags) < 2 {
+		t.Fatalf("fixture produced %d diagnostics; expected several", len(diags))
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column <= b.Column
+	}) {
+		t.Error("diagnostics are not sorted by file/line/column")
+	}
+}
+
+// TestRepoIsClean lints the repository itself: go test ./... enforces the
+// same gate as make lint, so a diagnostic can't land without either a fix
+// or a reasoned ignore directive.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,558 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck returns the analyzer enforcing the "guarded by" annotation: a
+// struct field whose field comment contains "guarded by <mu>" may only be
+// read while <mu> (or its read half) is definitely held on every path from
+// function entry, and only written while the write lock is held.
+//
+// The lock-state analysis is a conservative abstract interpretation over the
+// AST: a lock counts as held after a x.mu.Lock()/RLock() statement and stops
+// counting after Unlock()/RUnlock(); branches join by intersection; loop
+// bodies are analyzed with the loop-entry state. Lock owners are matched to
+// field accesses by the textual form of the base expression (e.mu.Lock()
+// guards e.hist), which is exact for the receiver-plus-locals style this
+// repo uses.
+//
+// Escapes, in decreasing order of preference:
+//
+//   - functions whose name ends in "Locked" assert that the caller holds the
+//     lock and are exempt (the repo-wide convention);
+//   - accesses through a variable constructed in the same function (x :=
+//     &T{...}; x.field = ...) are exempt — unshared until published;
+//   - a //sthlint:ignore lockcheck <reason> directive.
+//
+// Function literals are analyzed with the state at their creation point when
+// deferred (they run before the deferred Unlock), and with an empty state
+// when started with go or stored for later (another goroutine or a later
+// call cannot inherit the current critical section).
+func LockCheck() *Analyzer {
+	return &Analyzer{
+		Name: "lockcheck",
+		Doc:  `fields annotated "guarded by <mu>" must only be accessed with <mu> held`,
+		Run:  runLockCheck,
+	}
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockMode is a bitmask of what a held lock permits.
+type lockMode uint8
+
+const (
+	lockRead  lockMode = 1 << iota // RLock held: reads allowed
+	lockWrite                      // Lock held: reads and writes allowed
+)
+
+// lockState maps "base.guard" keys to the held mode.
+type lockState map[string]lockMode
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only locks held in both states (with the weaker mode).
+func intersect(a, b lockState) lockState {
+	out := make(lockState)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if m := va & vb; m != 0 {
+				out[k] = m
+			}
+		}
+	}
+	return out
+}
+
+func runLockCheck(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // caller-holds-lock helper, by convention
+			}
+			w := &lockWalker{pass: pass, guards: guards, exempt: constructedLocals(pass, fn)}
+			w.stmts(fn.Body.List, make(lockState))
+		}
+	}
+}
+
+// collectGuards maps each annotated field object to the name of its guard
+// field, validating that the guard exists in the same struct.
+func collectGuards(pass *Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				guard := guardAnnotation(fld)
+				if guard == "" {
+					continue
+				}
+				if !names[guard] {
+					pass.Reportf("lockcheck", fld.Pos(), "guard %q named by annotation is not a field of this struct", guard)
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the guard name from a field's comments.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// constructedLocals returns the objects of local variables initialized from
+// a composite literal (or new) in fn — values that are provably unshared
+// while the function builds them, so unlocked access is fine.
+func constructedLocals(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isConstruction(pass, n.Rhs[i]) {
+					continue
+				}
+				if obj := pass.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) != 0 {
+				return true
+			}
+			for _, id := range n.Names { // var x T: zero value, unshared
+				if obj := pass.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isConstruction reports whether e is T{...}, &T{...} or new(T).
+func isConstruction(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "new"
+	}
+	return false
+}
+
+// lockWalker performs the per-function lock-state walk.
+type lockWalker struct {
+	pass   *Pass
+	guards map[*types.Var]string
+	exempt map[types.Object]bool
+}
+
+// stmts processes a statement list, returning the exit state and whether the
+// list definitely terminates (return/panic).
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.expr(s.X, st, false), false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = w.expr(rhs, st, false)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && s.Tok == token.DEFINE {
+				_ = id
+				continue // definition, not a field write
+			}
+			st = w.expr(lhs, st, true)
+		}
+		return st, false
+	case *ast.IncDecStmt:
+		return w.expr(s.X, st, true), false
+	case *ast.SendStmt:
+		st = w.expr(s.Chan, st, false)
+		return w.expr(s.Value, st, false), false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.expr(v, st, false)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.expr(r, st, false)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, false
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st = w.expr(s.Cond, st, false)
+		thenSt, thenTerm := w.stmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return intersect(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.expr(s.Cond, st, false)
+		}
+		bodySt, _ := w.stmts(s.Body.List, st.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, bodySt)
+		}
+		if s.Cond == nil {
+			// for {}: the only exits are breaks inside the body; keep the
+			// entry state as the conservative join.
+			return st, false
+		}
+		return intersect(st, bodySt), false
+	case *ast.RangeStmt:
+		st = w.expr(s.X, st, false)
+		bodySt, _ := w.stmts(s.Body.List, st.clone())
+		return intersect(st, bodySt), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.expr(s.Tag, st, false)
+		}
+		return w.caseClauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st, _ = w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		return w.caseClauses(s.Body.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		return w.deferred(s.Call, st), false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			st = w.expr(a, st, false)
+		}
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmts(fl.Body.List, make(lockState)) // runs on another goroutine
+		}
+		return st, false
+	case *ast.EmptyStmt:
+		return st, false
+	default:
+		return st, false
+	}
+}
+
+// caseClauses joins the bodies of switch/select cases by intersection. A
+// switch without a default may fall through entirely, so the entry state
+// joins in too.
+func (w *lockWalker) caseClauses(clauses []ast.Stmt, st lockState) (lockState, bool) {
+	var out lockState
+	sawDefault := false
+	allTerm := len(clauses) > 0
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				sawDefault = true
+			}
+			for _, e := range c.List {
+				st = w.expr(e, st, false)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				sawDefault = true
+			} else {
+				w.stmt(c.Comm, st.clone())
+			}
+			body = c.Body
+		}
+		caseSt, term := w.stmts(body, st.clone())
+		if term {
+			continue
+		}
+		allTerm = false
+		if out == nil {
+			out = caseSt
+		} else {
+			out = intersect(out, caseSt)
+		}
+	}
+	if out == nil {
+		out = st.clone()
+		allTerm = allTerm && sawDefault
+		return out, allTerm
+	}
+	if !sawDefault {
+		out = intersect(out, st)
+	}
+	return out, false
+}
+
+// deferred handles a defer: a deferred Unlock keeps the lock held for the
+// body; a deferred function literal runs before it, so it is analyzed with
+// the registration-point state.
+func (w *lockWalker) deferred(call *ast.CallExpr, st lockState) lockState {
+	for _, a := range call.Args {
+		st = w.expr(a, st, false)
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.stmts(fl.Body.List, st.clone())
+		return st
+	}
+	if key, _, isLock := w.lockEvent(call); isLock && key != "" {
+		return st // deferred unlock: lock stays held until return
+	}
+	st = w.expr(call.Fun, st, false)
+	return st
+}
+
+// lockEvent decodes base.guard.Lock()/RLock()/Unlock()/RUnlock() calls.
+// It returns the state key ("base.guard"), the mode granted (0 for unlocks)
+// and whether the call is a lock-shaped event at all.
+func (w *lockWalker) lockEvent(call *ast.CallExpr) (key string, mode lockMode, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", 0, false
+	}
+	key = exprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock":
+		return key, lockWrite | lockRead, true
+	case "RLock":
+		return key, lockRead, true
+	default:
+		return key, 0, true
+	}
+}
+
+// expr walks an expression, checking guarded accesses and applying lock
+// events in evaluation order. write marks the outermost expression as a
+// write target.
+func (w *lockWalker) expr(e ast.Expr, st lockState, write bool) lockState {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.expr(e.X, st, write)
+	case *ast.SelectorExpr:
+		st = w.expr(e.X, st, false)
+		w.checkAccess(e, st, write)
+		return st
+	case *ast.CallExpr:
+		if key, mode, isLock := w.lockEvent(e); isLock {
+			if mode == 0 {
+				delete(st, key)
+			} else {
+				if st == nil {
+					st = make(lockState)
+				}
+				st[key] = st[key] | mode
+			}
+			return st
+		}
+		if fl, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// Immediately-invoked literal: runs here, inherits the state.
+			for _, a := range e.Args {
+				st = w.expr(a, st, false)
+			}
+			w.stmts(fl.Body.List, st.clone())
+			return st
+		}
+		st = w.expr(e.Fun, st, false)
+		for _, a := range e.Args {
+			st = w.expr(a, st, false)
+		}
+		return st
+	case *ast.FuncLit:
+		// Stored for later: the critical section cannot be assumed to
+		// survive until it runs.
+		w.stmts(e.Body.List, make(lockState))
+		return st
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.expr(e.X, st, true) // address escapes: treat as write
+		}
+		return w.expr(e.X, st, false)
+	case *ast.BinaryExpr:
+		st = w.expr(e.X, st, false)
+		return w.expr(e.Y, st, false)
+	case *ast.IndexExpr:
+		st = w.expr(e.X, st, write)
+		return w.expr(e.Index, st, false)
+	case *ast.SliceExpr:
+		st = w.expr(e.X, st, write)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				st = w.expr(idx, st, false)
+			}
+		}
+		return st
+	case *ast.StarExpr:
+		return w.expr(e.X, st, write)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X, st, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			st = w.expr(el, st, false)
+		}
+		return st
+	case *ast.KeyValueExpr:
+		st = w.expr(e.Key, st, false)
+		return w.expr(e.Value, st, false)
+	default:
+		return st
+	}
+}
+
+// checkAccess validates one selector against the guard table.
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, st lockState, write bool) {
+	selection, ok := w.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fld, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, guarded := w.guards[fld]
+	if !guarded {
+		return
+	}
+	if w.exempt[rootObject(w.pass, sel.X)] {
+		return // constructed locally, unshared
+	}
+	key := exprString(sel.X) + "." + guard
+	mode := st[key]
+	access := exprString(sel)
+	switch {
+	case write && mode&lockWrite == 0 && mode&lockRead != 0:
+		w.pass.Reportf("lockcheck", sel.Pos(),
+			"write to %s (guarded by %s) with only the read lock held; %s.Lock is required", access, guard, exprString(sel.X)+"."+guard)
+	case write && mode == 0:
+		w.pass.Reportf("lockcheck", sel.Pos(),
+			"write to %s (guarded by %s) without %s.Lock held on every path", access, guard, exprString(sel.X)+"."+guard)
+	case !write && mode == 0:
+		w.pass.Reportf("lockcheck", sel.Pos(),
+			"read of %s (guarded by %s) without %s held on every path", access, guard, exprString(sel.X)+"."+guard)
+	}
+}
+
+// rootObject resolves the leftmost identifier of a selector chain.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

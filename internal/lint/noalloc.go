@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc returns the analyzer enforcing the //sthlint:noalloc contract: a
+// function carrying the marker in its doc comment must not contain syntax
+// that heap-allocates on every execution. The check is intraprocedural by
+// design — amortized-growth helpers like geom's setDims may allocate on the
+// cold path and are therefore not annotated; the annotated kernels may call
+// them, but may not themselves contain:
+//
+//   - make / new / composite literals,
+//   - append (growth is data-dependent; annotated code uses preallocated
+//     scratch written by index instead),
+//   - function literals (closure environments escape),
+//   - go statements,
+//   - conversions of concrete values to interface types (boxing), including
+//     implicit ones at call arguments, assignments and returns,
+//   - calls to variadic functions that materialize an argument slice,
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions.
+func NoAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "functions marked //sthlint:noalloc must not contain allocating constructs",
+		Run:  runNoAlloc,
+	}
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDirective(fn, "noalloc") {
+				continue
+			}
+			nc := &noallocChecker{pass: pass, fn: fn}
+			ast.Inspect(fn.Body, nc.visit)
+		}
+	}
+}
+
+type noallocChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (nc *noallocChecker) bad(pos token.Pos, format string, args ...any) {
+	nc.pass.Reportf("noalloc", pos, format, args...)
+}
+
+func (nc *noallocChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		nc.bad(n.Pos(), "%s: composite literal allocates", nc.fn.Name.Name)
+		return false
+	case *ast.FuncLit:
+		nc.bad(n.Pos(), "%s: function literal allocates its closure", nc.fn.Name.Name)
+		return false
+	case *ast.GoStmt:
+		nc.bad(n.Pos(), "%s: go statement allocates a goroutine", nc.fn.Name.Name)
+	case *ast.CallExpr:
+		nc.checkCall(n)
+	case *ast.AssignStmt:
+		nc.checkAssign(n)
+	case *ast.ReturnStmt:
+		nc.checkReturn(n)
+	case *ast.BinaryExpr:
+		nc.checkConcat(n)
+	}
+	return true
+}
+
+// checkCall flags allocating builtins, boxing call arguments, variadic-slice
+// materialization, and allocating conversions.
+func (nc *noallocChecker) checkCall(call *ast.CallExpr) {
+	name := nc.fn.Name.Name
+	// Builtins: make, new, append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := nc.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				nc.bad(call.Pos(), "%s: make allocates", name)
+			case "new":
+				nc.bad(call.Pos(), "%s: new allocates", name)
+			case "append":
+				nc.bad(call.Pos(), "%s: append may grow and allocate; write into preallocated scratch instead", name)
+			}
+			return
+		}
+	}
+	tv, ok := nc.pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Conversion T(x): interface boxing and string<->bytes copies.
+	if tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		dst := tv.Type
+		src := nc.pass.Info.Types[call.Args[0]].Type
+		nc.checkBox(call.Args[0].Pos(), dst, call.Args[0])
+		if isStringByteConversion(dst, src) {
+			nc.bad(call.Pos(), "%s: conversion between string and byte/rune slice copies and allocates", name)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Implicit boxing at parameters, and variadic slice materialization.
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(np - 1).Type() // passing s... forwards the slice
+			} else {
+				pt = params.At(np - 1).Type().(*types.Slice).Elem()
+			}
+		case i < np:
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			nc.checkBoxTo(arg.Pos(), pt, arg)
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= np {
+		nc.bad(call.Pos(), "%s: call to variadic function materializes an argument slice", name)
+	}
+}
+
+// checkAssign flags boxing on assignment into interface-typed destinations.
+func (nc *noallocChecker) checkAssign(as *ast.AssignStmt) {
+	n := len(as.Rhs)
+	if n != len(as.Lhs) {
+		return // comma-ok / multi-value call; conversions there are rare
+	}
+	for i := 0; i < n; i++ {
+		lt := nc.pass.Info.Types[as.Lhs[i]].Type
+		if lt == nil {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := nc.pass.Info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil {
+			nc.checkBoxTo(as.Rhs[i].Pos(), lt, as.Rhs[i])
+		}
+	}
+}
+
+// checkReturn flags boxing at return sites.
+func (nc *noallocChecker) checkReturn(ret *ast.ReturnStmt) {
+	sigTv, ok := nc.pass.Info.Defs[nc.fn.Name]
+	if !ok {
+		return
+	}
+	sig, ok := sigTv.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		nc.checkBoxTo(res.Pos(), sig.Results().At(i).Type(), res)
+	}
+}
+
+// checkConcat flags non-constant string concatenation.
+func (nc *noallocChecker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv := nc.pass.Info.Types[b]
+	if tv.Type == nil || tv.Value != nil {
+		return // non-string or constant-folded
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		nc.bad(b.Pos(), "%s: string concatenation allocates", nc.fn.Name.Name)
+	}
+}
+
+// checkBoxTo flags expr when assigning it to an interface-typed destination
+// boxes a concrete value.
+func (nc *noallocChecker) checkBoxTo(pos token.Pos, dst types.Type, expr ast.Expr) {
+	if !isInterface(dst) {
+		return
+	}
+	nc.checkBox(pos, dst, expr)
+}
+
+func (nc *noallocChecker) checkBox(pos token.Pos, dst types.Type, expr ast.Expr) {
+	if !isInterface(dst) {
+		return
+	}
+	tv := nc.pass.Info.Types[expr]
+	if tv.Type == nil || isInterface(tv.Type) {
+		return // interface-to-interface is a pointer copy
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	nc.bad(pos, "%s: converting %s to interface %s boxes and may allocate",
+		nc.fn.Name.Name, types.TypeString(tv.Type, types.RelativeTo(nc.pass.Types)),
+		types.TypeString(dst, types.RelativeTo(nc.pass.Types)))
+}
+
+// isStringByteConversion reports a conversion between string and []byte or
+// []rune in either direction.
+func isStringByteConversion(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(src)) || (isStringType(src) && isByteOrRuneSlice(dst))
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (basic.Kind() == types.Uint8 || basic.Kind() == types.Int32)
+}

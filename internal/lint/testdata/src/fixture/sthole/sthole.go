@@ -1,0 +1,93 @@
+// Package sthole is a lint fixture mimicking sthist's histogram package:
+// the determinism analyzer must reject map-range loops that drive histogram
+// mutation and accept order-independent iteration.
+package sthole
+
+import "sort"
+
+// Histogram is a minimal stand-in for the real STHoles tree.
+type Histogram struct {
+	buckets map[string]*Bucket
+	order   []string
+}
+
+// Bucket is a minimal stand-in for a histogram bucket.
+type Bucket struct {
+	freq float64
+}
+
+// Merge mutates the histogram (pointer receiver).
+func (h *Histogram) Merge(name string) { delete(h.buckets, name) }
+
+// Freq is a read (value receiver): never flagged.
+func (h Histogram) Freq(name string) float64 { return h.buckets[name].freq }
+
+// Scale mutates one bucket (pointer receiver).
+func (b *Bucket) Scale(f float64) { b.freq *= f }
+
+// BadMapDrivenMerge drives histogram mutation from map iteration order —
+// the class of bug the determinism analyzer exists for.
+func (h *Histogram) BadMapDrivenMerge() {
+	for name := range h.buckets {
+		h.Merge(name) // want determinism
+	}
+}
+
+// BadMapDrivenBucketMutation mutates buckets in map iteration order.
+func (h *Histogram) BadMapDrivenBucketMutation() {
+	for _, b := range h.buckets {
+		b.Scale(0.5) // want determinism
+	}
+}
+
+// BadInsertWhileRanging inserts into the ranged map: the spec leaves it
+// unspecified whether the new key is produced by the iteration.
+func (h *Histogram) BadInsertWhileRanging() {
+	for name := range h.buckets {
+		h.buckets[name+"+"] = &Bucket{} // want determinism
+	}
+}
+
+// BadDeleteOther deletes a key other than the current one mid-range.
+func (h *Histogram) BadDeleteOther() {
+	for name := range h.buckets {
+		delete(h.buckets, name+"-old") // want determinism
+	}
+}
+
+// GoodSortedMerge is the deterministic shape: extract keys, sort, then
+// mutate in sorted order.
+func (h *Histogram) GoodSortedMerge() {
+	names := make([]string, 0, len(h.buckets))
+	for name := range h.buckets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Merge(name)
+	}
+}
+
+// GoodDeleteCurrent deletes only the current key: every key is processed
+// exactly once regardless of order.
+func (h *Histogram) GoodDeleteCurrent() {
+	for name := range h.buckets {
+		delete(h.buckets, name)
+	}
+}
+
+// GoodIgnoredMutation shows the escape hatch on a provably
+// order-independent site.
+func (h *Histogram) GoodIgnoredMutation() {
+	for name := range h.buckets {
+		//sthlint:ignore determinism fixture: mutation is commutative across keys
+		h.Merge(name)
+	}
+}
+
+// GoodSliceRange ranges a slice, which iterates in index order.
+func (h *Histogram) GoodSliceRange() {
+	for _, name := range h.order {
+		h.Merge(name)
+	}
+}

@@ -1,0 +1,78 @@
+// Package telemetry is a lint fixture mimicking sthist's metrics plane. It
+// carries the regression fixture for the PR 4 WritePrometheus bug: rendering
+// the exposition by ranging the live family map without the registry lock.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// family is one metric family.
+type family struct {
+	name string
+	help string
+}
+
+// Registry is a minimal stand-in for the real metrics registry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family // guarded by mu
+}
+
+// Counter registers a counter and returns its name (fixture stub).
+func (r *Registry) Counter(name, help string, labels []string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fams[name] = &family{name: name, help: help}
+	return name
+}
+
+// Gauge registers a gauge (fixture stub).
+func (r *Registry) Gauge(name, help string, labels []string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fams[name] = &family{name: name, help: help}
+	return name
+}
+
+// GoodRegistrations follow the sthist_* snake_case convention with help.
+func GoodRegistrations(r *Registry) {
+	r.Counter("sthist_feedback_rounds_total", "Feedback rounds processed.", nil)
+	r.Gauge("sthist_histogram_buckets", "Buckets in the live histogram.", nil)
+}
+
+// BadRegistrations violate the naming and help contract.
+func BadRegistrations(r *Registry, dynamic string) {
+	r.Counter("sthistd_requests_total", "Wrong prefix.", nil)  // want errflow
+	r.Counter("sthist_CamelCase_total", "Wrong case.", nil)    // want errflow
+	r.Gauge("sthist_undocumented_series", "", nil)             // want errflow
+	r.Counter(dynamic, "Name not statically enumerable.", nil) // want errflow
+}
+
+// BadWritePrometheus reintroduces the PR 4 exposition bug in both of its
+// aspects: the family map is read without the registry lock (the scrape
+// race) and the output is emitted in map iteration order (nondeterministic
+// exposition, which broke scrape-diff alerting).
+func (r *Registry) BadWritePrometheus(w io.Writer) {
+	for _, f := range r.fams { // want lockcheck
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help) // want determinism
+	}
+}
+
+// GoodWritePrometheus is the fixed shape: snapshot under the lock, then
+// render the snapshot in sorted order.
+func (r *Registry) GoodWritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	}
+}

@@ -1,0 +1,132 @@
+// Package wal is a lint fixture mimicking sthist's write-ahead log: the
+// errflow analyzer must reject discarded durability errors, the lockcheck
+// analyzer must enforce the "guarded by" annotations, and the determinism
+// analyzer must reject WAL emission driven by map iteration.
+package wal
+
+import (
+	"bytes"
+	"os"
+	"sync"
+)
+
+// Record is one framed WAL record.
+type Record struct {
+	Seq uint64
+}
+
+// Log is a minimal stand-in for the real write-ahead log.
+type Log struct {
+	mu      sync.RWMutex
+	lastSeq uint64 // guarded by mu
+	err     error  // guarded by mu
+	dir     string // immutable after Open
+}
+
+// Append appends one record: the lock discipline is correct here.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastSeq++
+	return l.lastSeq, l.err
+}
+
+// Checkpoint rotates the log. Fixture stub; locks correctly.
+func (l *Log) Checkpoint(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.err = nil
+	return nil
+}
+
+// LastSeq reads under the read lock: sufficient for a read.
+func (l *Log) LastSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastSeq
+}
+
+// BadUnlockedRead reads a guarded field with no lock held.
+func (l *Log) BadUnlockedRead() uint64 {
+	return l.lastSeq // want lockcheck
+}
+
+// BadReadLockedWrite writes a guarded field holding only the read lock.
+func (l *Log) BadReadLockedWrite() {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.lastSeq++ // want lockcheck
+}
+
+// BadBranchyLock locks on only one path: the access below the branch is not
+// protected on every path from entry.
+func (l *Log) BadBranchyLock(lock bool) uint64 {
+	if lock {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	}
+	return l.lastSeq // want lockcheck
+}
+
+// GoodBranchTerminates locks on the surviving path; the unlocked branch
+// returns early and does not reach the access.
+func (l *Log) GoodBranchTerminates(ready bool) uint64 {
+	if !ready {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// bumpLocked is exempt by the Locked-suffix convention: the caller holds mu.
+func (l *Log) bumpLocked() {
+	l.lastSeq++
+}
+
+// Open constructs a Log: accesses through the not-yet-published local are
+// exempt from lock discipline.
+func Open(dir string) *Log {
+	l := &Log{dir: dir}
+	l.lastSeq = 0
+	return l
+}
+
+// BadIgnoredWithReason shows the escape hatch suppressing a lockcheck
+// finding with a recorded justification.
+func (l *Log) BadIgnoredWithReason() uint64 {
+	//sthlint:ignore lockcheck fixture: snapshot read tolerated as stale
+	return l.lastSeq
+}
+
+// BadDiscardedClose drops durability errors on the floor.
+func BadDiscardedClose(f *os.File) {
+	f.Close()      // want errflow
+	defer f.Sync() // want errflow
+}
+
+// GoodExplicitDiscard makes the decision visible with a blank assignment.
+func GoodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+	defer func() { _ = f.Sync() }()
+}
+
+// GoodHandledClose consumes the error.
+func GoodHandledClose(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodBufferWrite: bytes.Buffer writes cannot fail and are exempt.
+func GoodBufferWrite(b *bytes.Buffer) {
+	b.WriteString("frame")
+}
+
+// BadMapDrivenAppend emits WAL records in map iteration order.
+func BadMapDrivenAppend(l *Log, pending map[string]Record) {
+	for _, r := range pending {
+		l.Append(r) // want determinism
+	}
+}

@@ -29,6 +29,8 @@ type CountFunc func(geom.Rect) float64
 // feedback round that drills nothing performs zero heap allocations.
 //
 // Drill is a no-op while the histogram is frozen.
+//
+//sthlint:noalloc
 func (h *Histogram) Drill(q geom.Rect, count CountFunc) {
 	if h.frozen || q.Dims() != h.dims {
 		return

@@ -284,6 +284,8 @@ func (h *Histogram) Frozen() bool { return h.frozen }
 //
 // Buckets with zero own volume contribute their full frequency when q covers
 // their box (point-mass semantics) and nothing otherwise.
+//
+//sthlint:noalloc
 func (h *Histogram) Estimate(q geom.Rect) float64 {
 	if q.Dims() != h.dims {
 		return 0
@@ -297,6 +299,8 @@ func (h *Histogram) Estimate(q geom.Rect) float64 {
 // it: on a trained tree the descent touches only the buckets overlapping q
 // instead of all B buckets. The pruned terms are exact zeros, so the result
 // is bit-identical to the naive full walk (estimateSlow in slow.go).
+//
+//sthlint:noalloc
 func estimateBucket(b *Bucket, q geom.Rect) float64 {
 	interBox := b.box.IntersectionVolume(q)
 	if interBox <= 0 {

@@ -193,6 +193,7 @@ func (h *Histogram) enforceBudget() {
 func (h *Histogram) drainDirty() {
 	for b := range h.dirty {
 		delete(h.dirty, b)
+		//sthlint:ignore determinism inTree only walks parent pointers; no mutation
 		if !h.inTree(b) {
 			continue
 		}
@@ -205,6 +206,7 @@ func (h *Histogram) drainDirty() {
 		}
 		if len(b.children) >= 2 {
 			if _, ok := h.sibCache[b]; !ok {
+				//sthlint:ignore determinism order-independent: candidates land in a heap whose Less is a strict total order over (penalty, seq, kind)
 				e := h.bestSiblingMerge(b)
 				h.sibCache[b] = e
 				if e.b1 != nil {
@@ -292,6 +294,7 @@ func (h *Histogram) performBestMerge() {
 	}
 	var start time.Time
 	if h.mergeObs != nil {
+		//sthlint:ignore determinism telemetry timing only; never feeds histogram state
 		start = time.Now()
 	}
 	if choice.kind == kindParentChild {
@@ -300,6 +303,7 @@ func (h *Histogram) performBestMerge() {
 		h.mergeSiblings(choice.p, choice.s1, choice.s2)
 	}
 	if h.mergeObs != nil {
+		//sthlint:ignore determinism telemetry timing only; never feeds histogram state
 		h.mergeObs.ObserveMerge(MergeKind(choice.kind), choice.penalty, time.Since(start))
 	}
 }

@@ -62,23 +62,23 @@ type Recorder struct {
 	table string
 
 	mu       sync.Mutex
-	ring     []TraceEvent // fixed capacity; ring[next%cap] is the next slot
-	next     uint64       // total rounds recorded
-	slowRing []TraceEvent
-	slowNext uint64
-	slowThr  time.Duration
+	ring     []TraceEvent  // fixed capacity; ring[next%cap] is the next slot; guarded by mu
+	next     uint64        // total rounds recorded; guarded by mu
+	slowRing []TraceEvent  // guarded by mu
+	slowNext uint64        // guarded by mu
+	slowThr  time.Duration // immutable after construction
 
 	// Rolling accuracy windows: |est-actual| and |trivial-actual| over the
 	// last window rounds, with incrementally maintained sums. Rolling
 	// MAE = sumAbs/n (Eq. 9 over the window); rolling NAE = sumAbs/sumTriv
 	// (Eq. 10 — both means share the 1/n factor, so it cancels).
-	window  int
-	absErr  []float64
-	trivErr []float64
-	winN    int
-	winIdx  int
-	sumAbs  float64
-	sumTriv float64
+	window  int       // immutable after construction
+	absErr  []float64 // guarded by mu
+	trivErr []float64 // guarded by mu
+	winN    int       // guarded by mu
+	winIdx  int       // guarded by mu
+	sumAbs  float64   // guarded by mu
+	sumTriv float64   // guarded by mu
 
 	// Instruments (shared registry, per-table labels). Always non-nil.
 	rounds       *Counter

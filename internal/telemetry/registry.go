@@ -193,8 +193,8 @@ type family struct {
 // different type panics (a wiring bug, not a runtime condition).
 type Registry struct {
 	mu         sync.Mutex
-	fams       map[string]*family
-	collectors []func()
+	fams       map[string]*family // guarded by mu
+	collectors []func()           // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -36,7 +36,7 @@ type Telemetry struct {
 	opts Options
 
 	mu     sync.Mutex
-	tables map[string]*Recorder
+	tables map[string]*Recorder // guarded by mu
 }
 
 // New returns a telemetry plane with its own registry.

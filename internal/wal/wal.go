@@ -107,16 +107,16 @@ func snapName(gen uint64) string { return fmt.Sprintf("checkpoint-%08d.snap", ge
 // histogram mutation must provide their own outer lock.
 type Log struct {
 	mu      sync.Mutex
-	fs      faultfs.FS
-	dir     string
-	opts    Options
-	f       faultfs.File // active segment, append mode
-	seg     string       // active segment file name
-	snap    string       // live checkpoint file name ("" when none)
-	gen     uint64
-	lastSeq uint64
-	err     error // sticky append-path error; cleared by a successful Checkpoint
-	buf     []byte
+	fs      faultfs.FS   // immutable after Open
+	dir     string       // immutable after Open
+	opts    Options      // immutable after Open
+	f       faultfs.File // active segment, append mode; guarded by mu
+	seg     string       // active segment file name; guarded by mu
+	snap    string       // live checkpoint file name ("" when none); guarded by mu
+	gen     uint64       // guarded by mu
+	lastSeq uint64       // guarded by mu
+	err     error        // sticky append-path error, cleared by Checkpoint; guarded by mu
+	buf     []byte       // frame scratch; guarded by mu
 }
 
 // Open opens (creating if needed) the log directory and reconstructs the
@@ -186,8 +186,8 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 			return nil, nil, fmt.Errorf("wal: creating segment: %w", cerr)
 		}
 		l.f = f
-		if werr := l.writeManifest(); werr != nil {
-			f.Close()
+		if werr := l.writeManifestLocked(); werr != nil {
+			_ = f.Close()
 			return nil, nil, fmt.Errorf("wal: committing initial manifest: %w", werr)
 		}
 
@@ -199,8 +199,9 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 
 func (l *Log) path(name string) string { return l.dir + string(os.PathSeparator) + name }
 
-// writeManifest atomically replaces MANIFEST with the current state.
-func (l *Log) writeManifest() error {
+// writeManifestLocked atomically replaces MANIFEST with the current state.
+// The caller holds l.mu (or, in Open, exclusively owns the un-published Log).
+func (l *Log) writeManifestLocked() error {
 	m := manifest{Version: 1, Gen: l.gen, Checkpoint: l.snap, WAL: l.seg, LastSeq: l.lastSeq}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -217,11 +218,11 @@ func (l *Log) atomicWrite(name string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -311,22 +312,22 @@ func (l *Log) Checkpoint(snapshot []byte) (err error) {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("wal: syncing segment: %w", err)
 	}
 
 	oldSnap, oldSeg, oldGen := l.snap, l.seg, l.gen
 	l.gen, l.snap, l.seg = newGen, newSnap, newSeg
-	if err := l.writeManifest(); err != nil {
+	if err := l.writeManifestLocked(); err != nil {
 		// Not committed: restore state, keep appending to the old segment.
 		l.gen, l.snap, l.seg = oldGen, oldSnap, oldSeg
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("wal: committing checkpoint: %w", err)
 	}
 
 	// Committed. Swap the active segment and clear any sticky error.
 	if l.f != nil {
-		l.f.Close()
+		_ = l.f.Close() // superseded segment; the new segment is already durable
 	}
 	l.f = f
 	l.err = nil

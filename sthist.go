@@ -114,22 +114,22 @@ type Options struct {
 // inspection.
 type Estimator struct {
 	mu       sync.RWMutex
-	hist     *sthole.Histogram
-	idx      *index.KDTree
-	domain   Rect
-	clusters []Cluster
+	hist     *sthole.Histogram // guarded by mu
+	idx      *index.KDTree     // immutable after Open
+	domain   Rect              // immutable after Open
+	clusters []Cluster         // immutable after Open
 
 	// Degradation state. The histogram is accumulated feedback; rather than
 	// panicking or serving garbage when its invariants break (a bug, or a
 	// caller mutating a Box() in place), the estimator quarantines it:
 	// the live tree is replaced by the last validated snapshot (or, failing
 	// that, a uniform single-bucket histogram) and serving continues.
-	validateEvery int               // drills between invariant checks; <0 disables
-	sinceValidate int               // drills since the last check
-	lastGood      *sthole.Histogram // last snapshot that passed Validate
-	degraded      bool              // true from quarantine until a clean validate
-	quarantines   int               // total quarantine events
-	lastErr       error             // cause of the most recent quarantine
+	validateEvery int               // drills between invariant checks; <0 disables; immutable after Open
+	sinceValidate int               // drills since the last check; guarded by mu
+	lastGood      *sthole.Histogram // last snapshot that passed Validate; guarded by mu
+	degraded      bool              // true from quarantine until a clean validate; guarded by mu
+	quarantines   int               // total quarantine events; guarded by mu
+	lastErr       error             // cause of the most recent quarantine; guarded by mu
 
 	// Telemetry (optional, see SetRecorder). rec is nil when disabled; the
 	// nil path adds a single branch to the feedback round and keeps it
@@ -516,7 +516,11 @@ func (e *Estimator) StatsSnapshot() TableStats {
 func (e *Estimator) TrueCount(q Rect) float64 { return e.exact(q) }
 
 // Histogram exposes the underlying histogram for inspection (bucket dumps,
-// serialization, subspace-bucket queries).
+// serialization, subspace-bucket queries). The pointer is read without the
+// lock: single-goroutine callers (the benchmark and evaluation paths) use it
+// between feedback rounds, and concurrent callers must not mutate through it.
+//
+//sthlint:ignore lockcheck documented unsynchronized accessor for single-goroutine inspection
 func (e *Estimator) Histogram() *Histogram { return e.hist }
 
 // SaveHistogram persists the current histogram as JSON. The saved form can
