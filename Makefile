@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard obs-demo examples experiments cover
+.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency obs-demo examples experiments cover
 
 all: build vet lint test
 
@@ -51,6 +51,30 @@ bench-guard: vet lint
 		-guard-base 'BenchmarkFeedbackRound/telemetry=off' \
 		-guard-subject 'BenchmarkFeedbackRound/telemetry=on' \
 		-guard-max-ratio 1.05
+
+# Concurrency guards for the snapshot-publish estimator and the group-commit
+# feedback pipeline; results land in results/BENCH_concurrency.json.
+#
+# Read path: on a machine with >= 8 cores the wait-free snapshot reads must
+# be at least 4x faster than the same reads behind a reader-writer lock
+# (ratio <= 0.25). Smaller machines cannot show lock contention, so they
+# only check that dropping the lock did not make reads slower (<= 1.25 with
+# min-of-6 noise suppression).
+#
+# Write path: concurrent durable feedback must group-commit — strictly fewer
+# than one fsync per accepted observation.
+NPROC := $(shell nproc 2>/dev/null || echo 1)
+READ_RATIO := $(shell [ $(NPROC) -ge 8 ] && echo 0.25 || echo 1.25)
+bench-concurrency:
+	$(GO) run ./cmd/benchjson -label estimate -out results/BENCH_concurrency.json \
+		-pkg . -bench 'BenchmarkEstimateParallel$$' -benchtime 1s -count 6 \
+		-guard-base 'BenchmarkEstimateParallel/mode=locked' \
+		-guard-subject 'BenchmarkEstimateParallel/mode=snapshot' \
+		-guard-max-ratio $(READ_RATIO)
+	$(GO) run ./cmd/benchjson -label feedback -out results/BENCH_concurrency.json \
+		-pkg ./internal/httpapi -bench 'BenchmarkFeedbackThroughput$$' -benchtime 2000x -count 3 \
+		-guard-metric-bench 'BenchmarkFeedbackThroughput' \
+		-guard-metric 'fsyncs/op' -guard-metric-max 1
 
 # Observability walkthrough: rolling NAE decay + /metrics + /debug/trace.
 obs-demo:

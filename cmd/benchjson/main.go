@@ -44,11 +44,13 @@ func main() {
 	}
 }
 
-// benchResult is one benchmark's measurement.
+// benchResult is one benchmark's measurement. Extra holds custom metrics
+// emitted with b.ReportMetric (e.g. "fsyncs/op"), keyed by their unit.
 type benchResult struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchFile is the on-disk layout: one named run per label.
@@ -60,22 +62,28 @@ type benchFile struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "results/BENCH_sthole.json", "JSON file to create or update")
-		label     = fs.String("label", "current", "label to store this run under")
-		pkg       = fs.String("pkg", "./internal/sthole", "package holding the benchmarks")
-		benchRe   = fs.String("bench", "BenchmarkDrill$|BenchmarkDrillSteady$|BenchmarkEstimate$", "benchmark regexp passed to go test")
-		benchtime = fs.String("benchtime", "1s", "benchtime passed to go test")
-		count     = fs.Int("count", 1, "benchmark repetitions passed to go test; the fastest run is kept")
-		input     = fs.String("input", "", "parse this saved `go test -bench` output instead of running go test")
-		guardBase = fs.String("guard-base", "", "benchmark name to use as the guard baseline")
-		guardSubj = fs.String("guard-subject", "", "benchmark name whose ns/op must stay within guard-max-ratio of the baseline")
-		guardMax  = fs.Float64("guard-max-ratio", 1.05, "maximum allowed subject/base ns/op ratio")
+		out         = fs.String("out", "results/BENCH_sthole.json", "JSON file to create or update")
+		label       = fs.String("label", "current", "label to store this run under")
+		pkg         = fs.String("pkg", "./internal/sthole", "package holding the benchmarks")
+		benchRe     = fs.String("bench", "BenchmarkDrill$|BenchmarkDrillSteady$|BenchmarkEstimate$", "benchmark regexp passed to go test")
+		benchtime   = fs.String("benchtime", "1s", "benchtime passed to go test")
+		count       = fs.Int("count", 1, "benchmark repetitions passed to go test; the fastest run is kept")
+		input       = fs.String("input", "", "parse this saved `go test -bench` output instead of running go test")
+		guardBase   = fs.String("guard-base", "", "benchmark name to use as the guard baseline")
+		guardSubj   = fs.String("guard-subject", "", "benchmark name whose ns/op must stay within guard-max-ratio of the baseline")
+		guardMax    = fs.Float64("guard-max-ratio", 1.05, "maximum allowed subject/base ns/op ratio")
+		metricBench = fs.String("guard-metric-bench", "", "benchmark name whose custom metric is gated")
+		metricName  = fs.String("guard-metric", "", "custom metric unit to gate (e.g. fsyncs/op)")
+		metricMax   = fs.Float64("guard-metric-max", 1, "exclusive upper bound for the gated metric")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*guardBase == "") != (*guardSubj == "") {
 		return fmt.Errorf("-guard-base and -guard-subject must be set together")
+	}
+	if (*metricBench == "") != (*metricName == "") {
+		return fmt.Errorf("-guard-metric-bench and -guard-metric must be set together")
 	}
 
 	var raw []byte
@@ -150,6 +158,20 @@ func run(args []string, stdout io.Writer) error {
 				*guardSubj, (ratio-1)*100, *guardBase, (*guardMax-1)*100)
 		}
 	}
+	if *metricBench != "" {
+		res, ok := results[*metricBench]
+		if !ok {
+			return fmt.Errorf("guard-metric bench %q not among the recorded benchmarks", *metricBench)
+		}
+		v, ok := res.Extra[*metricName]
+		if !ok {
+			return fmt.Errorf("benchmark %q did not report metric %q", *metricBench, *metricName)
+		}
+		fmt.Fprintf(stdout, "guard: %s %s = %g (must stay below %g)\n", *metricBench, *metricName, v, *metricMax)
+		if v >= *metricMax {
+			return fmt.Errorf("guard failed: %s %s = %g, must stay below %g", *metricBench, *metricName, v, *metricMax)
+		}
+	}
 	return nil
 }
 
@@ -195,6 +217,13 @@ func parseBenchOutput(raw []byte) (map[string]benchResult, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				if strings.Contains(fields[i+1], "/") {
+					if res.Extra == nil {
+						res.Extra = map[string]float64{}
+					}
+					res.Extra[fields[i+1]] = v
+				}
 			}
 		}
 		if seen {

@@ -40,6 +40,46 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+const sampleMetricBench = `goos: linux
+BenchmarkFeedbackThroughput-8 	    2000	    196867 ns/op	         0.3095 fsyncs/op	         3.231 obs/batch
+PASS
+`
+
+func TestParseBenchOutputCapturesCustomMetrics(t *testing.T) {
+	got, err := parseBenchOutput([]byte(sampleMetricBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := got["BenchmarkFeedbackThroughput"]
+	if !ok {
+		t.Fatalf("parsed %v", got)
+	}
+	if res.Extra["fsyncs/op"] != 0.3095 || res.Extra["obs/batch"] != 3.231 {
+		t.Errorf("custom metrics parsed as %+v", res.Extra)
+	}
+}
+
+func TestMetricGuard(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleMetricBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-input", in, "-out", out,
+		"-guard-metric-bench", "BenchmarkFeedbackThroughput", "-guard-metric", "fsyncs/op"}
+	if err := run(append(base, "-guard-metric-max", "1"), io.Discard); err != nil {
+		t.Errorf("fsyncs/op 0.3095 < 1 rejected: %v", err)
+	}
+	if err := run(append(base, "-guard-metric-max", "0.25"), io.Discard); err == nil {
+		t.Error("fsyncs/op 0.3095 >= 0.25 accepted")
+	}
+	if err := run([]string{"-input", in, "-out", out,
+		"-guard-metric-bench", "BenchmarkFeedbackThroughput", "-guard-metric", "nope/op"}, io.Discard); err == nil {
+		t.Error("missing metric accepted")
+	}
+}
+
 func TestParseBenchOutputSkipsNonBenchLines(t *testing.T) {
 	got, err := parseBenchOutput([]byte("PASS\nok\tsthist\t1s\n"))
 	if err != nil {

@@ -16,9 +16,18 @@
 // it is applied, and the histogram is checkpointed periodically (see
 // internal/wal). On startup the daemon restores the latest checkpoint and
 // replays the log tail, so a crash or kill loses at most the records after
-// the last fsync. SIGINT/SIGTERM trigger a graceful shutdown: /healthz
-// flips to 503, in-flight requests drain, and every table is checkpointed
-// before the process exits.
+// the last fsync.
+//
+// Feedback is group-committed: each table has a single writer goroutine
+// draining a bounded queue (-feedback-queue), so concurrent requests
+// coalesce into one WAL append + fsync per batch (-feedback-batch caps the
+// batch, -batch-window optionally waits for stragglers). A full queue
+// answers 429 with Retry-After instead of buffering unboundedly.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /healthz flips to 503,
+// in-flight requests drain, the feedback queues commit their tails, and
+// every table is checkpointed before the process exits — feedback that was
+// answered 200 is on disk.
 package main
 
 import (
@@ -68,6 +77,9 @@ type config struct {
 	writeTimeout  time.Duration
 	maxBody       int64
 	shutdownGrace time.Duration
+	queueDepth    int
+	batchMax      int
+	batchWindow   time.Duration
 }
 
 // daemon is the assembled server: the HTTP surface plus the write-ahead
@@ -110,6 +122,12 @@ func setup(args []string) (*daemon, error) {
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 	maxBody := fs.Int64("max-body", httpapi.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	shutdownGrace := fs.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on shutdown")
+	queueDepth := fs.Int("feedback-queue", httpapi.DefaultFeedbackQueueDepth,
+		"per-table feedback queue depth; a full queue answers 429")
+	batchMax := fs.Int("feedback-batch", httpapi.DefaultFeedbackBatchMax,
+		"maximum observations per feedback group commit")
+	batchWindow := fs.Duration("batch-window", 0,
+		"how long the feedback writer waits for stragglers before committing a batch (0 = commit immediately)")
 	telemetryOn := fs.Bool("telemetry", true, "enable metrics, flight recorder and rolling accuracy tracking")
 	slowQuery := fs.Duration("slow-query", telemetry.DefaultSlowThreshold, "log feedback rounds at or above this latency (0 disables)")
 	traceEvents := fs.Int("trace-events", telemetry.DefaultTraceEvents, "flight-recorder ring capacity per table")
@@ -129,6 +147,15 @@ func setup(args []string) (*daemon, error) {
 	default:
 		return nil, fmt.Errorf("bad -fsync %q (want always or none)", *fsync)
 	}
+	if *queueDepth < 1 {
+		return nil, fmt.Errorf("bad -feedback-queue %d (want >= 1)", *queueDepth)
+	}
+	if *batchMax < 1 {
+		return nil, fmt.Errorf("bad -feedback-batch %d (want >= 1)", *batchMax)
+	}
+	if *batchWindow < 0 {
+		return nil, fmt.Errorf("bad -batch-window %v (want >= 0)", *batchWindow)
+	}
 
 	d := &daemon{
 		srv: httpapi.NewServer(),
@@ -143,10 +170,17 @@ func setup(args []string) (*daemon, error) {
 			writeTimeout:  *writeTimeout,
 			maxBody:       *maxBody,
 			shutdownGrace: *shutdownGrace,
+			queueDepth:    *queueDepth,
+			batchMax:      *batchMax,
+			batchWindow:   *batchWindow,
 		},
 		logs: make(map[string]*wal.Log),
 	}
 	d.srv.SetMaxBodyBytes(*maxBody)
+	// Queue settings apply to tables registered afterwards, so they must be
+	// in place before the -table loop below.
+	d.srv.SetFeedbackQueue(*queueDepth, *batchMax)
+	d.srv.SetBatchWindow(*batchWindow)
 	if *telemetryOn {
 		slow := *slowQuery
 		if slow == 0 {
@@ -340,6 +374,7 @@ func (d *daemon) run(ctx context.Context) error {
 
 	select {
 	case err := <-errc:
+		d.srv.DrainFeedback()
 		d.closeLogs()
 		return err
 	case <-ctx.Done():
@@ -359,6 +394,10 @@ func (d *daemon) run(ctx context.Context) error {
 		drainDur.Set(time.Since(drainStart).Seconds())
 		log.Printf("sthistd: drained in %v", time.Since(drainStart).Round(time.Millisecond))
 	}
+	// HTTP drain done: no new feedback can arrive. Commit every queued tail
+	// (each acknowledged observation reaches the WAL) before the final
+	// checkpoint empties the logs.
+	d.srv.DrainFeedback()
 	<-ckptDone
 	if err := d.srv.CheckpointAll(); err != nil {
 		log.Printf("sthistd: final checkpoint: %v", err)

@@ -16,13 +16,16 @@ import (
 
 func TestSetupValidation(t *testing.T) {
 	cases := map[string][]string{
-		"no-tables":       nil,
-		"spec-without-eq": {"-table", "bad"},
-		"empty-name":      {"-table", "=x"},
-		"unknown-dataset": {"-table", "t=@nope:1"},
-		"bad-scale":       {"-table", "t=@cross:x"},
-		"missing-file":    {"-table", "t=/no/such.csv"},
-		"bad-fsync":       {"-table", "t=@cross:0.02", "-fsync", "sometimes"},
+		"no-tables":        nil,
+		"spec-without-eq":  {"-table", "bad"},
+		"empty-name":       {"-table", "=x"},
+		"unknown-dataset":  {"-table", "t=@nope:1"},
+		"bad-scale":        {"-table", "t=@cross:x"},
+		"missing-file":     {"-table", "t=/no/such.csv"},
+		"bad-fsync":        {"-table", "t=@cross:0.02", "-fsync", "sometimes"},
+		"bad-queue-depth":  {"-table", "t=@cross:0.02", "-feedback-queue", "0"},
+		"bad-batch-max":    {"-table", "t=@cross:0.02", "-feedback-batch", "0"},
+		"bad-batch-window": {"-table", "t=@cross:0.02", "-batch-window", "-1s"},
 	}
 	for name, args := range cases {
 		if _, err := setup(args); err == nil {
@@ -118,6 +121,8 @@ func TestRestartRecoversDurableState(t *testing.T) {
 		"-seed", "7",
 		"-data-dir", dataDir,
 		"-fsync", "none", // keep the test fast; durability is wal's own tests' job
+		"-feedback-queue", "64",
+		"-feedback-batch", "8",
 	}
 	d1, err := setup(args)
 	if err != nil {
@@ -165,6 +170,7 @@ func TestRestartRecoversDurableState(t *testing.T) {
 		want[i] = estimateOf(t, ts.URL, [2]float64{p[0], p[1]}, [2]float64{p[2], p[3]})
 	}
 	ts.Close()
+	d1.srv.DrainFeedback()
 	d1.closeLogs()
 
 	// "Restart": a second setup from the same flags and data directory.
@@ -173,6 +179,7 @@ func TestRestartRecoversDurableState(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d2.closeLogs()
+	defer d2.srv.DrainFeedback()
 	ts2 := httptest.NewServer(d2.srv.Handler())
 	defer ts2.Close()
 

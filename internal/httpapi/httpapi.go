@@ -10,12 +10,18 @@
 //	GET  /healthz                        -> readiness + per-table health
 //
 // The server is hardened for unattended operation: request bodies are
-// size-capped, malformed or non-finite feedback is rejected with 400, a
+// size-capped, malformed or non-finite feedback is rejected with 400, and a
 // panic inside an estimator quarantines that table (serving degrades to its
-// last good snapshot) instead of killing the process, and tables registered
-// with RegisterDurable write every accepted feedback to a write-ahead log
-// before applying it, with periodic checkpoints via Checkpoint/CheckpointAll
-// (see internal/wal for the recovery protocol).
+// last good snapshot) instead of killing the process.
+//
+// Accepted feedback flows through one writer goroutine per table that drains
+// a bounded queue and applies observations in batches (group commit): tables
+// registered with RegisterDurable get one WAL append + at most one fsync per
+// batch, and every batch publishes at most one new histogram snapshot. When
+// a table's queue is full the server pushes back with 429 + Retry-After
+// instead of buffering unboundedly; DrainFeedback commits the queued tail on
+// graceful shutdown, and periodic checkpoints run via Checkpoint /
+// CheckpointAll (see internal/wal for the recovery protocol).
 package httpapi
 
 import (
@@ -42,12 +48,29 @@ import (
 // few hundred bytes even at high dimensionality.
 const DefaultMaxBodyBytes = 1 << 20
 
-// entry is one served table: the estimator plus its (optional) durability
-// state. jmu serializes the WAL-append + apply pair against checkpoints so a
-// snapshot never captures a feedback its log position does not.
+// entry is one served table: the estimator, its feedback pipeline, and its
+// (optional) durability state. All mutation funnels through one writer
+// goroutine (writerLoop) draining a bounded queue; jmu serializes the
+// WAL-append + apply pair against checkpoints so a snapshot never captures a
+// feedback its log position does not.
 type entry struct {
 	est *sthist.Estimator
 	rec *telemetry.Recorder // nil when telemetry is disabled
+
+	queue        chan *feedbackReq    // bounded feedback queue; send under qmu.RLock, closed by closeQueue
+	qmu          sync.RWMutex         // serializes enqueue sends against queue close
+	qclosed      bool                 // guarded by qmu
+	batchSize    *telemetry.Histogram // observations per group commit; guarded by qmu
+	backpressure *telemetry.Counter   // feedback rejected with 429; guarded by qmu
+	writerDone   chan struct{}        // closed when writerLoop exits
+	batchMax     int                  // max observations per group commit; immutable after register
+	batchWindow  time.Duration        // straggler wait before a non-full commit; immutable after register
+
+	// Scratch buffers owned by the writer goroutine; reused across batches so
+	// the steady-state commit path stops allocating once warmed.
+	reqScratch []*feedbackReq
+	recScratch []wal.Record
+	obsScratch []sthist.Observation
 
 	jmu            sync.Mutex
 	log            *wal.Log      // guarded by jmu
@@ -66,11 +89,20 @@ type Server struct {
 	maxBody  int64             // immutable after construction
 	draining atomic.Bool
 	tel      *telemetry.Telemetry // guarded by mu
+
+	queueDepth  int           // feedback queue depth for tables registered later; guarded by mu
+	batchMax    int           // max observations per group commit; guarded by mu
+	batchWindow time.Duration // straggler wait before a non-full commit; guarded by mu
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{tables: make(map[string]*entry), maxBody: DefaultMaxBodyBytes}
+	return &Server{
+		tables:     make(map[string]*entry),
+		maxBody:    DefaultMaxBodyBytes,
+		queueDepth: DefaultFeedbackQueueDepth,
+		batchMax:   DefaultFeedbackBatchMax,
+	}
 }
 
 // SetMaxBodyBytes overrides the request body cap (values < 1 keep the
@@ -109,9 +141,17 @@ func (s *Server) register(name string, est *sthist.Estimator, l *wal.Log) error 
 	if _, ok := s.tables[name]; ok {
 		return fmt.Errorf("httpapi: table %q already registered", name)
 	}
-	ent := &entry{est: est, log: l}
+	ent := &entry{
+		est:         est,
+		log:         l,
+		queue:       make(chan *feedbackReq, s.queueDepth),
+		writerDone:  make(chan struct{}),
+		batchMax:    s.batchMax,
+		batchWindow: s.batchWindow,
+	}
 	s.tables[name] = ent
 	s.wireTelemetryLocked(name, ent)
+	go ent.writerLoop()
 	return nil
 }
 
@@ -146,13 +186,22 @@ func (s *Server) wireTelemetryLocked(name string, ent *entry) {
 	depth := reg.Gauge("sthist_tree_depth", "Maximum depth of the bucket tree.", lbl)
 	subspace := reg.Gauge("sthist_subspace_buckets", "Buckets spanning the full domain on >= 1 dimension.", lbl)
 	maxBuckets := reg.Gauge("sthist_max_buckets", "Bucket budget.", lbl)
+	qdepth := reg.Gauge("sthist_feedback_queue_depth", "Feedback observations waiting for the table's writer.", lbl)
+	ent.qmu.Lock()
+	ent.batchSize = reg.Histogram("sthist_feedback_batch_size",
+		"Observations per feedback group commit.", telemetry.ExponentialBuckets(1, 2, 12), lbl)
+	ent.backpressure = reg.Counter("sthist_feedback_backpressure_total",
+		"Feedback requests rejected with 429 because the queue was full.", lbl)
+	ent.qmu.Unlock()
 	est := ent.est
+	queue := ent.queue
 	reg.RegisterCollector(func() {
 		st := est.StatsSnapshot()
 		buckets.Set(float64(st.Buckets))
 		depth.Set(float64(st.TreeDepth))
 		subspace.Set(float64(st.SubspaceBuckets))
 		maxBuckets.Set(float64(st.MaxBuckets))
+		qdepth.Set(float64(len(queue)))
 	})
 }
 
@@ -173,7 +222,7 @@ func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
 // panic-recovery middleware: a panic that escapes a handler is answered
 // with 500 instead of unwinding the whole server. (Estimator panics are
 // additionally caught per-table and quarantine the estimator — see
-// entry.apply.)
+// entry.estimate and entry.applyBatchLocked.)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tables", s.handleTables)
@@ -215,8 +264,8 @@ func (w *statusWriter) WriteHeader(code int) {
 // registry's own locked, idempotent lookup.
 var instrumentedCodes = []int{
 	http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
-	http.StatusMethodNotAllowed, http.StatusInternalServerError,
-	http.StatusServiceUnavailable,
+	http.StatusMethodNotAllowed, http.StatusTooManyRequests,
+	http.StatusInternalServerError, http.StatusServiceUnavailable,
 }
 
 const httpRequestsHelp = "HTTP requests by route and status code."
@@ -414,8 +463,19 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	seq, err := ent.feedback(q, actual)
-	if err != nil {
+	seq, err := ent.enqueue(q, actual)
+	switch {
+	case errors.Is(err, errQueueFull):
+		ent.notePressure()
+		// The queue drains at group-commit speed; a second is a generous
+		// upper bound for a full queue to clear.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, errTableDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -424,39 +484,6 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		resp["seq"] = seq
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// feedback logs (when durable) and applies one validated observation.
-// A failed WAL append degrades durability but not availability: the
-// feedback is still applied and the failure is counted for /stats and
-// /healthz. A panic inside the estimator quarantines the table.
-func (e *entry) feedback(q geom.Rect, actual float64) (uint64, error) {
-	e.jmu.Lock()
-	defer e.jmu.Unlock()
-	var seq uint64
-	if e.log != nil {
-		var err error
-		seq, err = e.log.Append(wal.Record{Lo: q.Lo, Hi: q.Hi, Actual: actual})
-		if err != nil {
-			e.appendErrors++
-		} else {
-			e.sinceCkpt++
-		}
-	}
-	return seq, e.applyLocked(q, actual)
-}
-
-// applyLocked feeds one observation to the estimator; e.jmu is held by the
-// caller (feedback) so the recovery path may bump panicRecovered directly.
-func (e *entry) applyLocked(q geom.Rect, actual float64) (err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			e.est.Quarantine(fmt.Errorf("panic during feedback: %v", p))
-			e.panicRecovered++
-			err = fmt.Errorf("feedback failed; table degraded to last good snapshot")
-		}
-	}()
-	return e.est.Feedback(q, actual)
 }
 
 // Checkpoint snapshots the named table's histogram and rotates its WAL.

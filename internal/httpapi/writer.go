@@ -1,0 +1,255 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sthist"
+	"sthist/internal/geom"
+	"sthist/internal/wal"
+)
+
+// Defaults for the per-table feedback pipeline. The queue bounds how much
+// accepted-but-uncommitted feedback a table can hold before the server pushes
+// back with 429; the batch cap bounds how much one group commit may batch.
+const (
+	DefaultFeedbackQueueDepth = 1024
+	DefaultFeedbackBatchMax   = 256
+)
+
+var (
+	errQueueFull     = errors.New("feedback queue full; retry later")
+	errTableDraining = errors.New("table draining; feedback no longer accepted")
+)
+
+// feedbackReq is one validated observation waiting for its group commit.
+type feedbackReq struct {
+	q      geom.Rect
+	actual float64
+	done   chan feedbackResult // buffered(1); written exactly once by the writer
+}
+
+// feedbackResult is the commit outcome handed back to the waiting handler.
+type feedbackResult struct {
+	seq uint64 // WAL sequence; 0 when the table is not durable or the append failed
+	err error
+}
+
+// SetFeedbackQueue configures the feedback queue depth and the maximum
+// observations per group commit for tables registered afterwards. Values < 1
+// keep the current setting.
+func (s *Server) SetFeedbackQueue(depth, batchMax int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if depth >= 1 {
+		s.queueDepth = depth
+	}
+	if batchMax >= 1 {
+		s.batchMax = batchMax
+	}
+}
+
+// SetBatchWindow sets how long a table's writer waits for stragglers before
+// committing a non-full batch, for tables registered afterwards. Zero (the
+// default) commits whatever has queued by the time the writer is free —
+// batching then comes purely from natural arrival pressure, and an idle
+// table commits each observation with single-record latency. A positive
+// window trades that latency for larger batches (fewer fsyncs) under light
+// concurrency.
+func (s *Server) SetBatchWindow(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d >= 0 {
+		s.batchWindow = d
+	}
+}
+
+// DrainFeedback stops accepting feedback and blocks until every queued
+// observation has been committed (WAL-appended, applied, and acknowledged).
+// Feedback posted afterwards is answered with 503. Call between shutting
+// down the HTTP listener and the final checkpoint so the closing snapshot
+// captures the last batch. Safe to call more than once.
+func (s *Server) DrainFeedback() {
+	s.mu.RLock()
+	ents := make([]*entry, 0, len(s.tables))
+	for _, ent := range s.tables {
+		ents = append(ents, ent)
+	}
+	s.mu.RUnlock()
+	for _, ent := range ents {
+		ent.closeQueue()
+	}
+	for _, ent := range ents {
+		<-ent.writerDone
+	}
+}
+
+// enqueue hands one validated observation to the table's writer goroutine
+// and waits for the commit outcome. It fails fast with errQueueFull when the
+// queue is at capacity (the handler maps this to 429 + Retry-After) and with
+// errTableDraining once DrainFeedback has closed the queue.
+func (e *entry) enqueue(q geom.Rect, actual float64) (uint64, error) {
+	req := &feedbackReq{q: q, actual: actual, done: make(chan feedbackResult, 1)}
+	e.qmu.RLock()
+	if e.qclosed {
+		e.qmu.RUnlock()
+		return 0, errTableDraining
+	}
+	select {
+	case e.queue <- req:
+		e.qmu.RUnlock()
+	default:
+		e.qmu.RUnlock()
+		return 0, errQueueFull
+	}
+	res := <-req.done
+	return res.seq, res.err
+}
+
+// closeQueue stops the writer once the queued tail has been committed.
+// Idempotent. Holding qmu for the close means no enqueue can be between its
+// qclosed check and its send when the channel closes.
+func (e *entry) closeQueue() {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	if e.qclosed {
+		return
+	}
+	e.qclosed = true
+	close(e.queue)
+}
+
+// writerLoop is the table's single mutation path: it drains the feedback
+// queue, groups whatever is waiting into one batch (capped at batchMax), and
+// commits the batch with one WAL append + at most one fsync and one
+// histogram snapshot publish. Exits when closeQueue has run and the queue is
+// empty, so a drain never drops an accepted observation.
+func (e *entry) writerLoop() {
+	defer close(e.writerDone)
+	for {
+		req, ok := <-e.queue
+		if !ok {
+			return
+		}
+		batch := e.gatherBatch(append(e.reqScratch[:0], req))
+		e.commitBatch(batch)
+		for i := range batch {
+			batch[i] = nil // release the requests; the backing array is reused
+		}
+		e.reqScratch = batch[:0]
+	}
+}
+
+// gatherBatch greedily drains queued requests into batch up to batchMax.
+// With a positive batch window it also waits up to the window for stragglers
+// before settling for a smaller batch.
+func (e *entry) gatherBatch(batch []*feedbackReq) []*feedbackReq {
+	if e.batchWindow <= 0 {
+		for len(batch) < e.batchMax {
+			select {
+			case r, ok := <-e.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(e.batchWindow)
+	defer timer.Stop()
+	for len(batch) < e.batchMax {
+		select {
+		case r, ok := <-e.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commitBatch turns the batch into one group commit: a single AppendBatch
+// (one write, at most one fsync) followed by a single FeedbackBatch apply
+// (at most one snapshot publish), all under jmu so a concurrent checkpoint
+// can never capture a histogram state ahead of its log position. A failed
+// append degrades durability, not availability: the batch is still applied
+// and acknowledged without sequence numbers, exactly like the old
+// single-record path.
+func (e *entry) commitBatch(batch []*feedbackReq) {
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	var firstSeq uint64
+	appended := false
+	if e.log != nil {
+		recs := e.recScratch[:0]
+		for _, r := range batch {
+			recs = append(recs, wal.Record{Lo: r.q.Lo, Hi: r.q.Hi, Actual: r.actual})
+		}
+		e.recScratch = recs
+		var err error
+		firstSeq, err = e.log.AppendBatch(recs)
+		if err != nil {
+			e.appendErrors += len(batch)
+		} else {
+			e.sinceCkpt += len(batch)
+			appended = true
+		}
+	}
+	obs := e.obsScratch[:0]
+	for _, r := range batch {
+		obs = append(obs, sthist.Observation{Query: r.q, Actual: r.actual})
+	}
+	e.obsScratch = obs
+	errs, aerr := e.applyBatchLocked(obs)
+	for i, r := range batch {
+		var res feedbackResult
+		switch {
+		case aerr != nil:
+			res.err = aerr
+		case errs[i] != nil:
+			res.err = errs[i]
+		case appended:
+			res.seq = firstSeq + uint64(i)
+		}
+		r.done <- res
+	}
+	e.qmu.RLock()
+	bs := e.batchSize
+	e.qmu.RUnlock()
+	if bs != nil {
+		bs.Observe(float64(len(batch)))
+	}
+}
+
+// applyBatchLocked feeds the batch to the estimator; jmu is held by the
+// caller (commitBatch) so the recovery path may bump panicRecovered
+// directly. A panic quarantines the table and fails the whole batch.
+func (e *entry) applyBatchLocked(obs []sthist.Observation) (errs []error, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.est.Quarantine(fmt.Errorf("panic during feedback: %v", p))
+			e.panicRecovered++
+			err = fmt.Errorf("feedback failed; table degraded to last good snapshot")
+		}
+	}()
+	return e.est.FeedbackBatch(obs), nil
+}
+
+// notePressure counts one 429 rejection for the backpressure metric. It must
+// stay off jmu: 429s are served precisely when the writer is busy inside a
+// commit, i.e. while jmu is held.
+func (e *entry) notePressure() {
+	e.qmu.RLock()
+	bp := e.backpressure
+	e.qmu.RUnlock()
+	if bp != nil {
+		bp.Inc()
+	}
+}

@@ -1,0 +1,96 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sthist"
+	"sthist/internal/wal"
+)
+
+// BenchmarkFeedbackThroughput pushes concurrent durable feedback through the
+// full HTTP handler with fsync-per-commit enabled and reports how many
+// fsyncs each accepted observation cost. Group commit is what makes the
+// number interesting: concurrent requests coalesce into one WAL append +
+// fsync per batch, so fsyncs/op must land well below 1 (bench-guard gates
+// this via results/BENCH_concurrency.json).
+func BenchmarkFeedbackThroughput(b *testing.B) {
+	tab, err := sthist.NewTable("x", "y")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	est, err := sthist.Open(tab, sthist.Options{Buckets: 100, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := &syncCounter{}
+	l, _, err := wal.Open(filepath.Join(b.TempDir(), "orders"),
+		wal.Options{Sync: wal.SyncAlways, Observer: obs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	s := NewServer()
+	if err := s.RegisterDurable("orders", est, l); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	// Pre-marshal a cycle of valid feedback bodies so the benchmark measures
+	// the serving pipeline, not client-side JSON encoding.
+	wrng := rand.New(rand.NewSource(23))
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		x, y := wrng.Float64()*800, wrng.Float64()*800
+		body, err := json.Marshal(map[string]any{
+			"table":  "orders",
+			"lo":     []float64{x, y},
+			"hi":     []float64{x + 50 + wrng.Float64()*100, y + 50 + wrng.Float64()*100},
+			"actual": float64(5 + i%40),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = body
+	}
+
+	var next atomic.Int64
+	var rejected atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := payloads[int(next.Add(1))%len(payloads)]
+			req := httptest.NewRequest("POST", "/feedback", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			switch w.Code {
+			case 200:
+			case 429:
+				rejected.Add(1)
+				time.Sleep(time.Millisecond)
+			default:
+				b.Fatalf("feedback answered %d: %s", w.Code, w.Body.Bytes())
+			}
+		}
+	})
+	b.StopTimer()
+	s.DrainFeedback()
+	appends, syncs := obs.counts()
+	accepted := int64(b.N) - rejected.Load()
+	if accepted <= 0 {
+		b.Fatal("every request was rejected")
+	}
+	b.ReportMetric(float64(syncs)/float64(accepted), "fsyncs/op")
+	b.ReportMetric(float64(accepted)/float64(appends), "obs/batch")
+}

@@ -13,6 +13,10 @@
 //   - errflow: error returns of Close/Sync/Write on the durability and
 //     response paths must be consumed, and telemetry metric registrations
 //     must use sthist_* snake_case names with non-empty help strings.
+//   - publish: values handed to an atomic.Pointer Store (the estimator's
+//     snapshot-publication point) must be fully built before the Store and
+//     never written afterwards, and pointers obtained from Load are
+//     read-only views.
 //
 // The suite is stdlib-only: packages are parsed with go/parser and
 // type-checked with go/types against export data obtained from the go
@@ -90,7 +94,7 @@ func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) 
 
 // Analyzers returns the full suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoAlloc(), LockCheck(), Determinism(), ErrFlow()}
+	return []*Analyzer{NoAlloc(), LockCheck(), Determinism(), ErrFlow(), Publish()}
 }
 
 // checkNames returns the set of valid check names (for directive validation).

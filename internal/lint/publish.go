@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Publish returns the analyzer enforcing the snapshot-publication protocol
+// the estimator's read path depends on: a value handed to an
+// atomic.Pointer's Store (or Swap/CompareAndSwap) is frozen at the moment of
+// publication, and a pointer obtained from Load is a read-only view. Readers
+// are wait-free precisely because nothing reachable from a published snapshot
+// is ever written again; a single post-publish store is a data race the race
+// detector only catches when a reader happens to overlap it.
+//
+// Concretely, within each function body the analyzer reports:
+//
+//   - a write through a local pointer at a position after that pointer was
+//     passed to Store/Swap/CompareAndSwap on an atomic.Pointer (build the
+//     snapshot fully, then publish);
+//   - a write through a pointer obtained from an atomic.Pointer's Load or
+//     Swap, whether held in a variable or written through the call directly
+//     (e.snap.Load().f = x).
+//
+// The analysis is source-position based, not flow based: a Store inside a
+// conditional still freezes the pointer for the rest of the function, which
+// errs on the side of reporting. Copying a value out of a snapshot
+// (st := e.snap.Load().stats) and mutating the copy is fine — only writes
+// through the published pointer itself are flagged. The escape hatch is
+// //sthlint:ignore publish <reason>.
+func Publish() *Analyzer {
+	return &Analyzer{
+		Name: "publish",
+		Doc:  "values published via atomic.Pointer must not be written afterwards; loaded snapshots are read-only",
+		Run:  runPublish,
+	}
+}
+
+func runPublish(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPublish(pass, fn.Body)
+		}
+	}
+}
+
+func checkPublish(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: find the publication and load events. published and loaded map
+	// a local object to the earliest position at which it became frozen.
+	published := make(map[types.Object]token.Pos)
+	loaded := make(map[types.Object]token.Pos)
+	note := func(m map[types.Object]token.Pos, obj types.Object, pos token.Pos) {
+		if obj == nil {
+			return
+		}
+		if prev, ok := m[obj]; !ok || pos < prev {
+			m[obj] = pos
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch method, ok := atomicPointerMethod(pass, n); {
+			case !ok:
+			case (method == "Store" || method == "Swap") && len(n.Args) == 1:
+				if id, isIdent := ast.Unparen(n.Args[0]).(*ast.Ident); isIdent {
+					note(published, pass.Info.Uses[id], n.Pos())
+				}
+			case method == "CompareAndSwap" && len(n.Args) == 2:
+				if id, isIdent := ast.Unparen(n.Args[1]).(*ast.Ident); isIdent {
+					note(published, pass.Info.Uses[id], n.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+				if !isCall {
+					continue
+				}
+				if m, ok := atomicPointerMethod(pass, call); !ok || (m != "Load" && m != "Swap") {
+					continue
+				}
+				id, isIdent := n.Lhs[i].(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				note(loaded, obj, n.Pos())
+			}
+		}
+		return true
+	})
+	if len(published) == 0 && len(loaded) == 0 && !containsAtomicLoad(pass, body) {
+		return
+	}
+
+	// Pass 2: flag writes through frozen pointers.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkPublishedWrite(pass, lhs, published, loaded)
+			}
+		case *ast.IncDecStmt:
+			checkPublishedWrite(pass, n.X, published, loaded)
+		}
+		return true
+	})
+}
+
+// checkPublishedWrite inspects one assignment target. A bare identifier is a
+// rebinding of the variable, not a write through the pointer, so only
+// selector/index/deref chains are considered.
+func checkPublishedWrite(pass *Pass, lhs ast.Expr, published, loaded map[types.Object]token.Pos) {
+	if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+		return
+	}
+	obj, viaLoad := publishWriteRoot(pass, lhs)
+	switch {
+	case viaLoad:
+		pass.Reportf("publish", lhs.Pos(),
+			"write to %s mutates a snapshot obtained from an atomic Load; published snapshots are read-only", exprString(lhs))
+	case obj != nil:
+		if pos, ok := loaded[obj]; ok && lhs.Pos() > pos {
+			pass.Reportf("publish", lhs.Pos(),
+				"write to %s mutates a snapshot obtained from an atomic Load; published snapshots are read-only", exprString(lhs))
+		} else if pos, ok := published[obj]; ok && lhs.Pos() > pos {
+			pass.Reportf("publish", lhs.Pos(),
+				"write to %s after %s was published via atomic Store; build the snapshot fully before publishing", exprString(lhs), obj.Name())
+		}
+	}
+}
+
+// publishWriteRoot unwraps a write target down to its root: the leftmost
+// identifier, or — when the chain starts at a call — whether that call is an
+// atomic.Pointer Load/Swap (e.snap.Load().f = x).
+func publishWriteRoot(pass *Pass, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x], false
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if m, ok := atomicPointerMethod(pass, x); ok && (m == "Load" || m == "Swap") {
+				return nil, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// containsAtomicLoad reports whether the body writes through an inline
+// atomic.Pointer Load anywhere — the one frozen-pointer source pass 1's
+// variable tracking cannot see.
+func containsAtomicLoad(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, ok := atomicPointerMethod(pass, call); ok && (m == "Load" || m == "Swap") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// atomicPointerMethod decodes a call of the form x.M(...) where x is an
+// atomic.Pointer and M is one of its publication-relevant methods.
+func atomicPointerMethod(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Store", "Load", "Swap", "CompareAndSwap":
+	default:
+		return "", false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	if !namedTypeIn(selection.Recv(), "atomic", "Pointer") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,103 @@
+// Package publish is a lint fixture mimicking sthist's snapshot estimator:
+// the publish analyzer must reject writes to a snapshot after it was handed
+// to an atomic.Pointer (or obtained from one) and accept the build-then-store
+// discipline the real estimator uses.
+package publish
+
+import "sync/atomic"
+
+// tree stands in for the published histogram.
+type tree struct {
+	total float64
+}
+
+// snapshot stands in for the estimator's immutable serving state.
+type snapshot struct {
+	hist  *tree
+	count int
+}
+
+// estimator publishes snapshots for wait-free readers.
+type estimator struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// GoodPublish is the sanctioned shape: build fully, then store.
+func (e *estimator) GoodPublish() {
+	s := &snapshot{hist: &tree{total: 1}}
+	s.count = 2 // before the Store: still private
+	e.snap.Store(s)
+}
+
+// BadWriteAfterStore mutates the snapshot after publication — a reader may
+// already hold it.
+func (e *estimator) BadWriteAfterStore() {
+	s := &snapshot{}
+	e.snap.Store(s)
+	s.count = 3 // want publish
+}
+
+// BadDeepWriteAfterStore writes through a pointer nested in the published
+// snapshot: everything reachable from it is frozen, not just the top level.
+func (e *estimator) BadDeepWriteAfterStore() {
+	s := &snapshot{hist: &tree{}}
+	e.snap.Store(s)
+	s.hist.total = 2 // want publish
+}
+
+// BadWriteAfterSwap: Swap publishes its argument exactly like Store.
+func (e *estimator) BadWriteAfterSwap() *snapshot {
+	s := &snapshot{}
+	old := e.snap.Swap(s)
+	s.count = 1 // want publish
+	return old
+}
+
+// BadWriteAfterCompareAndSwap: the new value may be visible once CAS ran.
+func (e *estimator) BadWriteAfterCompareAndSwap(old *snapshot) {
+	s := &snapshot{}
+	e.snap.CompareAndSwap(old, s)
+	s.count = 4 // want publish
+}
+
+// BadWriteThroughLoad mutates the live snapshot other readers share.
+func (e *estimator) BadWriteThroughLoad() {
+	s := e.snap.Load()
+	s.count++ // want publish
+}
+
+// BadWriteThroughInlineLoad writes through the Load call directly.
+func (e *estimator) BadWriteThroughInlineLoad() {
+	e.snap.Load().count = 5 // want publish
+}
+
+// BadDeepWriteThroughLoad reaches a nested pointer via an inline Load.
+func (e *estimator) BadDeepWriteThroughLoad() {
+	e.snap.Load().hist.total = 6 // want publish
+}
+
+// GoodReadThroughLoad reads freely; the loaded pointer is never written.
+func (e *estimator) GoodReadThroughLoad() int {
+	s := e.snap.Load()
+	c := s.count
+	c++ // local copy of a field, not the snapshot
+	return c
+}
+
+// GoodValueCopyWrite mutates a struct copied by value out of the snapshot —
+// the published object itself stays untouched.
+func (e *estimator) GoodValueCopyWrite() snapshot {
+	st := *e.snap.Load()
+	st.count = 9
+	return st
+}
+
+// GoodIgnoredRepair shows the escape hatch with a reason. (Rebinding a
+// loaded variable to a private snapshot also lands here: the analysis is
+// position-based, so the rebound variable stays frozen and the author must
+// state why the write is safe.)
+func (e *estimator) GoodIgnoredRepair() {
+	s := e.snap.Load()
+	//sthlint:ignore publish fixture: single-writer repairing its own snapshot
+	s.count = 0
+}

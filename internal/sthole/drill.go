@@ -35,6 +35,11 @@ func (h *Histogram) Drill(q geom.Rect, count CountFunc) {
 	if h.frozen || q.Dims() != h.dims {
 		return
 	}
+	if h.mergeCache == nil {
+		// Snapshot() copies trees without merge scheduling state; build it on
+		// the first drill instead of on every publication.
+		h.resetMergeState()
+	}
 	if !q.IntersectInto(h.root.box, &h.qcScratch) || h.qcScratch.Volume() <= 0 {
 		return
 	}

@@ -138,20 +138,22 @@ func (h *Histogram) GobEncode() ([]byte, error) { return h.MarshalJSON() }
 // GobDecode implements gob.GobDecoder.
 func (h *Histogram) GobDecode(data []byte) error { return h.UnmarshalJSON(data) }
 
+// copySubtree deep-copies b's subtree: fresh boxes, fresh child slices,
+// frequencies preserved, merge bookkeeping (seq) left zero.
+func copySubtree(b *Bucket) *Bucket {
+	nb := &Bucket{box: b.box.Clone(), freq: b.freq}
+	for _, c := range b.children {
+		nb.attach(copySubtree(c))
+	}
+	return nb
+}
+
 // Clone returns a deep copy of the histogram (structure and frequencies;
 // stats and caches start fresh). Used by experiments that train one
 // histogram several ways from the same starting point.
 func (h *Histogram) Clone() *Histogram {
-	var cp func(b *Bucket) *Bucket
-	cp = func(b *Bucket) *Bucket {
-		nb := &Bucket{box: b.box.Clone(), freq: b.freq}
-		for _, c := range b.children {
-			nb.attach(cp(c))
-		}
-		return nb
-	}
 	c := &Histogram{
-		root:       cp(h.root),
+		root:       copySubtree(h.root),
 		maxBuckets: h.maxBuckets,
 		count:      h.count,
 		dims:       h.dims,
@@ -159,4 +161,21 @@ func (h *Histogram) Clone() *Histogram {
 	}
 	c.resetMergeState()
 	return c
+}
+
+// Snapshot returns a deep copy of the histogram intended for read-only
+// publication: the bucket tree, budget, and Stats counters are copied, but
+// the merge scheduling caches are left unbuilt, which makes a snapshot
+// roughly half the cost of Clone. Estimate, Validate, TotalTuples, and the
+// inspection accessors all work on a snapshot; if the copy is ever drilled,
+// the merge state is rebuilt lazily on first use.
+func (h *Histogram) Snapshot() *Histogram {
+	return &Histogram{
+		root:       copySubtree(h.root),
+		maxBuckets: h.maxBuckets,
+		count:      h.count,
+		dims:       h.dims,
+		frozen:     h.frozen,
+		Stats:      h.Stats,
+	}
 }

@@ -181,6 +181,9 @@ func (h *Histogram) forget(b *Bucket) {
 // enforceBudget merges lowest-penalty pairs until the bucket count is within
 // budget.
 func (h *Histogram) enforceBudget() {
+	if h.mergeCache == nil && h.count > h.maxBuckets {
+		h.resetMergeState() // snapshot drilled or re-budgeted before any Drill
+	}
 	for h.count > h.maxBuckets {
 		h.performBestMerge()
 	}
@@ -314,6 +317,11 @@ func (h *Histogram) performBestMerge() {
 // of every parent with >= 2 children. A coverage hole would silently exclude
 // a candidate from budget enforcement.
 func (h *Histogram) validateMergeState() error {
+	if h.mergeCache == nil {
+		// A Snapshot() carries no merge state at all; it is rebuilt from the
+		// tree on the first drill, so there is no coverage to check yet.
+		return nil
+	}
 	onHeap := make(map[*parentMergeEntry]bool)
 	sibOnHeap := make(map[*siblingMergeEntry]bool)
 	for _, it := range h.merges {

@@ -94,6 +94,7 @@ type Recorder struct {
 	estimateDur  *Histogram
 	mergeDur     *Histogram
 	mergePenalty *Histogram
+	publishDur   *Histogram
 	rollingMAE   *Gauge
 	rollingNAE   *Gauge
 	rollingN     *Gauge
@@ -211,6 +212,15 @@ func (r *Recorder) RecordEstimate(d time.Duration) {
 	}
 	r.estimates.Inc()
 	r.estimateDur.Observe(d.Seconds())
+}
+
+// RecordPublish observes one snapshot publication latency: the cost of
+// deep-copying the working tree and swapping it into the serving pointer.
+func (r *Recorder) RecordPublish(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.publishDur.Observe(d.Seconds())
 }
 
 // RecordQuarantine counts one quarantine event (invariant violation or

@@ -103,6 +103,7 @@ func (t *Telemetry) Table(name string) *Recorder {
 		estimateDur:  t.reg.Histogram("sthist_estimate_duration_seconds", "Serving-path estimate latency.", LatencyBuckets(), lbl),
 		mergeDur:     t.reg.Histogram("sthist_merge_duration_seconds", "Latency of individual bucket merges.", LatencyBuckets(), lbl),
 		mergePenalty: t.reg.Histogram("sthist_merge_penalty", "Penalty (Eq. 2, in tuples) of executed merges.", PenaltyBuckets(), lbl),
+		publishDur:   t.reg.Histogram("sthist_snapshot_publish_duration_seconds", "Latency of publishing a new immutable histogram snapshot.", LatencyBuckets(), lbl),
 		rollingMAE:   t.reg.Gauge("sthist_rolling_mae", "Rolling-window mean absolute error (Eq. 9) over the live feedback stream.", lbl),
 		rollingNAE:   t.reg.Gauge("sthist_rolling_nae", "Rolling-window normalized absolute error (Eq. 10) over the live feedback stream.", lbl),
 		rollingN:     t.reg.Gauge("sthist_rolling_window_rounds", "Feedback rounds currently in the rolling accuracy window.", lbl),

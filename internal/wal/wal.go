@@ -242,21 +242,55 @@ func (l *Log) atomicWrite(name string, data []byte) error {
 func (l *Log) Append(r Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var one [1]Record
+	one[0] = r
+	return l.appendBatchLocked(one[:])
+}
+
+// AppendBatch is the group-commit primitive: it frames every record in recs,
+// writes all frames to the active segment with a single Write, and performs
+// at most one fsync for the whole batch (per policy). Sequence numbers are
+// assigned contiguously by the log — recs[i] becomes firstSeq+i, and the
+// passed Seq fields are ignored. An empty batch is a no-op.
+//
+// On error nothing is acknowledged and the sticky-error rule applies
+// exactly as for Append. As with a failed single append, a crash or write
+// failure mid-batch can still leave a durable prefix of the batch's frames;
+// recovery replays that prefix (and drops the torn frame that follows), so
+// callers get at-least-once semantics either way. The Observer sees one
+// ObserveAppend and at most one ObserveSync per batch — fsyncs-per-record
+// under load is how group-commit effectiveness is measured.
+func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendBatchLocked(recs)
+}
+
+func (l *Log) appendBatchLocked(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
 	if l.err != nil {
 		return 0, fmt.Errorf("wal: log is failed (checkpoint to recover): %w", l.err)
 	}
-	r.Seq = l.lastSeq + 1
 	obs := l.opts.Observer
 	var start time.Time
 	if obs != nil {
 		start = time.Now()
 	}
-	buf, err := appendFrame(l.buf[:0], r)
-	if err != nil {
-		if obs != nil {
-			obs.ObserveAppend(time.Since(start), err)
+	firstSeq := l.lastSeq + 1
+	buf := l.buf[:0]
+	var err error
+	for i := range recs {
+		r := recs[i]
+		r.Seq = firstSeq + uint64(i)
+		buf, err = appendFrame(buf, r)
+		if err != nil {
+			if obs != nil {
+				obs.ObserveAppend(time.Since(start), err)
+			}
+			return 0, err
 		}
-		return 0, err
 	}
 	l.buf = buf
 	if _, err := l.f.Write(buf); err != nil {
@@ -284,8 +318,8 @@ func (l *Log) Append(r Record) (uint64, error) {
 			obs.ObserveSync(time.Since(start), nil)
 		}
 	}
-	l.lastSeq = r.Seq
-	return r.Seq, nil
+	l.lastSeq = firstSeq + uint64(len(recs)) - 1
+	return firstSeq, nil
 }
 
 // Checkpoint makes snapshot the new recovery base and starts an empty

@@ -31,6 +31,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sthist/internal/core"
@@ -104,32 +105,64 @@ type Options struct {
 	ValidateEvery int
 }
 
+// snapshot is the immutable serving state of an estimator: a read-only deep
+// copy of the histogram plus the structural stats and health computed at
+// publication time. A snapshot is fully constructed before it is stored in
+// Estimator.snap and never written afterwards, so readers can use it without
+// synchronization; old snapshots are reclaimed by the garbage collector once
+// the last reader drops its reference (the RCU memory-reclamation argument).
+type snapshot struct {
+	hist   *sthole.Histogram
+	stats  TableStats
+	health Health
+}
+
 // Estimator is the user-facing selectivity estimator: an STHoles histogram
 // (optionally initialized by subspace clustering) plus an exact-count index
 // over the build-time snapshot of the data for training simulations.
 //
-// Estimator is safe for concurrent use: estimates take a read lock, feedback
-// and training take a write lock. The Histogram accessor returns the live
-// histogram without synchronization and is intended for single-goroutine
-// inspection.
+// Estimator is safe for concurrent use and follows a read-copy-update
+// design: Estimate, Selectivity, Health, StatsSnapshot, SaveHistogram, and
+// Histogram are wait-free reads of an immutable published snapshot, while
+// all mutation (Feedback, FeedbackWith, FeedbackBatch, Train, LoadHistogram,
+// Quarantine) serializes on a writer mutex, drills a private working tree,
+// and publishes a fresh snapshot whenever the tree or health state changed.
+// A feedback round that drills nothing (the steady state) publishes nothing
+// and stays allocation-free.
 type Estimator struct {
-	mu       sync.RWMutex
-	hist     *sthole.Histogram // guarded by mu
-	idx      *index.KDTree     // immutable after Open
-	domain   Rect              // immutable after Open
-	clusters []Cluster         // immutable after Open
+	// snap is the published serving state; see type snapshot. Written only
+	// by publishLocked under wmu, loaded without synchronization everywhere.
+	snap atomic.Pointer[snapshot]
+
+	idx      *index.KDTree // immutable after Open
+	domain   Rect          // immutable after Open
+	clusters []Cluster     // immutable after Open
+
+	// Writer state: the private working tree and everything the mutation
+	// path touches. wmu serializes writers; readers never take it.
+	wmu  sync.Mutex
+	work *sthole.Histogram // the live tree being drilled; guarded by wmu
 
 	// Degradation state. The histogram is accumulated feedback; rather than
 	// panicking or serving garbage when its invariants break (a bug, or a
-	// caller mutating a Box() in place), the estimator quarantines it:
-	// the live tree is replaced by the last validated snapshot (or, failing
+	// caller mutating the working tree), the estimator quarantines it: the
+	// working tree is replaced by the last validated snapshot (or, failing
 	// that, a uniform single-bucket histogram) and serving continues.
 	validateEvery int               // drills between invariant checks; <0 disables; immutable after Open
-	sinceValidate int               // drills since the last check; guarded by mu
-	lastGood      *sthole.Histogram // last snapshot that passed Validate; guarded by mu
-	degraded      bool              // true from quarantine until a clean validate; guarded by mu
-	quarantines   int               // total quarantine events; guarded by mu
-	lastErr       error             // cause of the most recent quarantine; guarded by mu
+	sinceValidate int               // drills since the last check; guarded by wmu
+	lastGood      *sthole.Histogram // last snapshot that passed Validate; guarded by wmu
+	degraded      bool              // true from quarantine until a clean validate; guarded by wmu
+	quarantines   int               // total quarantine events; guarded by wmu
+	lastErr       error             // cause of the most recent quarantine; guarded by wmu
+
+	// Maintenance counters mirrored from work.Stats after every round, so
+	// StatsSnapshot stays wait-free and exact even between publications
+	// (rounds that drill nothing bump Queries without publishing).
+	ctrQueries atomic.Int64
+	ctrDrills  atomic.Int64
+	ctrSkipped atomic.Int64
+	ctrPC      atomic.Int64
+	ctrSib     atomic.Int64
 
 	// Telemetry (optional, see SetRecorder). rec is nil when disabled; the
 	// nil path adds a single branch to the feedback round and keeps it
@@ -140,7 +173,7 @@ type Estimator struct {
 }
 
 // mergeTap adapts the estimator to sthole.MergeObserver without exposing the
-// callback on the public API. It runs inside Drill, under the write lock.
+// callback on the public API. It runs inside Drill, under the writer lock.
 type mergeTap struct{ e *Estimator }
 
 func (t mergeTap) ObserveMerge(kind sthole.MergeKind, penalty float64, d time.Duration) {
@@ -151,24 +184,25 @@ func (t mergeTap) ObserveMerge(kind sthole.MergeKind, penalty float64, d time.Du
 
 // SetRecorder wires a telemetry recorder into the estimator: every feedback
 // round is captured as a flight-recorder trace event and folded into the
-// rolling accuracy window, and every merge is observed with its kind and
-// penalty. Pass nil to detach. Call before serving traffic — the recorder
-// reference is read without synchronization on the validation fast path.
+// rolling accuracy window, every merge is observed with its kind and
+// penalty, and every snapshot publication records its latency. Pass nil to
+// detach. Call before serving traffic — the recorder reference is read
+// without synchronization on the validation fast path.
 func (e *Estimator) SetRecorder(rec *telemetry.Recorder) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
 	e.rec = rec
 	e.installTapLocked()
 }
 
-// installTapLocked (re)installs the merge tap on the live histogram; called
-// whenever e.hist is replaced (quarantine, LoadHistogram).
+// installTapLocked (re)installs the merge tap on the working histogram;
+// called whenever e.work is replaced (quarantine, LoadHistogram).
 func (e *Estimator) installTapLocked() {
 	if e.rec == nil {
-		e.hist.SetMergeObserver(nil)
+		e.work.SetMergeObserver(nil)
 		return
 	}
-	e.hist.SetMergeObserver(mergeTap{e})
+	e.work.SetMergeObserver(mergeTap{e})
 }
 
 // DefaultValidateEvery is the default amortized invariant-check period, in
@@ -217,7 +251,7 @@ func Open(tab *Table, opts Options) (*Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Estimator{hist: hist, idx: idx, domain: domain}
+	e := &Estimator{work: hist, idx: idx, domain: domain}
 	switch {
 	case opts.ValidateEvery > 0:
 		e.validateEvery = opts.ValidateEvery
@@ -225,7 +259,8 @@ func Open(tab *Table, opts Options) (*Estimator, error) {
 		e.validateEvery = DefaultValidateEvery
 	} // negative: disabled (stays 0)
 	if opts.SkipInitialization {
-		e.lastGood = e.hist.Clone()
+		e.lastGood = e.work.Clone()
+		e.publishLocked()
 		return e, nil
 	}
 	ccfg := opts.Clustering
@@ -250,20 +285,20 @@ func Open(tab *Table, opts Options) (*Estimator, error) {
 		return nil, err
 	}
 	e.clusters = clusters
-	e.lastGood = e.hist.Clone()
+	e.lastGood = e.work.Clone()
+	e.publishLocked()
 	return e, nil
 }
 
 // Estimate returns the estimated number of tuples matching the range
-// predicate q.
+// predicate q. The read is wait-free: it walks the current published
+// snapshot and performs no locking and no allocation.
 func (e *Estimator) Estimate(q Rect) float64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.hist.Estimate(q)
+	return e.snap.Load().hist.Estimate(q)
 }
 
 // Selectivity returns Estimate(q) divided by the total tuple count, or 0
-// when the estimator holds no tuples (instead of NaN).
+// when the estimator holds no tuples (instead of NaN). Wait-free.
 func (e *Estimator) Selectivity(q Rect) float64 {
 	total := float64(e.idx.Total())
 	if total <= 0 {
@@ -307,14 +342,18 @@ func (e *Estimator) Feedback(q Rect, actual float64) error {
 		return err
 	}
 	vol := q.Volume()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.drillLocked(q, func(r Rect) float64 {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	changed, err := e.drillLocked(q, func(r Rect) float64 {
 		if vol <= 0 {
 			return actual
 		}
 		return actual * q.IntersectionVolume(r) / vol
 	}, actual, true)
+	if changed {
+		e.publishLocked()
+	}
+	return err
 }
 
 // FeedbackWith refines the histogram with exact sub-rectangle counts from an
@@ -328,45 +367,107 @@ func (e *Estimator) FeedbackWith(q Rect, count func(r Rect) float64) error {
 	if q.Dims() != e.domain.Dims() {
 		return fmt.Errorf("sthist: feedback query has %d dimensions, estimator domain has %d", q.Dims(), e.domain.Dims())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.drillLocked(q, count, 0, false)
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	changed, err := e.drillLocked(q, count, 0, false)
+	if changed {
+		e.publishLocked()
+	}
+	return err
+}
+
+// Observation is one feedback round for FeedbackBatch: the executed range
+// predicate and its observed true cardinality.
+type Observation struct {
+	Query  Rect
+	Actual float64
+}
+
+// FeedbackBatch applies a batch of observations under a single writer-lock
+// acquisition and publishes at most one new snapshot for the whole batch —
+// the group-apply half of the server's group-commit path. Each observation
+// is validated and drilled exactly as Feedback would; the returned slice is
+// aligned with obs, holding nil for every applied observation and the
+// rejection or quarantine error otherwise. Applying continues past
+// failures: one bad observation does not poison the batch.
+func (e *Estimator) FeedbackBatch(obs []Observation) []error {
+	if len(obs) == 0 {
+		return nil
+	}
+	errs := make([]error, len(obs))
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	changed := false
+	for i := range obs {
+		q, actual := obs[i].Query, obs[i].Actual
+		if err := e.ValidateFeedback(q, actual); err != nil {
+			e.rec.RecordRejected()
+			errs[i] = err
+			continue
+		}
+		vol := q.Volume()
+		ch, err := e.drillLocked(q, func(r Rect) float64 {
+			if vol <= 0 {
+				return actual
+			}
+			return actual * q.IntersectionVolume(r) / vol
+		}, actual, true)
+		changed = changed || ch
+		errs[i] = err
+	}
+	if changed {
+		e.publishLocked()
+	}
+	return errs
 }
 
 // Train replays a workload against the build-time data snapshot with exact
 // counts — the simulation loop of the paper. Useful for warming up the
-// histogram before serving estimates.
+// histogram before serving estimates. The whole replay publishes one
+// snapshot at the end.
 func (e *Estimator) Train(queries []Rect) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	changed := false
 	for _, q := range queries {
 		// Exact counts from our own index cannot fail validation; drill
 		// errors (recovered panics) quarantine internally.
-		_ = e.drillLocked(q, e.exact, 0, false)
+		ch, _ := e.drillLocked(q, e.exact, 0, false)
+		changed = changed || ch
+	}
+	if changed {
+		e.publishLocked()
 	}
 }
 
-// drillLocked applies one drill under the write lock, recovering from a
-// panicking maintenance path and running the amortized invariant check.
+// drillLocked applies one drill under the writer lock, recovering from a
+// panicking maintenance path and running the amortized invariant check. It
+// reports whether the round changed observable state (tree structure,
+// degradation, or quarantine count) — the caller publishes a new snapshot
+// exactly when it did, so steady-state rounds that drill nothing publish
+// nothing and stay allocation-free.
 //
 // actual is the observed whole-query cardinality when haveActual is true;
 // otherwise the instrumented path obtains it with one extra count(q) call
 // (exact-count feedback sources return the true value for the full query).
 // With no recorder attached the round takes the lean path: no timestamps, no
 // pre-estimate, no allocations.
-func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc, actual float64, haveActual bool) (err error) {
+func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc, actual float64, haveActual bool) (changed bool, err error) {
 	rec := e.rec
+	drills0 := e.work.Stats.Drills
+	quar0 := e.quarantines
+	deg0 := e.degraded
 	var start time.Time
 	var preEst float64
 	var statsBefore sthole.Stats
 	if rec != nil {
 		start = time.Now()
-		preEst = e.hist.Estimate(q)
+		preEst = e.work.Estimate(q)
 		if !haveActual {
 			actual = count(q)
 		}
 		e.mergeScratch = e.mergeScratch[:0]
-		statsBefore = e.hist.Stats
+		statsBefore = e.work.Stats
 	}
 	defer func() {
 		if p := recover(); p != nil {
@@ -374,23 +475,26 @@ func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc, actual float64, 
 			// trusted; degrade instead of taking the process down.
 			e.quarantineLocked(fmt.Errorf("sthist: panic during drill: %v", p))
 			err = fmt.Errorf("sthist: feedback dropped, histogram quarantined: %v", p)
+			changed = true
 		}
+		e.syncCountersLocked()
 	}()
-	e.hist.Drill(q, count)
+	e.work.Drill(q, count)
 	if e.validateEvery > 0 {
 		e.sinceValidate++
 		if e.sinceValidate >= e.validateEvery {
 			e.sinceValidate = 0
-			if verr := e.hist.Validate(); verr != nil {
+			if verr := e.work.Validate(); verr != nil {
 				e.quarantineLocked(verr)
 			} else {
-				e.lastGood = e.hist.Clone()
+				e.lastGood = e.work.Clone()
 				e.degraded = false
 			}
 		}
 	}
+	changed = e.work.Stats.Drills != drills0 || e.quarantines != quar0 || e.degraded != deg0
 	if rec != nil {
-		st := e.hist.Stats
+		st := e.work.Stats
 		// A quarantine mid-round replaces the histogram (fresh stats); clamp
 		// the deltas so the counters never go backwards.
 		drills := st.Drills - statsBefore.Drills
@@ -417,50 +521,22 @@ func (e *Estimator) drillLocked(q Rect, count sthole.CountFunc, actual float64, 
 			Duration: time.Since(start),
 		})
 	}
-	return nil
+	return changed, nil
 }
 
-// quarantineLocked replaces the live histogram after an invariant violation:
-// first with a clone of the last validated snapshot, or — should that also
-// fail validation — with the uniform single-bucket histogram over the
-// domain. Serving continues either way; Health reports the degradation.
-func (e *Estimator) quarantineLocked(cause error) {
-	e.quarantines++
-	e.lastErr = cause
-	e.degraded = true
-	e.rec.RecordQuarantine()
-	defer e.installTapLocked() // the replacement histogram needs the merge tap
-	if e.lastGood != nil {
-		restored := e.lastGood.Clone()
-		if restored.Validate() == nil {
-			e.hist = restored
-			return
-		}
-	}
-	budget := 1
-	if e.hist != nil && e.hist.MaxBuckets() > 0 {
-		budget = e.hist.MaxBuckets()
-	}
-	if h, err := sthole.New(e.domain, budget, float64(e.idx.Total())); err == nil {
-		e.hist = h
-		e.lastGood = h.Clone()
-	}
+// syncCountersLocked mirrors the working tree's maintenance counters into
+// the atomics read by StatsSnapshot. Plain stores — no allocation.
+func (e *Estimator) syncCountersLocked() {
+	st := &e.work.Stats
+	e.ctrQueries.Store(int64(st.Queries))
+	e.ctrDrills.Store(int64(st.Drills))
+	e.ctrSkipped.Store(int64(st.SkippedExactDrills))
+	e.ctrPC.Store(int64(st.ParentChildMerges))
+	e.ctrSib.Store(int64(st.SiblingMerges))
 }
 
-// Quarantine forces a degradation cycle, as if an invariant check had
-// failed: the live histogram is discarded in favor of the last good
-// snapshot (or uniform fallback). Servers call this when a request handler
-// recovers a panic that implicates a table's estimator.
-func (e *Estimator) Quarantine(cause error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.quarantineLocked(cause)
-}
-
-// Health reports the estimator's degradation state.
-func (e *Estimator) Health() Health {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+// healthLocked assembles the Health view of the current writer state.
+func (e *Estimator) healthLocked() Health {
 	h := Health{State: "ok", Quarantines: e.quarantines, ValidateEvery: e.validateEvery}
 	if e.degraded {
 		h.State = "degraded"
@@ -471,13 +547,91 @@ func (e *Estimator) Health() Health {
 	return h
 }
 
+// publishLocked snapshots the working tree and swaps it in as the serving
+// state. The snapshot is fully built before the Store — after publication
+// it is never written again (sthlint's publish check enforces this).
+func (e *Estimator) publishLocked() {
+	rec := e.rec
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	h := e.work.Snapshot()
+	s := &snapshot{
+		hist: h,
+		stats: TableStats{
+			Buckets:            h.BucketCount(),
+			MaxBuckets:         h.MaxBuckets(),
+			TreeDepth:          h.Depth(),
+			Queries:            h.Stats.Queries,
+			Drills:             h.Stats.Drills,
+			SkippedExactDrills: h.Stats.SkippedExactDrills,
+			ParentChildMerges:  h.Stats.ParentChildMerges,
+			SiblingMerges:      h.Stats.SiblingMerges,
+			SubspaceBuckets:    len(h.SubspaceBuckets()),
+			TotalTuples:        h.TotalTuples(),
+		},
+		health: e.healthLocked(),
+	}
+	e.snap.Store(s)
+	if rec != nil {
+		rec.RecordPublish(time.Since(start))
+	}
+}
+
+// quarantineLocked replaces the working histogram after an invariant
+// violation: first with a clone of the last validated snapshot, or — should
+// that also fail validation — with the uniform single-bucket histogram over
+// the domain. Serving continues either way; Health reports the degradation.
+func (e *Estimator) quarantineLocked(cause error) {
+	e.quarantines++
+	e.lastErr = cause
+	e.degraded = true
+	e.rec.RecordQuarantine()
+	defer e.installTapLocked() // the replacement histogram needs the merge tap
+	if e.lastGood != nil {
+		restored := e.lastGood.Clone()
+		if restored.Validate() == nil {
+			e.work = restored
+			return
+		}
+	}
+	budget := 1
+	if e.work != nil && e.work.MaxBuckets() > 0 {
+		budget = e.work.MaxBuckets()
+	}
+	if h, err := sthole.New(e.domain, budget, float64(e.idx.Total())); err == nil {
+		e.work = h
+		e.lastGood = h.Clone()
+	}
+}
+
+// Quarantine forces a degradation cycle, as if an invariant check had
+// failed: the working histogram is discarded in favor of the last good
+// snapshot (or uniform fallback), and the replacement is published. Servers
+// call this when a request handler recovers a panic that implicates a
+// table's estimator.
+func (e *Estimator) Quarantine(cause error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.quarantineLocked(cause)
+	e.syncCountersLocked()
+	e.publishLocked()
+}
+
+// Health reports the estimator's degradation state as of the last published
+// snapshot. Wait-free.
+func (e *Estimator) Health() Health {
+	return e.snap.Load().health
+}
+
 func (e *Estimator) exact(r Rect) float64 { return float64(e.idx.Count(r)) }
 
 // TableStats is a consistent snapshot of the histogram's structure and
-// maintenance counters, taken under the estimator's lock — the raw material
-// of the /stats endpoint and the telemetry structural gauges. Reading the
-// same numbers through Histogram() races with concurrent feedback; use this
-// instead when the estimator is being served.
+// maintenance counters — the raw material of the /stats endpoint and the
+// telemetry structural gauges. Structural numbers (buckets, depth, tuples)
+// describe the last published snapshot; the maintenance counters are exact
+// as of the last completed feedback round.
 type TableStats struct {
 	Buckets            int     `json:"buckets"`
 	MaxBuckets         int     `json:"max_buckets"`
@@ -491,45 +645,39 @@ type TableStats struct {
 	TotalTuples        float64 `json:"total_tuples"`
 }
 
-// StatsSnapshot returns the histogram structure and maintenance counters
-// under the read lock, so it is safe against concurrent feedback.
+// StatsSnapshot returns the histogram structure and maintenance counters.
+// Wait-free: structure comes from the published snapshot, counters from the
+// atomic mirrors updated after every round.
 func (e *Estimator) StatsSnapshot() TableStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	h := e.hist
-	return TableStats{
-		Buckets:            h.BucketCount(),
-		MaxBuckets:         h.MaxBuckets(),
-		TreeDepth:          h.Depth(),
-		Queries:            h.Stats.Queries,
-		Drills:             h.Stats.Drills,
-		SkippedExactDrills: h.Stats.SkippedExactDrills,
-		ParentChildMerges:  h.Stats.ParentChildMerges,
-		SiblingMerges:      h.Stats.SiblingMerges,
-		SubspaceBuckets:    len(h.SubspaceBuckets()),
-		TotalTuples:        h.TotalTuples(),
-	}
+	st := e.snap.Load().stats
+	st.Queries = int(e.ctrQueries.Load())
+	st.Drills = int(e.ctrDrills.Load())
+	st.SkippedExactDrills = int(e.ctrSkipped.Load())
+	st.ParentChildMerges = int(e.ctrPC.Load())
+	st.SiblingMerges = int(e.ctrSib.Load())
+	return st
 }
 
 // TrueCount returns the exact number of tuples in q in the build-time
 // snapshot.
 func (e *Estimator) TrueCount(q Rect) float64 { return e.exact(q) }
 
-// Histogram exposes the underlying histogram for inspection (bucket dumps,
-// serialization, subspace-bucket queries). The pointer is read without the
-// lock: single-goroutine callers (the benchmark and evaluation paths) use it
-// between feedback rounds, and concurrent callers must not mutate through it.
-//
-//sthlint:ignore lockcheck documented unsynchronized accessor for single-goroutine inspection
-func (e *Estimator) Histogram() *Histogram { return e.hist }
+// Histogram returns the last published histogram snapshot for inspection
+// (bucket dumps, serialization, subspace-bucket queries). The snapshot is
+// immutable from the estimator's point of view: it is safe to read from any
+// goroutine while feedback continues, and later feedback does not alter it —
+// call Histogram again for a fresh view. Mutating the returned tree (e.g.
+// drilling it directly, or writing through an exposed Box) affects only the
+// caller's copy, never the serving state.
+func (e *Estimator) Histogram() *Histogram { return e.snap.Load().hist }
 
 // SaveHistogram persists the current histogram as JSON. The saved form can
 // be reloaded into a fresh estimator over the same (or refreshed) data with
-// LoadHistogram, so a warm histogram survives process restarts.
+// LoadHistogram, so a warm histogram survives process restarts. Wait-free:
+// it marshals the published snapshot, which by construction reflects every
+// structural change applied so far.
 func (e *Estimator) SaveHistogram(w io.Writer) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	data, err := json.Marshal(e.hist)
+	data, err := json.Marshal(e.snap.Load().hist)
 	if err != nil {
 		return err
 	}
@@ -542,7 +690,7 @@ func (e *Estimator) SaveHistogram(w io.Writer) error {
 // domain, and its structural invariants are verified before it is installed,
 // so a corrupt or hand-crafted snapshot cannot poison the serving tree. A
 // successful load clears any degradation state — the snapshot becomes the
-// new "last good" recovery point.
+// new "last good" recovery point — and publishes immediately.
 func (e *Estimator) LoadHistogram(r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -560,29 +708,33 @@ func (e *Estimator) LoadHistogram(r io.Reader) error {
 	if err := h.Validate(); err != nil {
 		return fmt.Errorf("sthist: rejecting invalid histogram: %w", err)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.hist = &h
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.work = &h
 	e.lastGood = h.Clone()
 	e.degraded = false
 	e.sinceValidate = 0
 	e.installTapLocked()
+	e.syncCountersLocked()
+	e.publishLocked()
 	return nil
 }
 
 // Clusters returns the subspace clusters used for initialization (nil when
-// initialization was skipped), in descending importance order.
+// initialization was skipped), in descending importance order. The slice is
+// fixed at Open and never mutated afterwards, so it is safe to read from any
+// goroutine while feedback continues.
 func (e *Estimator) Clusters() []Cluster { return e.clusters }
 
-// Domain returns the estimation domain.
+// Domain returns the estimation domain. Fixed at Open; safe for concurrent
+// use.
 func (e *Estimator) Domain() Rect { return e.domain }
 
 // MeanAbsoluteError evaluates the estimator over a workload against the
-// build-time snapshot.
+// build-time snapshot. The evaluation runs on the published snapshot, so it
+// does not block concurrent feedback.
 func (e *Estimator) MeanAbsoluteError(queries []Rect) (float64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return metrics.MeanAbsoluteError(e.hist, queries, e.exact)
+	return metrics.MeanAbsoluteError(e.snap.Load().hist, queries, e.exact)
 }
 
 // NormalizedError evaluates the estimator over a workload, normalized by the
@@ -594,7 +746,5 @@ func (e *Estimator) NormalizedError(queries []Rect) (float64, error) {
 	if total <= 0 {
 		return 0, fmt.Errorf("sthist: normalized error undefined over an empty table")
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return metrics.NormalizedAbsoluteError(e.hist, queries, e.exact, e.domain, total)
+	return metrics.NormalizedAbsoluteError(e.snap.Load().hist, queries, e.exact, e.domain, total)
 }

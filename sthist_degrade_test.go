@@ -68,18 +68,21 @@ func MustRect(lo, hi []float64) Rect {
 	return r
 }
 
-// corruptChildBox breaks a structural invariant of the live histogram the
-// way a buggy Box() caller can: Box() exposes the bucket's corner slices, so
-// writing through them moves the child outside its parent.
+// corruptChildBox breaks a structural invariant of the working histogram the
+// way an internal bug can: a child box is moved outside its parent. The
+// published snapshot is immune to Box() writers now (Histogram() returns a
+// copy), so the corruption is injected directly into the writer-side tree.
 func corruptChildBox(t *testing.T, est *Estimator) {
 	t.Helper()
-	root := est.Histogram().Root()
+	est.wmu.Lock()
+	defer est.wmu.Unlock()
+	root := est.work.Root()
 	if len(root.Children()) == 0 {
 		t.Fatal("histogram has no child buckets to corrupt")
 	}
 	child := root.Children()[0]
 	child.Box().Lo[0] = root.Box().Lo[0] - 1e6
-	if est.Histogram().Validate() == nil {
+	if est.work.Validate() == nil {
 		t.Fatal("corruption did not break an invariant")
 	}
 }

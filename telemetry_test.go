@@ -79,7 +79,7 @@ func TestFeedbackSteadyStateZeroAllocs(t *testing.T) {
 	qs := workload.MustGenerate(ds.Domain, workload.Config{
 		VolumeFraction: 0.01, N: 64, Seed: 7,
 	}, ds.Table)
-	steady := func(r Rect) float64 { return est.hist.Estimate(r) }
+	steady := func(r Rect) float64 { return est.work.Estimate(r) }
 	for _, q := range qs { // converge + warm scratch buffers
 		if err := est.FeedbackWith(q, steady); err != nil {
 			t.Fatal(err)
