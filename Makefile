@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency obs-demo examples experiments cover
+.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift obs-demo examples experiments cover
 
 all: build vet lint test
 
@@ -75,6 +75,17 @@ bench-concurrency:
 		-pkg ./internal/httpapi -bench 'BenchmarkFeedbackThroughput$$' -benchtime 2000x -count 3 \
 		-guard-metric-bench 'BenchmarkFeedbackThroughput' \
 		-guard-metric 'fsyncs/op' -guard-metric-max 1
+
+# Drift overhead guard: a drift-enabled table whose workload is NOT drifting
+# must pay < 5% on the feedback path for the detector tick + reservoir sample
+# it runs per commit. Results land in results/BENCH_drift.json. sthlint runs
+# in the same step so the drift code stays inside the repo's invariants.
+bench-drift: lint
+	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_drift.json \
+		-pkg ./internal/httpapi -bench 'BenchmarkFeedbackDrift$$' -benchtime 300x -count 6 \
+		-guard-base 'BenchmarkFeedbackDrift/drift=off' \
+		-guard-subject 'BenchmarkFeedbackDrift/drift=on' \
+		-guard-max-ratio 1.05
 
 # Observability walkthrough: rolling NAE decay + /metrics + /debug/trace.
 obs-demo:

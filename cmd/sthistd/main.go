@@ -24,10 +24,22 @@
 // batch, -batch-window optionally waits for stragglers). A full queue
 // answers 429 with Retry-After instead of buffering unboundedly.
 //
+// With -drift set, each table additionally runs the drift-adaptation loop
+// (see internal/drift): a detector watches the rolling NAE from telemetry
+// and, when the error stays above -drift-nae for -drift-window consecutive
+// rounds, re-clusters a reservoir of recent feedback into a candidate
+// histogram, shadow-scores it against the live one for -reseed-probation
+// rounds, and atomically promotes it if it wins. Promotions are journaled to
+// the WAL as reseed records, so recovery replays them exactly.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: /healthz flips to 503,
 // in-flight requests drain, the feedback queues commit their tails, and
 // every table is checkpointed before the process exits — feedback that was
-// answered 200 is on disk.
+// answered 200 is on disk. Drift interacts cleanly with the drain: a
+// promotion that happened is already journaled (and captured by the final
+// checkpoint), while an unresolved probation or in-flight candidate build is
+// simply discarded — if the drift is real, the detector fires again after
+// restart once the feedback floor is met.
 package main
 
 import (
@@ -50,6 +62,7 @@ import (
 	"sthist"
 	"sthist/internal/datagen"
 	"sthist/internal/dataset"
+	"sthist/internal/drift"
 	"sthist/internal/httpapi"
 	"sthist/internal/telemetry"
 	"sthist/internal/wal"
@@ -80,6 +93,8 @@ type config struct {
 	queueDepth    int
 	batchMax      int
 	batchWindow   time.Duration
+	drift         bool
+	driftCfg      drift.Config
 }
 
 // daemon is the assembled server: the HTTP surface plus the write-ahead
@@ -132,6 +147,22 @@ func setup(args []string) (*daemon, error) {
 	slowQuery := fs.Duration("slow-query", telemetry.DefaultSlowThreshold, "log feedback rounds at or above this latency (0 disables)")
 	traceEvents := fs.Int("trace-events", telemetry.DefaultTraceEvents, "flight-recorder ring capacity per table")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for /debug/pprof, /metrics and /debug/trace (empty = off)")
+	driftOn := fs.Bool("drift", false, "enable drift-adaptive re-seeding (requires -telemetry)")
+	driftDefaults := drift.DefaultConfig()
+	driftNAE := fs.Float64("drift-nae", driftDefaults.NAEThreshold,
+		"rolling NAE above which the workload counts as drifted")
+	driftWindow := fs.Int("drift-window", driftDefaults.Sustain,
+		"consecutive over-threshold rounds before the detector fires")
+	driftMinRounds := fs.Int("drift-min-rounds", driftDefaults.MinRounds,
+		"feedback rounds the rolling window must cover before the detector arms")
+	driftCooldown := fs.Int("drift-cooldown", driftDefaults.Cooldown,
+		"rounds ignored after a probation resolves before the detector can fire again")
+	driftReservoir := fs.Int("drift-reservoir", driftDefaults.ReservoirSize,
+		"feedback reservoir capacity the re-seeder clusters")
+	reseedProbation := fs.Int("reseed-probation", driftDefaults.Probation,
+		"rounds a re-seeded candidate is shadow-scored before promote/reject")
+	reseedRatio := fs.Float64("reseed-ratio", driftDefaults.PromoteRatio,
+		"promote the candidate when its probation error is <= ratio * live error")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -156,6 +187,23 @@ func setup(args []string) (*daemon, error) {
 	if *batchWindow < 0 {
 		return nil, fmt.Errorf("bad -batch-window %v (want >= 0)", *batchWindow)
 	}
+	dcfg := drift.Config{
+		NAEThreshold:  *driftNAE,
+		Sustain:       *driftWindow,
+		MinRounds:     *driftMinRounds,
+		Cooldown:      *driftCooldown,
+		ReservoirSize: *driftReservoir,
+		Probation:     *reseedProbation,
+		PromoteRatio:  *reseedRatio,
+	}
+	if *driftOn {
+		if !*telemetryOn {
+			return nil, fmt.Errorf("-drift needs -telemetry (the detector reads the rolling NAE)")
+		}
+		if err := dcfg.Sanitize(); err != nil {
+			return nil, err
+		}
+	}
 
 	d := &daemon{
 		srv: httpapi.NewServer(),
@@ -173,6 +221,8 @@ func setup(args []string) (*daemon, error) {
 			queueDepth:    *queueDepth,
 			batchMax:      *batchMax,
 			batchWindow:   *batchWindow,
+			drift:         *driftOn,
+			driftCfg:      dcfg,
 		},
 		logs: make(map[string]*wal.Log),
 	}
@@ -212,11 +262,15 @@ func setup(args []string) (*daemon, error) {
 				d.closeLogs()
 				return nil, err
 			}
-			continue
-		}
-		if err := d.openDurable(name, tab, opts, sync); err != nil {
+		} else if err := d.openDurable(name, tab, opts, sync); err != nil {
 			d.closeLogs()
 			return nil, err
+		}
+		if d.cfg.drift {
+			if err := d.srv.EnableDrift(name, d.cfg.driftCfg); err != nil {
+				d.closeLogs()
+				return nil, fmt.Errorf("enabling drift for %q: %w", name, err)
+			}
 		}
 	}
 	return d, nil
@@ -268,8 +322,18 @@ func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options
 			}
 		}
 	}
-	replayErrs := 0
+	replayErrs, reseeds := 0, 0
 	for _, r := range rc.Records {
+		if r.Kind == wal.KindReseed {
+			// A journaled promotion: replace the histogram wholesale, exactly
+			// as AdoptHistogram did live. Later feedback records refine it.
+			if err := est.LoadHistogram(bytes.NewReader(r.Blob)); err != nil {
+				replayErrs++
+			} else {
+				reseeds++
+			}
+			continue
+		}
 		q, err := sthist.NewRect(r.Lo, r.Hi)
 		if err != nil {
 			replayErrs++
@@ -278,6 +342,9 @@ func (d *daemon) openDurable(name string, tab *sthist.Table, opts sthist.Options
 		if err := est.Feedback(q, r.Actual); err != nil {
 			replayErrs++
 		}
+	}
+	if reseeds > 0 {
+		log.Printf("sthistd: table %q: replayed %d re-seed promotion(s)", name, reseeds)
 	}
 	if replayErrs > 0 {
 		log.Printf("sthistd: table %q: %d of %d replayed records rejected", name, replayErrs, len(rc.Records))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -11,7 +12,9 @@ import (
 	"strings"
 	"testing"
 
+	"sthist"
 	"sthist/internal/datagen"
+	"sthist/internal/wal"
 )
 
 func TestSetupValidation(t *testing.T) {
@@ -26,6 +29,9 @@ func TestSetupValidation(t *testing.T) {
 		"bad-queue-depth":  {"-table", "t=@cross:0.02", "-feedback-queue", "0"},
 		"bad-batch-max":    {"-table", "t=@cross:0.02", "-feedback-batch", "0"},
 		"bad-batch-window": {"-table", "t=@cross:0.02", "-batch-window", "-1s"},
+		"drift-sans-telem": {"-table", "t=@cross:0.02", "-drift", "-telemetry=false"},
+		"bad-reseed-ratio": {"-table", "t=@cross:0.02", "-drift", "-reseed-ratio", "2"},
+		"bad-drift-floor":  {"-table", "t=@cross:0.02", "-drift", "-drift-reservoir", "4", "-drift-min-rounds", "1"},
 	}
 	for name, args := range cases {
 		if _, err := setup(args); err == nil {
@@ -207,5 +213,114 @@ func TestRestartRecoversDurableState(t *testing.T) {
 	}
 	if !stats.WAL.Enabled || stats.WAL.LastSeq != uint64(len(feedbacks)) {
 		t.Errorf("recovered wal stats = %+v, want enabled with last_seq %d", stats.WAL, len(feedbacks))
+	}
+}
+
+// TestSetupDriftEnabled wires -drift through setup and checks the loop is
+// live on every registered table via /stats.
+func TestSetupDriftEnabled(t *testing.T) {
+	d, err := setup([]string{
+		"-addr", ":0",
+		"-buckets", "30",
+		"-table", "gen=@cross:0.02",
+		"-drift",
+		"-drift-nae", "0.4",
+		"-drift-window", "2",
+		"-reseed-probation", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.cfg.drift || d.cfg.driftCfg.NAEThreshold != 0.4 || d.cfg.driftCfg.Sustain != 2 || d.cfg.driftCfg.Probation != 16 {
+		t.Fatalf("drift config not plumbed: %+v", d.cfg.driftCfg)
+	}
+	ts := httptest.NewServer(d.srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats?table=gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Drift struct {
+			Enabled bool   `json:"enabled"`
+			State   string `json:"state"`
+		} `json:"drift"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Drift.Enabled || stats.Drift.State != "watching" {
+		t.Errorf("drift stats = %+v, want enabled and watching", stats.Drift)
+	}
+}
+
+// TestReplayReseedRecord plants a journaled re-seed promotion in the WAL and
+// requires the daemon to restore the adopted histogram bit-identically: the
+// recovered estimator must answer with the donor's numbers, not the ones a
+// fresh data-seeded build would produce.
+func TestReplayReseedRecord(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{
+		"-table", "gen=@cross:0.02",
+		"-buckets", "30",
+		"-seed", "7",
+		"-data-dir", dataDir,
+		"-fsync", "none",
+	}
+
+	// Donor: same table, different seed, plus feedback — a histogram the
+	// data-seeded build cannot coincidentally equal.
+	ds := datagen.Cross(0.02, 1)
+	donor, err := sthist.Open(ds.Table, sthist.Options{Buckets: 30, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sthist.NewRect([]float64{400, 0}, []float64{600, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.Feedback(q, 123); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := donor.SaveHistogram(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant the promotion record in the table's (otherwise empty) log.
+	l, _, err := wal.Open(filepath.Join(dataDir, "gen"), wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(wal.Record{Kind: wal.KindReseed, Blob: blob.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := setup(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.closeLogs()
+	defer d.srv.DrainFeedback()
+	ts := httptest.NewServer(d.srv.Handler())
+	defer ts.Close()
+
+	probes := [][4]float64{
+		{450, 0, 550, 1000}, {0, 450, 1000, 550}, {100, 100, 900, 900},
+	}
+	for i, p := range probes {
+		pq, err := sthist.NewRect([]float64{p[0], p[1]}, []float64{p[2], p[3]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := donor.Estimate(pq)
+		got := estimateOf(t, ts.URL, [2]float64{p[0], p[1]}, [2]float64{p[2], p[3]})
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("probe %d: recovered estimate %v != donor %v", i, got, want)
+		}
 	}
 }

@@ -3,6 +3,12 @@
 // and watch the instruments react — the rolling NAE (Eq. 10) decays as the
 // histogram drills holes, /metrics exposes Prometheus series, and
 // /debug/trace replays the last feedback rounds with drill/merge detail.
+//
+// The second act arms the drift loop and then shifts the data distribution
+// mid-run (every cluster translated by 30% of the domain): the rolling NAE
+// spikes, the detector fires, a candidate is re-clustered from the feedback
+// reservoir, shadow-scored, and promoted — visible in /stats drift state and
+// the sthist_drift_* / sthist_reseed_* metrics as the error recovers.
 package main
 
 import (
@@ -18,10 +24,36 @@ import (
 
 	"sthist"
 	"sthist/internal/datagen"
+	"sthist/internal/dataset"
+	"sthist/internal/drift"
+	"sthist/internal/geom"
 	"sthist/internal/httpapi"
+	"sthist/internal/index"
 	"sthist/internal/telemetry"
 	"sthist/internal/workload"
 )
+
+// shiftTable returns a copy of tab with every coordinate rotated by frac of
+// the domain side (modulo the domain): the same tuples, every cluster
+// somewhere else — a pure distribution shift.
+func shiftTable(tab *dataset.Table, dom geom.Rect, frac float64) *dataset.Table {
+	d := tab.Dims()
+	out := dataset.MustNew(tab.Names()...)
+	out.Grow(tab.Len())
+	row := make([]float64, d)
+	for i := 0; i < tab.Len(); i++ {
+		for j := 0; j < d; j++ {
+			lo, side := dom.Lo[j], dom.Hi[j]-dom.Lo[j]
+			v := tab.Value(i, j) - lo + frac*side
+			for v >= side {
+				v -= side
+			}
+			row[j] = lo + v
+		}
+		out.MustAppend(row)
+	}
+	return out
+}
 
 func run(w io.Writer) error {
 	// A clustered dataset and an uninitialized histogram: accuracy starts
@@ -110,6 +142,86 @@ func run(w io.Writer) error {
 	for _, ev := range tr.Events {
 		fmt.Fprintf(w, "  round %d: est=%.1f actual=%.0f drills=%d merges=%d\n",
 			ev.Seq, ev.Estimate, ev.Actual, ev.Drills, len(ev.Merges))
+	}
+
+	// Act two: arm the drift loop, then shift the distribution under the
+	// running server. The histogram's structure is now wrong everywhere; the
+	// detector notices via the rolling NAE and re-seeds from feedback.
+	dcfg := drift.DefaultConfig()
+	dcfg.NAEThreshold = 0.5
+	dcfg.MinRounds = 50
+	dcfg.Cooldown = 60
+	dcfg.Probation = 40
+	dcfg.MinReservoir = 24
+	dcfg.ClusterWidthFrac = 0.04
+	if err := srv.EnableDrift(ds.Name, dcfg); err != nil {
+		return err
+	}
+	shifted := shiftTable(ds.Table, ds.Domain, 0.3)
+	idx, err := index.BuildKDTree(shifted)
+	if err != nil {
+		return err
+	}
+	shiftQs := workload.MustGenerate(ds.Domain, workload.Config{
+		VolumeFraction: 0.01, N: 600, Seed: 8,
+	}, shifted)
+	fmt.Fprintf(w, "\ndistribution shift injected (clusters translated 30%%); drift loop armed at NAE > %.2f:\n", dcfg.NAEThreshold)
+	for i, q := range shiftQs {
+		body, err := json.Marshal(map[string]any{
+			"table":  ds.Name,
+			"lo":     q.Lo,
+			"hi":     q.Hi,
+			"actual": float64(idx.Count(q)),
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("shifted feedback round %d: status %d", i, resp.StatusCode)
+		}
+		if (i+1)%100 == 0 {
+			stats, err := get(ts.URL + "/stats?table=" + ds.Name)
+			if err != nil {
+				return err
+			}
+			var st struct {
+				Drift struct {
+					State    string `json:"state"`
+					Triggers uint64 `json:"triggers"`
+					Promoted uint64 `json:"promoted"`
+					Rejected uint64 `json:"rejected"`
+				} `json:"drift"`
+			}
+			if err := json.Unmarshal([]byte(stats), &st); err != nil {
+				return err
+			}
+			_, _, nae := rec.Rolling()
+			fmt.Fprintf(w, "  after %3d shifted rounds: NAE=%.4f drift=%s triggers=%d promoted=%d rejected=%d\n",
+				i+1, nae, st.Drift.State, st.Drift.Triggers, st.Drift.Promoted, st.Drift.Rejected)
+		}
+	}
+
+	metrics, err = get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\ndrift /metrics series after the shift:")
+	for _, line := range strings.Split(metrics, "\n") {
+		for _, prefix := range []string{
+			"sthist_drift_triggers_total",
+			"sthist_reseed_promoted_total",
+			"sthist_reseed_rejected_total",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Fprintf(w, "  %s\n", line)
+			}
+		}
 	}
 	return nil
 }

@@ -2,10 +2,10 @@ package baseline
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sthist/internal/dataset"
 	"sthist/internal/geom"
+	"sthist/internal/reservoir"
 )
 
 // Sample is the simplest synopsis of all (cf. the synopses survey the paper
@@ -20,7 +20,9 @@ type Sample struct {
 }
 
 // BuildSample draws a uniform sample of size k (capped at the table size)
-// with a deterministic seed.
+// with a deterministic seed. The sampling itself is the shared reservoir
+// sampler (internal/reservoir): the table's rows are streamed through a
+// k-slot reservoir, which keeps every row equally likely to be retained.
 func BuildSample(tab *dataset.Table, k int, seed int64) (*Sample, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("baseline: sample size must be >= 1, got %d", k)
@@ -29,8 +31,14 @@ func BuildSample(tab *dataset.Table, k int, seed int64) (*Sample, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("baseline: empty table")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rows := tab.Sample(k, rng)
+	res, err := reservoir.New[int](k, seed)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		res.Add(i)
+	}
+	rows := res.Snapshot()
 	s := &Sample{points: make([]geom.Point, len(rows)), dims: tab.Dims()}
 	for i, r := range rows {
 		s.points[i] = tab.Point(r)

@@ -59,6 +59,12 @@ type Options struct {
 	// cluster sizes under the uniformity assumption, which is all the
 	// clustering output provides — the paper's setting.
 	Count sthole.CountFunc
+	// CountScale multiplies the synthetic cluster-model counts used when
+	// Count is nil (0 means 1, i.e. cluster sizes are tuple counts). The
+	// drift re-seeder clusters a synthetic point cloud whose size is not the
+	// relation's cardinality, so it maps point mass back to tuple mass with
+	// totalTuples / cloudPoints here. Ignored when Count is set.
+	CountScale float64
 }
 
 // ClusterBox returns the bucket box for a cluster under the given mode.
@@ -105,6 +111,10 @@ func Initialize(h *sthole.Histogram, clusters []mineclus.Cluster, domain geom.Re
 	// those buckets' frequencies from the count callback; a single-cluster
 	// model would wrongly zero them out.
 	model := newClusterModel()
+	scale := opts.CountScale
+	if scale == 0 {
+		scale = 1
+	}
 	for _, c := range ordered {
 		box := ClusterBox(c, domain, opts.Box)
 		inflateDegenerateSides(&box, domain)
@@ -114,7 +124,7 @@ func Initialize(h *sthole.Histogram, clusters []mineclus.Cluster, domain geom.Re
 		}
 		count := opts.Count
 		if count == nil {
-			model.add(box, float64(len(c.Rows)))
+			model.add(box, scale*float64(len(c.Rows)))
 			count = model.count
 		}
 		h.Drill(box, count)

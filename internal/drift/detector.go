@@ -1,0 +1,207 @@
+// Package drift closes the adaptation loop the paper leaves open: the
+// initialized histogram tracks the workload through STHoles refinement, but a
+// genuine distribution shift leaves the bucket *structure* stale — refinement
+// alone repairs frequencies faster than shape. This package watches the
+// rolling normalized absolute error (Eq. 10 over a sliding window), and when
+// it stays above threshold, re-runs the paper's own recipe — MineClus over a
+// reservoir of recent feedback, then cluster-seeded initialization — to build
+// a candidate histogram. The candidate is shadow-scored against the live
+// estimator (and an ISOMER-style learning-from-feedback-alone arm, the
+// comparison the max-entropy line of work would make) for a probation window
+// and promoted only if it wins.
+//
+// The package holds the pure, deterministic primitives: the detector state
+// machine, the candidate builder, and the shadow scorer. Wiring them to a
+// live serving path (reservoir upkeep, background builds, atomic promotion,
+// WAL journaling) is the embedder's job — see internal/httpapi.
+package drift
+
+import "fmt"
+
+// Config tunes the whole adaptation loop. The zero value of any field means
+// "use the default"; Sanitize fills defaults and validates.
+type Config struct {
+	// NAEThreshold is the rolling NAE above which the workload is considered
+	// drifted. NAE is normalized by the trivial single-bucket histogram, so
+	// 1.0 means "no better than knowing only the row count"; the default 0.5
+	// fires well before the estimator degrades to useless.
+	NAEThreshold float64
+	// Sustain is the number of CONSECUTIVE over-threshold observations
+	// required to fire (hysteresis: one bad window of queries is not drift).
+	Sustain int
+	// MinRounds is the minimum number of feedback rounds the rolling window
+	// must cover before the detector arms — rolling NAE over a handful of
+	// rounds is noise.
+	MinRounds int
+	// Cooldown is the number of observations ignored after a probation
+	// resolves (either way) before the detector can fire again, so a
+	// rejected candidate is not immediately rebuilt from the same reservoir.
+	Cooldown int
+	// Probation is the shadow-scoring window length in feedback rounds.
+	Probation int
+	// PromoteRatio is the edge the candidate must show: it is promoted when
+	// its probation abs-error sum is <= PromoteRatio * the live arm's. Below
+	// 1.0 demands a strict win, so ties keep the incumbent.
+	PromoteRatio float64
+	// ReservoirSize is the capacity of the feedback reservoir the candidate
+	// is built from.
+	ReservoirSize int
+	// MinReservoir is the minimum number of reservoir observations required
+	// before a build is attempted.
+	MinReservoir int
+	// SyntheticPoints is the size of the point cloud synthesized from the
+	// reservoir for re-clustering.
+	SyntheticPoints int
+	// ClusterWidthFrac is the MineClus medoid width used when re-clustering,
+	// as a fraction of each domain side. Smaller resolves finer structure
+	// from the feedback cloud at the cost of more, smaller clusters.
+	ClusterWidthFrac float64
+}
+
+// DefaultConfig returns the defaults used when a field is zero.
+func DefaultConfig() Config {
+	return Config{
+		NAEThreshold:     0.5,
+		Sustain:          3,
+		MinRounds:        64,
+		Cooldown:         128,
+		Probation:        64,
+		PromoteRatio:     0.9,
+		ReservoirSize:    512,
+		MinReservoir:     32,
+		SyntheticPoints:  2048,
+		ClusterWidthFrac: 0.06,
+	}
+}
+
+// Sanitize fills zero fields with defaults and validates the rest.
+func (c *Config) Sanitize() error {
+	def := DefaultConfig()
+	if c.NAEThreshold == 0 {
+		c.NAEThreshold = def.NAEThreshold
+	}
+	if c.Sustain == 0 {
+		c.Sustain = def.Sustain
+	}
+	if c.MinRounds == 0 {
+		c.MinRounds = def.MinRounds
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = def.Cooldown
+	}
+	if c.Probation == 0 {
+		c.Probation = def.Probation
+	}
+	if c.PromoteRatio == 0 {
+		c.PromoteRatio = def.PromoteRatio
+	}
+	if c.ReservoirSize == 0 {
+		c.ReservoirSize = def.ReservoirSize
+	}
+	if c.MinReservoir == 0 {
+		c.MinReservoir = def.MinReservoir
+	}
+	if c.SyntheticPoints == 0 {
+		c.SyntheticPoints = def.SyntheticPoints
+	}
+	if c.ClusterWidthFrac == 0 {
+		c.ClusterWidthFrac = def.ClusterWidthFrac
+	}
+	switch {
+	case c.NAEThreshold < 0:
+		return fmt.Errorf("drift: NAE threshold must be positive, got %g", c.NAEThreshold)
+	case c.Sustain < 0 || c.MinRounds < 0 || c.Cooldown < 0:
+		return fmt.Errorf("drift: sustain/min-rounds/cooldown must be non-negative")
+	case c.Probation < 1:
+		return fmt.Errorf("drift: probation must be >= 1 round, got %d", c.Probation)
+	case c.PromoteRatio < 0 || c.PromoteRatio > 1:
+		return fmt.Errorf("drift: promote ratio must be in (0,1], got %g", c.PromoteRatio)
+	case c.ReservoirSize < 1:
+		return fmt.Errorf("drift: reservoir size must be >= 1, got %d", c.ReservoirSize)
+	case c.MinReservoir < 1 || c.MinReservoir > c.ReservoirSize:
+		return fmt.Errorf("drift: min reservoir %d must be in [1, reservoir size %d]", c.MinReservoir, c.ReservoirSize)
+	case c.SyntheticPoints < c.MinReservoir:
+		return fmt.Errorf("drift: synthetic points %d below min reservoir %d", c.SyntheticPoints, c.MinReservoir)
+	case c.ClusterWidthFrac < 0 || c.ClusterWidthFrac > 1:
+		return fmt.Errorf("drift: cluster width fraction %g outside (0, 1]", c.ClusterWidthFrac)
+	}
+	return nil
+}
+
+// Detector is the trigger half of the loop: fed one rolling-NAE observation
+// per feedback round, it fires when the error stays above threshold for
+// Sustain consecutive rounds, subject to the min-feedback floor and the
+// post-probation cooldown. After firing it stays suppressed until Rearm —
+// the embedder calls Rearm when the resulting probation resolves, which
+// starts the cooldown.
+//
+// Not concurrency-safe; the embedder's single writer owns it.
+type Detector struct {
+	cfg        Config
+	streak     int
+	cooldown   int
+	suppressed bool
+	triggers   uint64
+}
+
+// NewDetector builds a detector. cfg is sanitized in place.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Sanitize(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Config returns the sanitized configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Observe feeds one detector tick: rounds is the number of feedback rounds
+// the rolling window currently covers, nae the rolling NAE. It returns true
+// exactly when drift fires; the detector then suppresses itself until Rearm.
+func (d *Detector) Observe(rounds int, nae float64) bool {
+	if d.suppressed {
+		return false
+	}
+	if d.cooldown > 0 {
+		d.cooldown--
+		return false
+	}
+	if rounds < d.cfg.MinRounds {
+		d.streak = 0
+		return false
+	}
+	if nae <= d.cfg.NAEThreshold {
+		d.streak = 0
+		return false
+	}
+	d.streak++
+	if d.streak < d.cfg.Sustain {
+		return false
+	}
+	d.streak = 0
+	d.suppressed = true
+	d.triggers++
+	return true
+}
+
+// Rearm ends the suppression that firing started and begins the cooldown.
+// The embedder calls it when the probation triggered by the last firing
+// resolves (promotion or rejection), or when the build was abandoned.
+func (d *Detector) Rearm() {
+	if !d.suppressed {
+		return
+	}
+	d.suppressed = false
+	d.cooldown = d.cfg.Cooldown
+	d.streak = 0
+}
+
+// Suppressed reports whether the detector fired and has not been rearmed.
+func (d *Detector) Suppressed() bool { return d.suppressed }
+
+// Cooldown returns how many observations the post-probation cooldown will
+// still swallow.
+func (d *Detector) Cooldown() int { return d.cooldown }
+
+// Triggers returns the number of times the detector has fired.
+func (d *Detector) Triggers() uint64 { return d.triggers }

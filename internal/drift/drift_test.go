@@ -1,0 +1,264 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"sthist/internal/datagen"
+	"sthist/internal/geom"
+	"sthist/internal/sthole"
+	"sthist/internal/workload"
+)
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{}
+	if err := c.Sanitize(); err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if c != DefaultConfig() {
+		t.Fatalf("zero config did not sanitize to defaults: %+v", c)
+	}
+	bad := []Config{
+		{NAEThreshold: -1},
+		{Sustain: -1},
+		{Probation: -1},
+		{PromoteRatio: 1.5},
+		{ReservoirSize: 4, MinReservoir: 8},
+		{MinReservoir: 64, SyntheticPoints: 32},
+	}
+	for i, c := range bad {
+		if err := c.Sanitize(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDetectorHysteresisAndFloor(t *testing.T) {
+	d, err := NewDetector(Config{NAEThreshold: 0.5, Sustain: 3, MinRounds: 10, Cooldown: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the min-feedback floor nothing fires, however bad the NAE.
+	for i := 0; i < 5; i++ {
+		if d.Observe(i, 99) {
+			t.Fatalf("fired below min rounds at observation %d", i)
+		}
+	}
+	// Above the floor: two bad rounds, one good, then three bad. The good
+	// round must reset the streak (hysteresis), so firing happens exactly at
+	// the third consecutive bad round.
+	seq := []float64{2, 2, 0.1, 2, 2, 2}
+	want := []bool{false, false, false, false, false, true}
+	for i, nae := range seq {
+		if got := d.Observe(100, nae); got != want[i] {
+			t.Fatalf("observation %d (nae=%g): fired=%v, want %v", i, nae, got, want[i])
+		}
+	}
+	if d.Triggers() != 1 {
+		t.Fatalf("triggers = %d, want 1", d.Triggers())
+	}
+	// Suppressed until rearmed.
+	for i := 0; i < 10; i++ {
+		if d.Observe(100, 99) {
+			t.Fatal("fired while suppressed")
+		}
+	}
+	if !d.Suppressed() {
+		t.Fatal("not suppressed after firing")
+	}
+	// Rearm starts the cooldown: 5 observations are swallowed, then 3 bad
+	// rounds fire again.
+	d.Rearm()
+	fired := 0
+	for i := 0; i < 5+3; i++ {
+		if d.Observe(100, 99) {
+			fired++
+		}
+	}
+	if fired != 1 || d.Triggers() != 2 {
+		t.Fatalf("after cooldown: fired=%d triggers=%d, want 1 and 2", fired, d.Triggers())
+	}
+}
+
+func TestDetectorBelowThresholdNeverFires(t *testing.T) {
+	d, err := NewDetector(Config{NAEThreshold: 0.5, Sustain: 2, MinRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if d.Observe(50, 0.49) {
+			t.Fatal("fired below threshold")
+		}
+	}
+}
+
+// driftQueries draws a data-following workload over the dataset (1% volume
+// queries centered on tuples — the regime where drift hurts most).
+func driftQueries(t *testing.T, ds *datagen.Dataset, n int, seed int64) []geom.Rect {
+	t.Helper()
+	qs, err := workload.Generate(ds.Domain, workload.Config{
+		VolumeFraction: 0.01, Centers: workload.DataCenters, N: n, Seed: seed,
+	}, ds.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+// driftObservations synthesizes feedback observations against a known
+// dataset: workload boxes with their true counts.
+func driftObservations(t *testing.T, ds *datagen.Dataset, n int, seed int64) []Observation {
+	t.Helper()
+	qs := driftQueries(t, ds, n, seed)
+	obs := make([]Observation, n)
+	for i, q := range qs {
+		obs[i] = Observation{Query: q, Actual: float64(ds.Table.CountIn(q))}
+	}
+	return obs
+}
+
+func TestBuildCandidateValidation(t *testing.T) {
+	domain := mustRect(t, []float64{0, 0}, []float64{100, 100})
+	cfg := DefaultConfig()
+	if _, err := BuildCandidate(nil, domain, 50, 1000, cfg, 1); err == nil {
+		t.Error("empty reservoir accepted")
+	}
+	// Observations entirely outside the domain carry no usable mass.
+	out := make([]Observation, 64)
+	for i := range out {
+		out[i] = Observation{Query: mustRect(t, []float64{200, 200}, []float64{300, 300}), Actual: 10}
+	}
+	if _, err := BuildCandidate(out, domain, 50, 1000, cfg, 1); err == nil {
+		t.Error("out-of-domain reservoir accepted")
+	}
+	// Zero-mass observations likewise.
+	zero := make([]Observation, 64)
+	for i := range zero {
+		zero[i] = Observation{Query: mustRect(t, []float64{1, 1}, []float64{2, 2}), Actual: 0}
+	}
+	if _, err := BuildCandidate(zero, domain, 50, 1000, cfg, 1); err == nil {
+		t.Error("zero-mass reservoir accepted")
+	}
+}
+
+func TestBuildCandidateDeterministicAndAccurate(t *testing.T) {
+	ds, err := datagen.ByName("cross", 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := driftObservations(t, ds, 200, 7)
+	cfg := DefaultConfig()
+	total := float64(ds.Table.Len())
+
+	c1, err := BuildCandidate(obs, ds.Domain, 60, total, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildCandidate(obs, ds.Domain, 60, total, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Clusters != c2.Clusters || c1.Points != c2.Points || c1.Records != c2.Records {
+		t.Fatalf("nondeterministic build: %+v vs %+v", c1, c2)
+	}
+	qs := driftQueries(t, ds, 100, 13)
+	for _, q := range qs {
+		if e1, e2 := c1.Hist.Estimate(q), c2.Hist.Estimate(q); e1 != e2 {
+			t.Fatalf("nondeterministic estimates: %g vs %g", e1, e2)
+		}
+	}
+	if c1.Clusters == 0 {
+		t.Fatal("no clusters mined from a clustered workload")
+	}
+
+	// The candidate must beat the trivial uniform model on the workload the
+	// reservoir described (that is the whole point of re-seeding).
+	sumCand, sumTriv := 0.0, 0.0
+	dvol := ds.Domain.Volume()
+	for _, q := range driftQueries(t, ds, 200, 21) {
+		actual := float64(ds.Table.CountIn(q))
+		triv := total * ds.Domain.IntersectionVolume(q) / dvol
+		sumCand += math.Abs(c1.Hist.Estimate(q) - actual)
+		sumTriv += math.Abs(triv - actual)
+	}
+	if sumCand >= sumTriv {
+		t.Fatalf("candidate NAE %.3f >= 1 (abs %g vs trivial %g)", sumCand/sumTriv, sumCand, sumTriv)
+	}
+}
+
+func TestShadowPrefersBetterArm(t *testing.T) {
+	ds, err := datagen.ByName("cross", 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(ds.Table.Len())
+	obs := driftObservations(t, ds, 150, 11)
+
+	cand, err := BuildCandidate(obs, ds.Domain, 60, total, DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live arm A: a deliberately terrible estimator (always answers 0).
+	// Live arm B: the candidate's own twin (equally good).
+	shadowA, err := NewShadow(cand.Hist.Clone(), ds.Domain, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := cand.Hist.Clone()
+	shadowB, err := NewShadow(cand.Hist.Clone(), ds.Domain, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvol := ds.Domain.Volume()
+	for _, o := range driftObservations(t, ds, 100, 17) {
+		triv := total * ds.Domain.IntersectionVolume(o.Query) / dvol
+		shadowA.Observe(o.Query, 0, triv, o.Actual)
+		twinEst := twin.Estimate(o.Query)
+		shadowB.Observe(o.Query, twinEst, triv, o.Actual)
+		q, actual := o.Query, o.Actual
+		vol := q.Volume()
+		twin.Drill(q, func(r geom.Rect) float64 {
+			if vol <= 0 {
+				return actual
+			}
+			return actual * q.IntersectionVolume(r) / vol
+		})
+	}
+	scA, scB := shadowA.Scores(), shadowB.Scores()
+	if !scA.Promote(0.9) {
+		t.Fatalf("candidate not promoted over zero estimator: %+v", scA)
+	}
+	if scB.Promote(0.9) {
+		t.Fatalf("candidate promoted over its own twin at ratio 0.9: %+v", scB)
+	}
+	if scA.Rounds != 100 || scB.Rounds != 100 {
+		t.Fatalf("rounds = %d/%d, want 100", scA.Rounds, scB.Rounds)
+	}
+	if scA.CandNAE <= 0 || scA.LiveNAE <= 0 || scA.RefineNAE <= 0 {
+		t.Fatalf("NAE fields not populated: %+v", scA)
+	}
+}
+
+func TestShadowZeroRoundsNeverPromotes(t *testing.T) {
+	h, err := sthole.New(mustRect(t, []float64{0}, []float64{1}), 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewShadow(h, mustRect(t, []float64{0}, []float64{1}), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scores().Promote(1) {
+		t.Fatal("promoted with zero probation rounds")
+	}
+}
+
+func mustRect(t *testing.T, lo, hi []float64) geom.Rect {
+	t.Helper()
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

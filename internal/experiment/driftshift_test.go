@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDriftShiftRecovers is the acceptance run for the drift subsystem: after
+// the data shifts, the drift-adaptive estimator must return to within 1.25x
+// of its pre-shift rolling NAE, while refinement alone stays degraded.
+func TestDriftShiftRecovers(t *testing.T) {
+	r, err := DriftShift(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.Triggers < 1 {
+		t.Fatal("detector never fired after the shift")
+	}
+	if r.Promotions < 1 {
+		t.Fatal("no candidate was promoted after the shift")
+	}
+	if r.PreNAE <= 0 {
+		t.Fatalf("degenerate pre-shift NAE %v", r.PreNAE)
+	}
+	if got := r.Recovery(); got > 1.25 {
+		t.Errorf("adaptive arm did not recover: final NAE %.4f is %.2fx pre-shift (want <= 1.25x)",
+			r.AdaptiveNAE, got)
+	}
+	if r.StaticNAE <= 1.25*r.PreNAE {
+		t.Errorf("static arm recovered on its own (%.4f vs pre %.4f); the scenario is not a stress",
+			r.StaticNAE, r.PreNAE)
+	}
+	if r.AdaptiveNAE >= r.StaticNAE {
+		t.Errorf("adaptive arm (%.4f) not better than static (%.4f)", r.AdaptiveNAE, r.StaticNAE)
+	}
+}
+
+// TestDriftShiftDeterministic pins the scenario: same config, same numbers.
+func TestDriftShiftDeterministic(t *testing.T) {
+	a, err := DriftShift(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DriftShift(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("two identical runs diverged:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestShiftTablePreservesCount(t *testing.T) {
+	cfg := Defaults()
+	env, err := NewEnv("cross", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := shiftTable(env.DS.Table, env.DS.Domain, 0.3)
+	if out.Len() != env.DS.Table.Len() {
+		t.Fatalf("shift changed tuple count: %d -> %d", env.DS.Table.Len(), out.Len())
+	}
+	b, err := out.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < out.Dims(); d++ {
+		if b.Lo[d] < env.DS.Domain.Lo[d] || b.Hi[d] > env.DS.Domain.Hi[d] {
+			t.Errorf("dim %d: shifted data escapes the domain: [%g,%g]", d, b.Lo[d], b.Hi[d])
+		}
+	}
+}
+
+func TestDriftShiftRegistered(t *testing.T) {
+	if _, ok := Registry["drift-shift"]; !ok {
+		t.Fatal("drift-shift not in the experiment registry")
+	}
+	r, err := DriftShift(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "promotion") {
+		t.Errorf("render missing promotion count: %q", r.String())
+	}
+}

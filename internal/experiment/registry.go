@@ -134,6 +134,14 @@ var Registry = map[string]Runner{
 		_, err = fmt.Fprintln(w, r)
 		return err
 	},
+	"drift-shift": func(cfg Config, w io.Writer) error {
+		r, err := DriftShift(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, r)
+		return err
+	},
 	"workload-patterns": func(cfg Config, w io.Writer) error {
 		r, err := WorkloadPatterns(cfg)
 		if err != nil {

@@ -1,0 +1,77 @@
+package httpapi
+
+import (
+	"math/rand"
+	"testing"
+
+	"sthist"
+	"sthist/internal/drift"
+	"sthist/internal/geom"
+	"sthist/internal/telemetry"
+)
+
+// BenchmarkFeedbackDrift measures what arming the drift loop costs a table
+// whose workload is NOT drifting: the detector ticks and the reservoir
+// samples on every commit, but nothing ever fires, so this is the permanent
+// overhead every drift-enabled table pays. bench-drift guards the on/off
+// ratio at 1.05 via results/BENCH_drift.json.
+func BenchmarkFeedbackDrift(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "drift=off"
+		if on {
+			name = "drift=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			tab, err := sthist.NewTable("x", "y")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 2000; i++ {
+				tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+			}
+			est, err := sthist.Open(tab, sthist.Options{Buckets: 100, Seed: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := NewServer()
+			// Telemetry is on in both arms: drift requires it, and the guard
+			// should isolate the drift delta, not re-measure telemetry's.
+			s.EnableTelemetry(telemetry.New(telemetry.Options{}))
+			if err := s.Register("orders", est); err != nil {
+				b.Fatal(err)
+			}
+			if on {
+				cfg := drift.DefaultConfig()
+				cfg.NAEThreshold = 1e9 // never fires: steady-state watching only
+				if err := s.EnableDrift("orders", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ent, err := s.lookup("orders")
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			// A cycle of fixed queries so both arms replay identical work.
+			wrng := rand.New(rand.NewSource(23))
+			queries := make([]geom.Rect, 64)
+			for i := range queries {
+				x, y := wrng.Float64()*800, wrng.Float64()*800
+				queries[i] = geom.MustRect(
+					[]float64{x, y},
+					[]float64{x + 50 + wrng.Float64()*100, y + 50 + wrng.Float64()*100},
+				)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ent.enqueue(queries[i%len(queries)], float64(5+i%40)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s.DrainFeedback()
+		})
+	}
+}

@@ -72,6 +72,13 @@ type entry struct {
 	recScratch []wal.Record
 	obsScratch []sthist.Observation
 
+	// Drift adaptation (nil unless EnableDrift): reservoir, detector,
+	// probation shadow, plus the live pre-apply estimate scratch. Guarded by
+	// jmu and advanced by the writer inside commitBatch; the only escape is
+	// the background candidate build, which works on an immutable snapshot.
+	drift       *driftCtl // guarded by jmu
+	liveScratch []float64 // writer-owned scratch like reqScratch
+
 	jmu            sync.Mutex
 	log            *wal.Log      // guarded by jmu
 	appendErrors   int           // WAL appends that failed (served anyway, durability degraded); guarded by jmu
@@ -620,6 +627,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"subspace_buckets":     st.SubspaceBuckets,
 		"health":               ent.est.Health(),
 		"wal":                  ent.walStats(),
+		"drift":                ent.driftStats(),
 	})
 }
 
@@ -640,6 +648,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type tableHealth struct {
 		Health sthist.Health `json:"health"`
 		WAL    walStats      `json:"wal"`
+		Drift  driftStats    `json:"drift"`
 	}
 	tables := make(map[string]tableHealth)
 	for _, name := range s.names() {
@@ -647,7 +656,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		th := tableHealth{Health: ent.est.Health(), WAL: ent.walStats()}
+		th := tableHealth{Health: ent.est.Health(), WAL: ent.walStats(), Drift: ent.driftStats()}
 		if overall == "ok" && (th.Health.State != "ok" || th.WAL.Failed) {
 			overall = "degraded"
 		}

@@ -207,6 +207,9 @@ func (e *entry) commitBatch(batch []*feedbackReq) {
 		obs = append(obs, sthist.Observation{Query: r.q, Actual: r.actual})
 	}
 	e.obsScratch = obs
+	// During probation the shadow comparison needs the live arm's answers
+	// from BEFORE this batch is learned; nil (free) otherwise.
+	liveEsts := e.driftPreApplyLocked(batch)
 	errs, aerr := e.applyBatchLocked(obs)
 	for i, r := range batch {
 		var res feedbackResult
@@ -219,6 +222,9 @@ func (e *entry) commitBatch(batch []*feedbackReq) {
 			res.seq = firstSeq + uint64(i)
 		}
 		r.done <- res
+	}
+	if aerr == nil {
+		e.driftStepLocked(obs, liveEsts)
 	}
 	e.qmu.RLock()
 	bs := e.batchSize

@@ -1,0 +1,96 @@
+// Package reservoir provides a deterministic bounded uniform sample over an
+// unbounded stream (Vitter's Algorithm R). It exists for two consumers with
+// the same need from opposite ends of the system: the baseline sample
+// synopsis (internal/baseline) draws a one-shot uniform sample of a table,
+// and the drift-adaptation loop (internal/drift, internal/httpapi) keeps a
+// rolling uniform sample of recent feedback records to re-cluster from when
+// the serving histogram degrades.
+//
+// Determinism matters for both: given the same seed and the same input
+// stream, the retained sample is identical, so re-seeding decisions and
+// baseline comparisons are reproducible.
+package reservoir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Reservoir keeps a uniform sample of at most k items from the stream fed to
+// Add. Not safe for concurrent use; callers synchronize (the httpapi drift
+// controller feeds it from the single writer goroutine).
+type Reservoir[T any] struct {
+	items []T
+	k     int
+	seen  uint64
+	rng   *rand.Rand
+	seed  int64
+}
+
+// New returns an empty reservoir of capacity k seeded deterministically.
+func New[T any](k int, seed int64) (*Reservoir[T], error) {
+	if k < 1 {
+		return nil, fmt.Errorf("reservoir: capacity must be >= 1, got %d", k)
+	}
+	return &Reservoir[T]{
+		items: make([]T, 0, k),
+		k:     k,
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+	}, nil
+}
+
+// MustNew is New for static capacities.
+func MustNew[T any](k int, seed int64) *Reservoir[T] {
+	r, err := New[T](k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add offers one item to the reservoir. The first k items are always kept;
+// afterwards item number n (1-based) replaces a random slot with probability
+// k/n, which keeps every item seen so far equally likely to be retained
+// (Algorithm R).
+func (r *Reservoir[T]) Add(v T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, v)
+		return
+	}
+	// Int63n bounds the index by seen, which fits int64 far beyond any
+	// realistic stream length.
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.k) {
+		r.items[j] = v
+	}
+}
+
+// Len returns the number of items currently retained.
+func (r *Reservoir[T]) Len() int { return len(r.items) }
+
+// Cap returns the reservoir capacity.
+func (r *Reservoir[T]) Cap() int { return r.k }
+
+// Seen returns how many items have been offered in total.
+func (r *Reservoir[T]) Seen() uint64 { return r.seen }
+
+// Snapshot returns a copy of the retained items. The order is arbitrary but
+// deterministic for a given seed and input stream.
+func (r *Reservoir[T]) Snapshot() []T {
+	out := make([]T, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Reset empties the reservoir and re-seeds its randomness, so the next fill
+// is independent of (but just as deterministic as) the previous one.
+func (r *Reservoir[T]) Reset(seed int64) {
+	r.items = r.items[:0]
+	r.seen = 0
+	r.seed = seed
+	r.rng = rand.New(rand.NewSource(seed))
+}
+
+// Seed returns the seed the reservoir was (re)initialized with.
+func (r *Reservoir[T]) Seed() int64 { return r.seed }

@@ -1,0 +1,128 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New[int](0, 1); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New[int](-3, 1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if r, err := New[int](5, 1); err != nil || r.Cap() != 5 {
+		t.Errorf("New(5) = %v, %v", r, err)
+	}
+}
+
+func TestKeepsEverythingBelowCapacity(t *testing.T) {
+	r := MustNew[int](10, 1)
+	for i := 0; i < 7; i++ {
+		r.Add(i)
+	}
+	if r.Len() != 7 || r.Seen() != 7 {
+		t.Fatalf("Len=%d Seen=%d, want 7/7", r.Len(), r.Seen())
+	}
+	got := r.Snapshot()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("below capacity the reservoir must keep insertion order, got %v", got)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	fill := func(seed int64) []int {
+		r := MustNew[int](16, seed)
+		for i := 0; i < 1000; i++ {
+			r.Add(i)
+		}
+		return r.Snapshot()
+	}
+	a, b := fill(7), fill(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different samples: %v vs %v", a, b)
+		}
+	}
+	c := fill(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples (suspicious)")
+	}
+}
+
+// TestUniformInclusion checks Algorithm R's defining property: every stream
+// position is retained with probability ~ k/n.
+func TestUniformInclusion(t *testing.T) {
+	const k, n, trials = 20, 400, 3000
+	hits := make([]int, n)
+	for tr := 0; tr < trials; tr++ {
+		r := MustNew[int](k, int64(tr))
+		for i := 0; i < n; i++ {
+			r.Add(i)
+		}
+		for _, v := range r.Snapshot() {
+			hits[v]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n) // 150
+	// First, middle and last positions must all be near the uniform rate.
+	for _, pos := range []int{0, 1, n / 2, n - 2, n - 1} {
+		got := float64(hits[pos])
+		if math.Abs(got-want) > 0.35*want {
+			t.Errorf("position %d retained %g times, want ~%g", pos, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := MustNew[int](4, 3)
+	for i := 0; i < 100; i++ {
+		r.Add(i)
+	}
+	first := r.Snapshot()
+	r.Reset(3)
+	if r.Len() != 0 || r.Seen() != 0 {
+		t.Fatalf("Reset left Len=%d Seen=%d", r.Len(), r.Seen())
+	}
+	for i := 0; i < 100; i++ {
+		r.Add(i)
+	}
+	second := r.Snapshot()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("Reset with the same seed must reproduce the sample: %v vs %v", first, second)
+		}
+	}
+	if r.Seed() != 3 {
+		t.Errorf("Seed() = %d, want 3", r.Seed())
+	}
+}
+
+func TestStructItems(t *testing.T) {
+	type rec struct {
+		id int
+		v  float64
+	}
+	r := MustNew[rec](8, 11)
+	for i := 0; i < 500; i++ {
+		r.Add(rec{id: i, v: float64(i) * 0.5})
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	for _, it := range r.Snapshot() {
+		if it.v != float64(it.id)*0.5 {
+			t.Fatalf("item %+v lost field coherence", it)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"sthist/internal/faultfs"
+)
+
+// TestReseedRecordRoundTrip appends a mix of feedback and reseed records and
+// checks replay returns them in order with kinds, blobs and sequence numbers
+// intact.
+func TestReseedRecordRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "t")
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(`{"fake":"histogram"}`)
+	if _, err := l.Append(Record{Lo: []float64{1, 2}, Hi: []float64{3, 4}, Actual: 5}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Append(Record{Kind: KindReseed, Blob: blob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("reseed seq = %d, want 2", seq)
+	}
+	if _, err := l.Append(Record{Lo: []float64{6, 7}, Hi: []float64{8, 9}, Actual: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rc, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rc.Records))
+	}
+	kinds := []Kind{KindFeedback, KindReseed, KindFeedback}
+	for i, r := range rc.Records {
+		if r.Kind != kinds[i] {
+			t.Errorf("record %d kind = %v, want %v", i, r.Kind, kinds[i])
+		}
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	if !bytes.Equal(rc.Records[1].Blob, blob) {
+		t.Errorf("reseed blob = %q, want %q", rc.Records[1].Blob, blob)
+	}
+	if rc.Records[2].Actual != 10 {
+		t.Errorf("feedback after reseed lost its payload: %+v", rc.Records[2])
+	}
+}
+
+func TestReseedRecordValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "t")
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(Record{Kind: KindReseed}); err == nil {
+		t.Error("empty reseed blob accepted")
+	}
+	if _, err := l.Append(Record{Kind: KindReseed, Blob: make([]byte, MaxBlobBytes+1)}); err == nil {
+		t.Error("oversized reseed blob accepted")
+	}
+	if _, err := l.Append(Record{Kind: Kind(7), Lo: []float64{1}, Hi: []float64{2}}); err == nil {
+		t.Error("unknown record kind accepted")
+	}
+	// Failed validation must not poison the log.
+	if _, err := l.Append(Record{Lo: []float64{1}, Hi: []float64{2}, Actual: 3}); err != nil {
+		t.Fatalf("append after rejected records: %v", err)
+	}
+}
+
+// TestReseedTornBlobDropped crashes (via fault injection) in the middle of a
+// reseed append and checks recovery drops the torn frame instead of serving
+// a truncated histogram blob.
+func TestReseedTornBlobDropped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "t")
+	// Write 1 is the fresh manifest temp file; write 2 the first append;
+	// short-write the reseed append (write 3).
+	inj := faultfs.NewInjector(faultfs.OS{},
+		faultfs.Fault{Op: faultfs.OpWrite, Nth: 3, Mode: faultfs.ShortWrite})
+	l, _, err := Open(dir, Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Lo: []float64{1}, Hi: []float64{2}, Actual: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Kind: KindReseed, Blob: bytes.Repeat([]byte("x"), 4096)}); err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	_ = l.Close()
+
+	_, rc, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Torn {
+		t.Error("torn reseed frame not reported")
+	}
+	if len(rc.Records) != 1 || rc.Records[0].Kind != KindFeedback {
+		t.Fatalf("recovered %d records (%+v), want the single clean feedback record", len(rc.Records), rc.Records)
+	}
+}

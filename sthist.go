@@ -720,6 +720,38 @@ func (e *Estimator) LoadHistogram(r io.Reader) error {
 	return nil
 }
 
+// AdoptHistogram atomically replaces the estimator's histogram with an
+// in-memory one — the promotion path of the drift-adaptation loop, where a
+// background re-seeder has built and shadow-scored a candidate. The
+// candidate's dimensionality must match the estimator's domain and its
+// structural invariants are verified before installation, exactly like
+// LoadHistogram; h is cloned, so the caller's reference stays private. A
+// successful adoption clears any degradation state (the candidate becomes
+// the new "last good" recovery point) and publishes immediately, making the
+// swap visible to concurrent wait-free readers in one atomic pointer store.
+func (e *Estimator) AdoptHistogram(h *sthole.Histogram) error {
+	if h == nil {
+		return fmt.Errorf("sthist: nil histogram")
+	}
+	if h.Dims() != e.domain.Dims() {
+		return fmt.Errorf("sthist: candidate histogram has %d dimensions, estimator domain has %d", h.Dims(), e.domain.Dims())
+	}
+	if err := h.Validate(); err != nil {
+		return fmt.Errorf("sthist: rejecting invalid candidate histogram: %w", err)
+	}
+	adopted := h.Clone()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.work = adopted
+	e.lastGood = adopted.Clone()
+	e.degraded = false
+	e.sinceValidate = 0
+	e.installTapLocked()
+	e.syncCountersLocked()
+	e.publishLocked()
+	return nil
+}
+
 // Clusters returns the subspace clusters used for initialization (nil when
 // initialization was skipped), in descending importance order. The slice is
 // fixed at Open and never mutated afterwards, so it is safe to read from any
