@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift obs-demo examples experiments cover
+.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift bench-cluster cluster-smoke obs-demo examples experiments cover
 
 all: build vet lint test
 
@@ -86,6 +86,24 @@ bench-drift: lint
 		-guard-base 'BenchmarkFeedbackDrift/drift=off' \
 		-guard-subject 'BenchmarkFeedbackDrift/drift=on' \
 		-guard-max-ratio 1.05
+
+# Proxy-overhead guard: the mixed estimate/feedback workload through the
+# sthproxy tier must cost < 10% extra at p50 versus hitting the table's
+# primary directly, measured against backends with a production-scale
+# service-time floor (see internal/cluster/bench_test.go for why the raw
+# loopback numbers are recorded but not gated). Results land in
+# results/BENCH_cluster.json.
+bench-cluster: lint
+	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_cluster.json \
+		-pkg ./internal/cluster -bench 'BenchmarkProxyOverhead$$' -benchtime 1x -count 4 \
+		-guard-metric-bench 'BenchmarkProxyOverhead' \
+		-guard-metric 'p50-overhead-ratio' -guard-metric-max 1.10
+
+# End-to-end cluster smoke: 3 sthistd + 1 sthproxy, mixed load from sthload,
+# SIGKILL one target mid-run, assert zero non-retried client errors and
+# recovery. Same script CI runs.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Observability walkthrough: rolling NAE decay + /metrics + /debug/trace.
 obs-demo:

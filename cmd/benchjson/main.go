@@ -218,12 +218,12 @@ func parseBenchOutput(raw []byte) (map[string]benchResult, error) {
 			case "allocs/op":
 				res.AllocsPerOp = v
 			default:
-				if strings.Contains(fields[i+1], "/") {
-					if res.Extra == nil {
-						res.Extra = map[string]float64{}
-					}
-					res.Extra[fields[i+1]] = v
+				// Any other unit is a custom b.ReportMetric metric
+				// ("fsyncs/op", "p50-overhead-ratio", ...).
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
 				}
+				res.Extra[fields[i+1]] = v
 			}
 		}
 		if seen {

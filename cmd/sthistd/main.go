@@ -24,6 +24,13 @@
 // batch, -batch-window optionally waits for stragglers). A full queue
 // answers 429 with Retry-After instead of buffering unboundedly.
 //
+// With -warm-from set (and -data-dir), a freshly provisioned node promotes
+// itself from a live peer before serving: each table with no local durable
+// state fetches GET /snapshot from the given base URL and restores the
+// archive into its WAL directory, so recovery proceeds from the source's
+// checkpoint + WAL tail exactly as if the source's directory had been copied.
+// Tables that already have local state skip the fetch.
+//
 // With -drift set, each table additionally runs the drift-adaptation loop
 // (see internal/drift): a detector watches the rolling NAE from telemetry
 // and, when the error stays above -drift-nae for -drift-window consecutive
@@ -83,6 +90,7 @@ type config struct {
 	addr          string
 	debugAddr     string
 	dataDir       string
+	warmFrom      string
 	fsync         string
 	ckptInterval  time.Duration
 	ckptRecords   int
@@ -130,6 +138,8 @@ func setup(args []string) (*daemon, error) {
 	validateEvery := fs.Int("validate-every", sthist.DefaultValidateEvery,
 		"verify histogram invariants every N feedbacks (negative disables)")
 	dataDir := fs.String("data-dir", "", "directory for per-table WAL + checkpoints (empty = no durability)")
+	warmFrom := fs.String("warm-from", "",
+		"base URL of a live sthistd or sthproxy to warm-start from: each durable table with no local state fetches GET /snapshot and restores it before recovery (replica promotion)")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always or none")
 	ckptInterval := fs.Duration("checkpoint-interval", 30*time.Second, "how often to consider checkpointing")
 	ckptRecords := fs.Int("checkpoint-records", 1024, "checkpoint a table once this many records accumulate in its WAL")
@@ -211,6 +221,7 @@ func setup(args []string) (*daemon, error) {
 			addr:          *addr,
 			debugAddr:     *debugAddr,
 			dataDir:       *dataDir,
+			warmFrom:      *warmFrom,
 			fsync:         *fsync,
 			ckptInterval:  *ckptInterval,
 			ckptRecords:   *ckptRecords,
@@ -262,9 +273,14 @@ func setup(args []string) (*daemon, error) {
 				d.closeLogs()
 				return nil, err
 			}
-		} else if err := d.openDurable(name, tab, opts, sync); err != nil {
-			d.closeLogs()
-			return nil, err
+		} else {
+			if d.cfg.warmFrom != "" {
+				d.warmTable(name)
+			}
+			if err := d.openDurable(name, tab, opts, sync); err != nil {
+				d.closeLogs()
+				return nil, err
+			}
 		}
 		if d.cfg.drift {
 			if err := d.srv.EnableDrift(name, d.cfg.driftCfg); err != nil {
@@ -274,6 +290,37 @@ func setup(args []string) (*daemon, error) {
 		}
 	}
 	return d, nil
+}
+
+// warmTable is the replica-promotion path: when the table has no local
+// durable state yet, fetch a snapshot archive from -warm-from and restore it
+// into the table's WAL directory. Recovery then proceeds normally from the
+// restored checkpoint + WAL tail, bit-identical to recovering the source's
+// own directory. Failures are logged and non-fatal — the table just starts
+// cold, which is the same behavior as no -warm-from at all.
+func (d *daemon) warmTable(name string) {
+	dir := filepath.Join(d.cfg.dataDir, name)
+	if wal.HasState(dir) {
+		log.Printf("sthistd: table %q: local state exists; skipping warm-from", name)
+		return
+	}
+	url := strings.TrimSuffix(d.cfg.warmFrom, "/") + "/snapshot?table=" + name
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Printf("sthistd: table %q: warm-from fetch failed (%v); starting cold", name, err)
+		return
+	}
+	defer func() { _ = resp.Body.Close() }() // best-effort fetch; errors already surfaced below
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("sthistd: table %q: warm-from source answered %d; starting cold", name, resp.StatusCode)
+		return
+	}
+	if err := wal.RestoreArchive(dir, wal.Options{}, resp.Body); err != nil {
+		log.Printf("sthistd: table %q: warm-from restore rejected (%v); starting cold", name, err)
+		return
+	}
+	log.Printf("sthistd: table %q: warm-started from %s (last seq %s)", name, d.cfg.warmFrom, resp.Header.Get("X-Sthist-Last-Seq"))
 }
 
 // openDurable opens the table's WAL directory, restores the latest

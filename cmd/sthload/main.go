@@ -1,0 +1,120 @@
+// Command sthload is the cluster load generator: an aisloader-style
+// mixed-workload driver firing estimate and feedback traffic at a sthistd
+// node or a sthproxy tier from a worker pool, bounded by wall time and/or a
+// total operation count, and reporting client-observed latency percentiles
+// as JSON.
+//
+// Queries are uniform random ranges inside each table's advertised domain
+// (GET /stats). A configurable fraction of estimates are converted into
+// feedback by reporting the estimate back as the observed actual, so the
+// durable write path is exercised without client-side ground truth.
+// Backpressure (429/503 with Retry-After) is honored by sleeping the hinted
+// duration and retrying, counted separately from hard errors.
+//
+// Usage:
+//
+//	sthload -target http://localhost:8090 -workers 16 -duration 30s -feedback-ratio 0.1
+//	sthload -target http://localhost:8080 -total 100000 -tables orders,sky
+//
+// The exit code is 0 only when no operation ended in a non-retried error —
+// so the kill-a-node smoke test can assert "zero non-retried client errors"
+// by exit code alone.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sthist/internal/loadgen"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sthload:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("sthload", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of the sthistd or sthproxy to load (required)")
+	tables := fs.String("tables", "", "comma-separated tables to exercise (empty = discover via GET /tables)")
+	workers := fs.Int("workers", loadgen.DefaultWorkers, "concurrent workers")
+	duration := fs.Duration("duration", 0, "wall-time bound (0 with -total = unbounded time; 0 without = 10s)")
+	total := fs.Int64("total", 0, "total operation bound across workers (0 = unbounded)")
+	ratio := fs.Float64("feedback-ratio", loadgen.DefaultFeedbackRatio,
+		"fraction of estimates converted into feedback (estimate:feedback mix; negative disables feedback)")
+	opTimeout := fs.Duration("op-timeout", loadgen.DefaultOpTimeout, "per-attempt HTTP timeout")
+	opRetries := fs.Int("op-retries", loadgen.DefaultMaxOpRetries, "backpressure retries per operation (negative disables)")
+	seed := fs.Int64("seed", 0, "query-generation seed (0 = from clock)")
+	jsonOut := fs.String("out", "", "write the JSON report to this file instead of stdout")
+	allowErrors := fs.Bool("allow-errors", false, "exit 0 even when operations ended in non-retried errors")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *target == "" {
+		return 2, fmt.Errorf("-target is required")
+	}
+	var tableList []string
+	if *tables != "" {
+		for _, t := range strings.Split(*tables, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tableList = append(tableList, t)
+			}
+		}
+	}
+
+	r, err := loadgen.New(loadgen.Options{
+		BaseURL:       strings.TrimSuffix(*target, "/"),
+		Tables:        tableList,
+		Workers:       *workers,
+		Duration:      *duration,
+		Total:         *total,
+		FeedbackRatio: *ratio,
+		OpTimeout:     *opTimeout,
+		MaxOpRetries:  *opRetries,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return 2, err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	rep, err := r.Run(ctx)
+	if err != nil {
+		return 1, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return 1, err
+	}
+	data = append(data, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return 1, err
+		}
+	} else if _, err := out.Write(data); err != nil {
+		return 1, err
+	}
+	fmt.Fprintf(os.Stderr, "sthload: %d ops in %v (%.0f ops/s), estimate errors=%d retries=%d, feedback errors=%d retries=%d\n",
+		rep.Ops, time.Since(start).Round(time.Millisecond), rep.OpsPerSec,
+		rep.Estimate.Errors, rep.Estimate.Retries, rep.Feedback.Errors, rep.Feedback.Retries)
+	if !*allowErrors && (rep.Estimate.Errors > 0 || rep.Feedback.Errors > 0) {
+		return 3, fmt.Errorf("%d non-retried errors (estimate %d, feedback %d)",
+			rep.Estimate.Errors+rep.Feedback.Errors, rep.Estimate.Errors, rep.Feedback.Errors)
+	}
+	return 0, nil
+}

@@ -1,0 +1,330 @@
+package cluster
+
+// The kill-a-node-under-load test: three durable backends behind a proxy,
+// mixed load from internal/loadgen, and the table's primary killed mid-run
+// via the chaos transport (requests AND probes fail, exactly like a SIGKILL).
+// Acceptance:
+//
+//   - zero non-retried client errors on estimates,
+//   - the monitor marks the dead target unready within FailoverDeadline,
+//   - a replica promoted from the dead node's pre-kill snapshot recovers
+//     bit-identically to a clean recovery of the dead node's own WAL.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sthist"
+	"sthist/internal/httpapi"
+	"sthist/internal/loadgen"
+	"sthist/internal/wal"
+)
+
+// durableBackend is one in-process sthistd equivalent: an httpapi server
+// with a durable "orders" table.
+type durableBackend struct {
+	srv *httpapi.Server
+	ts  *httptest.Server
+	dir string
+}
+
+func newDurableBackend(t testing.TB) *durableBackend {
+	return newShimmedBackend(t, 0)
+}
+
+// newShimmedBackend adds a service-time floor to /estimate and /feedback
+// (probes and snapshots stay instant) so benchmarks can emulate
+// production-scale per-op cost; see bench_test.go.
+func newShimmedBackend(t testing.TB, serviceTime time.Duration) *durableBackend {
+	t.Helper()
+	tab, err := sthist.NewTable("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 800; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	est, err := sthist.Open(tab, sthist.Options{Buckets: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "orders")
+	l, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	s := httpapi.NewServer()
+	if err := s.RegisterDurable("orders", est, l); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if serviceTime > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/estimate" || r.URL.Path == "/feedback" {
+				time.Sleep(serviceTime)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return &durableBackend{srv: s, ts: ts, dir: dir}
+}
+
+func TestKillANodeUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster test")
+	}
+
+	backends := make(map[string]*durableBackend, 3)
+	targets := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		b := newDurableBackend(t)
+		backends[b.ts.URL] = b
+		targets = append(targets, b.ts.URL)
+	}
+
+	chaos := NewChaos(nil)
+	probeClient := &http.Client{Transport: chaos, Timeout: 250 * time.Millisecond}
+
+	// Detection bookkeeping: when did the monitor notice the kill.
+	var mu sync.Mutex
+	var killedAt, detectedAt time.Time
+	var killedTarget string
+
+	p, err := NewProxy(ProxyOptions{
+		Targets:        targets,
+		Vnodes:         64,
+		RequestTimeout: 2 * time.Second,
+		RetryBase:      2 * time.Millisecond,
+		RetryMax:       20 * time.Millisecond,
+		HedgeAfter:     50 * time.Millisecond,
+		Transport:      chaos,
+		Seed:           99,
+		Health: MonitorOptions{
+			Interval: 25 * time.Millisecond,
+			Timeout:  250 * time.Millisecond,
+			Probe: func(target string) error {
+				resp, err := probeClient.Get(target + "/readyz")
+				if err != nil {
+					return err
+				}
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return errProbeNotOK
+				}
+				return nil
+			},
+			OnChange: func(target string, ready bool) {
+				mu.Lock()
+				defer mu.Unlock()
+				if !ready && target == killedTarget && detectedAt.IsZero() {
+					detectedAt = time.Now()
+				}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	deadline := p.Monitor().FailoverDeadline()
+
+	proxyTS := httptest.NewServer(p.Handler())
+	defer proxyTS.Close()
+
+	// Warm feedback into the primary so its WAL has real state to promote.
+	primary := p.ring.Primary("orders")
+	seedFeedback(t, proxyTS.URL, 20)
+
+	// Snapshot the primary's state through the proxy — this is what a warm
+	// replica would have restored moments before the node dies.
+	archive := fetchSnapshot(t, proxyTS.URL)
+	replicaDir := filepath.Join(t.TempDir(), "promoted")
+	if err := wal.RestoreArchive(replicaDir, wal.Options{}, bytes.NewReader(archive)); err != nil {
+		t.Fatalf("promoting replica from shipped snapshot: %v", err)
+	}
+
+	// Launch the mixed load, then kill the primary mid-run.
+	runner, err := loadgen.New(loadgen.Options{
+		BaseURL:       proxyTS.URL,
+		Tables:        []string{"orders"},
+		Workers:       4,
+		Duration:      1500 * time.Millisecond,
+		FeedbackRatio: 0.2,
+		Seed:          41,
+		MaxOpRetries:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killTimer := time.AfterFunc(400*time.Millisecond, func() {
+		mu.Lock()
+		killedTarget = primary
+		killedAt = time.Now()
+		mu.Unlock()
+		chaos.Set(primary, ChaosDrop, 0)
+	})
+	defer killTimer.Stop()
+
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Acceptance 1: zero non-retried client errors on estimates.
+	if rep.Estimate.Errors != 0 {
+		t.Fatalf("kill-a-node produced %d non-retried estimate errors (report: %+v)", rep.Estimate.Errors, rep.Estimate)
+	}
+	if rep.Feedback.Errors != 0 {
+		t.Fatalf("kill-a-node produced %d non-retried feedback errors (report: %+v)", rep.Feedback.Errors, rep.Feedback)
+	}
+	if rep.Estimate.Count < 100 {
+		t.Fatalf("only %d estimates ran; the run is too thin to mean anything", rep.Estimate.Count)
+	}
+
+	// Acceptance 2: the monitor noticed within the probe-hysteresis deadline.
+	mu.Lock()
+	ka, da := killedAt, detectedAt
+	mu.Unlock()
+	if ka.IsZero() {
+		t.Fatal("kill never fired")
+	}
+	if da.IsZero() {
+		t.Fatalf("dead target never marked unready (deadline %v)", deadline)
+	}
+	// Generous slack on top of the theoretical deadline: the probe goroutine
+	// competes with 4 load workers for scheduler time in this process.
+	if detected := da.Sub(ka); detected > deadline+500*time.Millisecond {
+		t.Fatalf("failover took %v, deadline %v", detected, deadline)
+	}
+
+	// Acceptance 3: the promoted replica is bit-identical to a clean
+	// recovery of the dead node's own WAL at the moment of the snapshot.
+	// The primary's WAL kept growing between snapshot and kill, so compare
+	// against a prefix recovery: the replica's records must be exactly the
+	// prefix of the dead node's records up to the shipped LastSeq.
+	deadRec, deadSeq := recoveredState(t, copyWALDir(t, backends[primary].dir))
+	promRec, promSeq := recoveredState(t, replicaDir)
+	if promSeq > deadSeq {
+		t.Fatalf("promoted replica claims seq %d beyond the dead node's %d", promSeq, deadSeq)
+	}
+	if !bytes.Equal(promRec.Snapshot, deadRec.Snapshot) {
+		// Identical only when no checkpoint happened between ship and kill;
+		// with none configured here, they must match bit for bit.
+		t.Fatal("promoted replica's checkpoint differs from the dead node's")
+	}
+	tail := len(deadRec.Records) - (int(deadSeq) - int(promSeq))
+	if tail < 0 || tail > len(deadRec.Records) {
+		t.Fatalf("inconsistent sequence accounting: dead %d records to seq %d, promoted seq %d",
+			len(deadRec.Records), deadSeq, promSeq)
+	}
+	if !reflect.DeepEqual(promRec.Records, deadRec.Records[:tail]) {
+		t.Fatalf("promoted replica's WAL (%d records) is not a prefix of the dead node's (%d records)",
+			len(promRec.Records), len(deadRec.Records))
+	}
+}
+
+// errProbeNotOK distinguishes a non-200 probe from a transport error.
+var errProbeNotOK = &probeStatusError{}
+
+type probeStatusError struct{}
+
+func (*probeStatusError) Error() string { return "readyz not ok" }
+
+func seedFeedback(t *testing.T, base string, n int) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < n; i++ {
+		body, err := json.Marshal(map[string]any{
+			"table":  "orders",
+			"lo":     []float64{float64(i * 7), float64(i * 11)},
+			"hi":     []float64{float64(i*7 + 90), float64(i*11 + 60)},
+			"actual": float64(i * 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(base+"/feedback", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed feedback %d = %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func fetchSnapshot(t *testing.T, base string) []byte {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/snapshot?table=orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot = %d (%s)", resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// recoveredState opens a WAL dir and returns its recovery + last sequence.
+func recoveredState(t *testing.T, dir string) (*wal.Recovery, uint64) {
+	t.Helper()
+	l, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("opening %s: %v", dir, err)
+	}
+	seq := l.LastSeq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rec, seq
+}
+
+// copyWALDir copies a live WAL directory so recovery can run while the
+// original Log still owns the segment file.
+func copyWALDir(t *testing.T, dir string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "deadcopy")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}

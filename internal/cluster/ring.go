@@ -1,0 +1,124 @@
+// Package cluster is the multi-node serving layer: a consistent-hash ring
+// that deterministically places table names onto target nodes, a membership
+// view fed by per-target readiness probes with hysteresis, and a stateless
+// proxy that routes estimator traffic by table with bounded retries, hedged
+// reads and graceful degradation.
+//
+// The paper's workloads shard naturally by table/subspace name, so the ring
+// hashes table names (not rows): every table is owned by one primary target
+// plus an ordered list of replica candidates (the next distinct targets
+// clockwise on the ring). Placement is a pure function of the target set and
+// the vnode count — two proxies configured identically route identically,
+// which is what makes the tier stateless.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per target. 128 vnodes keep the
+// max/mean table-load ratio under ~1.3 for small clusters while the ring
+// stays a few KB.
+const DefaultVnodes = 128
+
+// vnode is one point on the ring.
+type vnode struct {
+	hash   uint64
+	target int // index into Ring.targets
+}
+
+// Ring is an immutable consistent-hash ring over a set of target base URLs.
+// Build one with NewRing; all methods are safe for concurrent use.
+type Ring struct {
+	targets []string
+	vnodes  []vnode // sorted by hash
+}
+
+// hash64 is the placement hash: FNV-1a followed by a splitmix64 finalizer.
+// FNV alone clusters sequential vnode labels ("t#0", "t#1", ...) into nearby
+// ring positions, which skews ownership badly; the avalanche step spreads
+// them. Both halves are fixed arithmetic — stable across processes and Go
+// versions, which keeps placement deterministic fleet-wide.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s)) // hash.Hash.Write never fails
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring of the given targets with vnodes virtual nodes per
+// target (<= 0 uses DefaultVnodes). Target order does not affect placement:
+// the set is sorted first, so any permutation of the same targets yields the
+// same ring. Duplicate or empty targets are rejected.
+func NewRing(targets []string, vnodes int) (*Ring, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one target")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	sorted := append([]string(nil), targets...)
+	sort.Strings(sorted)
+	for i, t := range sorted {
+		if t == "" {
+			return nil, fmt.Errorf("cluster: empty target")
+		}
+		if i > 0 && sorted[i-1] == t {
+			return nil, fmt.Errorf("cluster: duplicate target %q", t)
+		}
+	}
+	r := &Ring{targets: sorted, vnodes: make([]vnode, 0, len(sorted)*vnodes)}
+	for ti, t := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", t, v)), target: ti})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break by target index so the sort
+		// stays a total order and placement stays deterministic.
+		return a.target < b.target
+	})
+	return r, nil
+}
+
+// Targets returns the ring's target set, sorted.
+func (r *Ring) Targets() []string { return append([]string(nil), r.targets...) }
+
+// Primary returns the target owning key: the first vnode clockwise from the
+// key's hash.
+func (r *Ring) Primary(key string) string { return r.Lookup(key, 1)[0] }
+
+// Lookup returns up to n distinct targets for key in preference order: the
+// primary first, then the successive distinct targets walking clockwise.
+// n is clamped to the number of targets.
+func (r *Ring) Lookup(key string, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.targets) {
+		n = len(r.targets)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[vn.target] {
+			seen[vn.target] = true
+			out = append(out, r.targets[vn.target])
+		}
+	}
+	return out
+}

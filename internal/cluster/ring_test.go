@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringTargets(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty target set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate target accepted")
+	}
+}
+
+// Placement must be a pure function of the target SET: rebuilding the ring,
+// or building it from a permuted slice, must route every table identically.
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	targets := ringTargets(5)
+	r1, err := NewRing(targets, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	permuted := []string{targets[3], targets[0], targets[4], targets[2], targets[1]}
+	r2, err := NewRing(permuted, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("table-%d", i)
+		a, b := r1.Lookup(key, 3), r2.Lookup(key, 3)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("key %q placed differently: %v vs %v", key, a, b)
+		}
+		if len(a) != 3 {
+			t.Fatalf("key %q: wanted 3 candidates, got %v", key, a)
+		}
+		seen := map[string]bool{}
+		for _, tgt := range a {
+			if seen[tgt] {
+				t.Fatalf("key %q: duplicate candidate in %v", key, a)
+			}
+			seen[tgt] = true
+		}
+		if a[0] != r1.Primary(key) {
+			t.Fatalf("key %q: Lookup[0] %q != Primary %q", key, a[0], r1.Primary(key))
+		}
+	}
+}
+
+func TestRingLookupClamps(t *testing.T) {
+	r, err := NewRing(ringTargets(3), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Lookup("t", 10); len(got) != 3 {
+		t.Fatalf("Lookup n>targets returned %d candidates", len(got))
+	}
+	if got := r.Lookup("t", 0); len(got) != 1 {
+		t.Fatalf("Lookup n=0 returned %d candidates", len(got))
+	}
+}
+
+// With enough vnodes the load is roughly balanced: no target owns more than
+// ~2x its fair share of 10k synthetic tables.
+func TestRingBalance(t *testing.T) {
+	targets := ringTargets(4)
+	r, err := NewRing(targets, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const tables = 10000
+	for i := 0; i < tables; i++ {
+		counts[r.Primary(fmt.Sprintf("table-%d", i))]++
+	}
+	fair := tables / len(targets)
+	for _, tgt := range targets {
+		c := counts[tgt]
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("target %s owns %d of %d tables (fair share %d): too skewed", tgt, c, tables, fair)
+		}
+	}
+}
+
+// Removing one target must only move the tables that target owned: every
+// other table keeps its primary (the consistent-hashing contract that makes
+// failover cheap).
+func TestRingMinimalMovement(t *testing.T) {
+	targets := ringTargets(5)
+	full, err := NewRing(targets, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewRing(targets[1:], DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := targets[0]
+	moved := 0
+	const tables = 2000
+	for i := 0; i < tables; i++ {
+		key := fmt.Sprintf("table-%d", i)
+		before, after := full.Primary(key), without.Primary(key)
+		if before == dead {
+			// Orphaned tables must land on the table's next replica candidate
+			// in the full ring — the node a proxy fails over to.
+			if want := full.Lookup(key, 2)[1]; after != want {
+				t.Fatalf("key %q: moved to %q, want next candidate %q", key, after, want)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no table was owned by the removed target; test is vacuous")
+	}
+}

@@ -1,0 +1,281 @@
+package httpapi
+
+// Tests for the cluster-facing surface: the liveness/readiness split, the
+// Retry-After contract on drain 503s, the table domain in /stats (what
+// cmd/sthload generates queries from), and snapshot shipping via
+// GET /snapshot (what warm replica promotion restores).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sthist"
+	"sthist/internal/wal"
+)
+
+func getStatus(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	return resp, body
+}
+
+func TestLivezReadyzSplit(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Serving: both live and ready.
+	resp, _ := getStatus(t, ts.URL+"/livez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("livez while serving = %d", resp.StatusCode)
+	}
+	resp, _ = getStatus(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while serving = %d", resp.StatusCode)
+	}
+
+	// Draining: live, NOT ready, with a Retry-After hint.
+	s.SetDraining(true)
+	resp, _ = getStatus(t, ts.URL+"/livez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("livez while draining = %d; a drain must not look like a dead process", resp.StatusCode)
+	}
+	resp, body := getStatus(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 carries no Retry-After")
+	}
+	if !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("readyz body %q does not name the draining state", body)
+	}
+	resp, _ = getStatus(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("healthz drain 503 carries no Retry-After (the 429 path sets one; the drain path must too)")
+	}
+	s.SetDraining(false)
+
+	// Recovering/warming (SetReady(false)): live, not ready, "starting".
+	s.SetReady(false)
+	resp, body = getStatus(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while starting = %d, want 503", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("starting")) {
+		t.Fatalf("readyz body %q does not name the starting state", body)
+	}
+	resp, _ = getStatus(t, ts.URL+"/livez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("livez while starting = %d", resp.StatusCode)
+	}
+	s.SetReady(true)
+	resp, _ = getStatus(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after SetReady(true) = %d", resp.StatusCode)
+	}
+}
+
+// Feedback rejected because the table is draining must carry Retry-After,
+// exactly like the 429 backpressure path.
+func TestDrainFeedback503RetryAfter(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.DrainFeedback()
+	fb := map[string]any{"table": "orders", "lo": []float64{200, 600}, "hi": []float64{300, 700}, "actual": 10.0}
+	data, err := json.Marshal(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("feedback while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining feedback 503 carries no Retry-After")
+	}
+}
+
+func TestStatsExposesDomain(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := getStatus(t, ts.URL+"/stats?table=orders")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var stats struct {
+		Domain struct {
+			Lo []float64 `json:"lo"`
+			Hi []float64 `json:"hi"`
+		} `json:"domain"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Domain.Lo) != 2 || len(stats.Domain.Hi) != 2 {
+		t.Fatalf("domain = %+v, want 2-dimensional corners", stats.Domain)
+	}
+	for d := range stats.Domain.Lo {
+		if stats.Domain.Lo[d] >= stats.Domain.Hi[d] {
+			t.Fatalf("degenerate domain %+v", stats.Domain)
+		}
+	}
+}
+
+// newDurableServer registers one durable table backed by a WAL in a temp dir.
+func newDurableServer(t *testing.T) (*Server, *httptest.Server, *wal.Log, string) {
+	t.Helper()
+	tab, err := sthist.NewTable("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	est, err := sthist.Open(tab, sthist.Options{Buckets: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "orders")
+	l, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	s := NewServer()
+	if err := s.RegisterDurable("orders", est, l); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, l, dir
+}
+
+func TestSnapshotEndpointShipsRestorableState(t *testing.T) {
+	_, ts, _, srcDir := newDurableServer(t)
+
+	// Accumulate durable feedback so the archive has a WAL tail.
+	for i := 0; i < 10; i++ {
+		fb := map[string]any{
+			"table":  "orders",
+			"lo":     []float64{float64(i * 10), float64(i * 10)},
+			"hi":     []float64{float64(i*10 + 50), float64(i*10 + 50)},
+			"actual": float64(i * 3),
+		}
+		resp, _ := post(t, ts.URL+"/feedback", fb)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("feedback %d status = %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, archive := getStatus(t, ts.URL+"/snapshot?table=orders")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d (%s)", resp.StatusCode, archive)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Fatalf("snapshot content-type = %q", got)
+	}
+	if resp.Header.Get("X-Sthist-Last-Seq") != "10" {
+		t.Fatalf("X-Sthist-Last-Seq = %q, want 10", resp.Header.Get("X-Sthist-Last-Seq"))
+	}
+
+	// Restore into a replica dir and compare the recovered durable state
+	// against the source directory: must be bit-identical.
+	dstDir := filepath.Join(t.TempDir(), "replica")
+	if err := wal.RestoreArchive(dstDir, wal.Options{}, bytes.NewReader(archive)); err != nil {
+		t.Fatal(err)
+	}
+	_, srcRec, err := walOpenClosed(srcDirCopy(t, srcDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dstRec, err := walOpenClosed(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(srcRec.Snapshot, dstRec.Snapshot) {
+		t.Fatal("shipped snapshot differs from source checkpoint")
+	}
+	if !reflect.DeepEqual(srcRec.Records, dstRec.Records) {
+		t.Fatalf("shipped WAL tail differs: src %d records, dst %d", len(srcRec.Records), len(dstRec.Records))
+	}
+
+	// Unknown table and non-durable errors.
+	resp, _ = getStatus(t, ts.URL+"/snapshot?table=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("snapshot of unknown table = %d", resp.StatusCode)
+	}
+	_, plainTS := newTestServer(t)
+	resp, _ = getStatus(t, plainTS.URL+"/snapshot?table=orders")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("snapshot of non-durable table = %d, want 404", resp.StatusCode)
+	}
+}
+
+// srcDirCopy copies a WAL directory so we can open it read-only while the
+// serving Log still holds the live segment.
+func srcDirCopy(t *testing.T, dir string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "srccopy")
+	if err := copyDir(dir, dst); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func walOpenClosed(dir string) (uint64, *wal.Recovery, error) {
+	l, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return 0, nil, err
+	}
+	seq := l.LastSeq()
+	if cerr := l.Close(); cerr != nil {
+		return 0, nil, cerr
+	}
+	return seq, rec, nil
+}

@@ -8,6 +8,9 @@
 //	POST /feedback {"table","lo","hi","actual"} -> {"ok":true,"seq":n}
 //	GET  /stats?table=orders             -> maintenance counters + health + wal state
 //	GET  /healthz                        -> readiness + per-table health
+//	GET  /livez                          -> liveness (200 while the process serves)
+//	GET  /readyz                         -> readiness only (503 while draining/recovering)
+//	GET  /snapshot?table=orders          -> checkpoint+WAL archive for replica shipping
 //
 // The server is hardened for unattended operation: request bodies are
 // size-capped, malformed or non-finite feedback is rejected with 400, and a
@@ -95,6 +98,7 @@ type Server struct {
 	tables   map[string]*entry // guarded by mu
 	maxBody  int64             // immutable after construction
 	draining atomic.Bool
+	unready  atomic.Bool          // true while recovering/warming; inverted so the zero value serves
 	tel      *telemetry.Telemetry // guarded by mu
 
 	queueDepth  int           // feedback queue depth for tables registered later; guarded by mu
@@ -219,11 +223,36 @@ func (s *Server) Telemetry() *telemetry.Telemetry {
 	return s.tel
 }
 
-// SetDraining flips the readiness state: while draining, /healthz returns
-// 503 so load balancers stop routing new traffic, but in-flight and
-// straggler requests are still served. Called at the start of graceful
-// shutdown.
+// SetDraining flips the readiness state: while draining, /healthz and
+// /readyz return 503 so load balancers stop routing new traffic, but
+// in-flight and straggler requests are still served. Called at the start of
+// graceful shutdown.
 func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// SetReady flips the not-draining half of readiness. A server marked
+// not-ready (recovering, warming a shipped snapshot, on probation) answers
+// /readyz and /healthz with 503 so the proxy tier routes around it, while
+// /livez keeps answering 200 — the process is alive, just not serving yet.
+// Servers start ready.
+func (s *Server) SetReady(r bool) { s.unready.Store(!r) }
+
+// readiness returns the current routing state: "ready", "draining" or
+// "starting" (not yet ready).
+func (s *Server) readiness() string {
+	switch {
+	case s.draining.Load():
+		return "draining"
+	case s.unready.Load():
+		return "starting"
+	default:
+		return "ready"
+	}
+}
+
+// drainRetryAfterSeconds is the Retry-After hint on readiness 503s: drains
+// and warm-ups resolve in seconds, so clients and the proxy should re-probe
+// soon rather than back off for minutes.
+const drainRetryAfterSeconds = "1"
 
 // Handler returns the HTTP handler with all routes mounted, wrapped in
 // panic-recovery middleware: a panic that escapes a handler is answered
@@ -237,6 +266,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/feedback", s.handleFeedback)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleLivez)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	var h http.Handler = mux
 	if tel := s.Telemetry(); tel != nil {
 		mux.Handle("/metrics", tel.MetricsHandler())
@@ -252,6 +284,7 @@ func (s *Server) Handler() http.Handler {
 var instrumentedRoutes = map[string]bool{
 	"/tables": true, "/estimate": true, "/feedback": true,
 	"/stats": true, "/healthz": true, "/metrics": true, "/debug/trace": true,
+	"/livez": true, "/readyz": true, "/snapshot": true,
 }
 
 // statusWriter captures the response code for the request counter.
@@ -480,6 +513,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, errTableDraining):
+		// Like the 429 path, tell well-behaved clients when to come back:
+		// a drain either finishes (the node exits; they reroute) or the
+		// node returns to readiness shortly.
+		w.Header().Set("Retry-After", drainRetryAfterSeconds)
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -615,7 +652,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// StatsSnapshot copies the counters under the estimator's read lock;
 	// reading h.Stats fields directly here would race with feedback rounds.
 	st := ent.est.StatsSnapshot()
+	// The domain lets clients (cmd/sthload, dashboards) generate valid
+	// queries without out-of-band schema knowledge.
+	dom := ent.est.Domain()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"domain":               map[string][]float64{"lo": dom.Lo, "hi": dom.Hi},
 		"buckets":              st.Buckets,
 		"max_buckets":          st.MaxBuckets,
 		"tree_depth":           st.TreeDepth,
@@ -631,10 +672,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz is the readiness probe: 200 while serving, 503 while
-// draining (graceful shutdown in progress). The body details per-table
-// degradation so dashboards can alert on quarantined tables or failing WALs
-// even though the server keeps answering.
+// handleHealthz is the detailed health report: 200 while serving, 503 while
+// not ready (draining or recovering). The body details per-table degradation
+// so dashboards can alert on quarantined tables or failing WALs even though
+// the server keeps answering. Routing decisions should use the cheaper
+// /readyz; liveness checks use /livez — a node that is live but not ready
+// (warming a shipped snapshot, draining) answers 200 there and 503 here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
@@ -642,8 +685,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusOK
 	overall := "ok"
-	if s.draining.Load() {
-		status, overall = http.StatusServiceUnavailable, "draining"
+	if rd := s.readiness(); rd != "ready" {
+		status, overall = http.StatusServiceUnavailable, rd
+		w.Header().Set("Retry-After", drainRetryAfterSeconds)
 	}
 	type tableHealth struct {
 		Health sthist.Health `json:"health"`
@@ -662,5 +706,85 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		tables[name] = th
 	}
-	writeJSON(w, status, map[string]any{"status": overall, "tables": tables})
+	writeJSON(w, status, map[string]any{"status": overall, "live": true, "tables": tables})
+}
+
+// handleLivez is the liveness probe: 200 whenever the process can serve
+// HTTP at all. It deliberately ignores draining, recovery and per-table
+// degradation — restarting a node because it is draining would turn every
+// graceful shutdown into a crash loop.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "live"})
+}
+
+// handleReadyz is the routing probe: 200 only when the node should receive
+// traffic. Draining (graceful shutdown) and starting (recovering or warming
+// a shipped snapshot) both answer 503 + Retry-After so the proxy tier routes
+// around the node while /livez still reports it alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	rd := s.readiness()
+	if rd != "ready" {
+		w.Header().Set("Retry-After", drainRetryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": rd})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": rd})
+}
+
+// handleSnapshot ships the table's durable state (checkpoint MANIFEST +
+// snapshot + WAL tail) as one self-verifying archive — the transport for
+// warm replica promotion (see internal/wal ship protocol and sthistd
+// -warm-from). Tables without durability have no portable state to ship and
+// answer 404.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	ent, err := s.lookup(r.URL.Query().Get("table"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, lastSeq, err := ent.shipArchive()
+	switch {
+	case errors.Is(err, errNotDurable):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("X-Sthist-Last-Seq", strconv.FormatUint(lastSeq, 10))
+	_, _ = w.Write(data) // client gone: nothing useful to do
+}
+
+var errNotDurable = errors.New("table has no durable state to ship (no -data-dir)")
+
+// shipArchive buffers the WAL archive under jmu, so the cut is consistent
+// with the feedback pipeline: no group commit or checkpoint rotation can
+// interleave with the archived state. Buffering (rather than streaming to
+// the client) keeps the jmu hold time bounded by local I/O, not by the
+// replica's network speed.
+func (e *entry) shipArchive() ([]byte, uint64, error) {
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	if e.log == nil {
+		return nil, 0, errNotDurable
+	}
+	var buf bytes.Buffer
+	if err := e.log.WriteArchive(&buf); err != nil {
+		return nil, 0, err
+	}
+	return buf.Bytes(), e.log.LastSeq(), nil
 }

@@ -1,0 +1,476 @@
+// Package loadgen is the cluster load generator behind cmd/sthload: an
+// aisloader-style mixed-workload driver that fires estimate and feedback
+// traffic at a target (one sthistd, or the sthproxy tier) from a pool of
+// workers, bounded by wall time and/or a total operation count, and reports
+// latency percentiles computed from telemetry histograms.
+//
+// The workload is self-contained: each worker draws uniform range queries
+// inside the table's advertised domain (GET /stats exposes it exactly for
+// this), estimates them, and converts a configurable fraction of estimates
+// into feedback by reporting the estimate back as the observed actual. That
+// keeps the feedback stream well-formed without needing ground-truth data on
+// the client, while still exercising the full durable write path.
+//
+// Backpressure is honored, not fought: a 429 or 503 carrying Retry-After
+// makes the worker sleep the hinted duration (capped) and retry the
+// operation, counted as retried rather than failed. Only operations that
+// exhaust their retries — or fail without a retry hint — count as errors,
+// which is precisely the "non-retried client error" the kill-a-node
+// acceptance gate requires to be zero for estimates.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sthist/internal/telemetry"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultWorkers       = 8
+	DefaultDuration      = 10 * time.Second
+	DefaultFeedbackRatio = 0.1
+	DefaultOpTimeout     = 5 * time.Second
+	// DefaultMaxOpRetries bounds how often one operation is retried on
+	// backpressure before counting as an error.
+	DefaultMaxOpRetries = 8
+	// maxRetryAfterSleep caps an upstream Retry-After hint so a hostile or
+	// buggy header cannot park a worker for minutes.
+	maxRetryAfterSleep = 2 * time.Second
+)
+
+// Load metric names (constant, sthist_* — enforced by sthlint).
+const (
+	metricLoadEstimateSeconds = "sthist_load_estimate_seconds"
+	metricLoadFeedbackSeconds = "sthist_load_feedback_seconds"
+)
+
+// Options configures Run.
+type Options struct {
+	// BaseURL is the target: a sthistd or sthproxy base URL.
+	BaseURL string
+	// Tables to exercise. Empty discovers them via GET /tables.
+	Tables []string
+	// Workers is the concurrency. Zero uses DefaultWorkers.
+	Workers int
+	// Duration bounds wall time. Zero uses DefaultDuration (unless Total is
+	// set, in which case zero means unbounded time).
+	Duration time.Duration
+	// Total bounds the operation count across all workers. Zero means
+	// unbounded (Duration bounds the run).
+	Total int64
+	// FeedbackRatio is the fraction of estimates converted into feedback,
+	// i.e. an estimate:feedback ratio of 1:FeedbackRatio. Zero uses
+	// DefaultFeedbackRatio; negative disables feedback.
+	FeedbackRatio float64
+	// OpTimeout bounds one HTTP attempt. Zero uses DefaultOpTimeout.
+	OpTimeout time.Duration
+	// MaxOpRetries bounds backpressure retries per operation. Zero uses
+	// DefaultMaxOpRetries; negative disables retries.
+	MaxOpRetries int
+	// Seed makes query generation reproducible. Zero seeds from the clock.
+	Seed int64
+	// Transport overrides the HTTP transport (tests, chaos). Nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// OpStats is the per-operation-type slice of a Report.
+type OpStats struct {
+	Count   uint64  `json:"count"`
+	Errors  uint64  `json:"errors"`  // non-retried failures
+	Retries uint64  `json:"retries"` // backpressure retries honored
+	P50Ms   float64 `json:"p50_ms"`
+	P90Ms   float64 `json:"p90_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+}
+
+// Report is the run summary cmd/sthload emits as JSON.
+type Report struct {
+	Target     string   `json:"target"`
+	Tables     []string `json:"tables"`
+	Workers    int      `json:"workers"`
+	DurationMs float64  `json:"duration_ms"`
+	Ops        uint64   `json:"ops"`
+	OpsPerSec  float64  `json:"ops_per_sec"`
+	Estimate   OpStats  `json:"estimate"`
+	Feedback   OpStats  `json:"feedback"`
+}
+
+// tableDomain is what a worker needs to generate queries for one table.
+type tableDomain struct {
+	name string
+	lo   []float64
+	hi   []float64
+}
+
+// Runner drives one load run. Build with New, then Run.
+type Runner struct {
+	opts   Options
+	client *http.Client
+
+	estHist *telemetry.Histogram
+	fbHist  *telemetry.Histogram
+
+	ops        atomic.Int64
+	estErrs    atomic.Uint64
+	estRetries atomic.Uint64
+	fbErrs     atomic.Uint64
+	fbRetries  atomic.Uint64
+	estCount   atomic.Uint64
+	fbCount    atomic.Uint64
+}
+
+// New validates opts and prepares a runner.
+func New(opts Options) (*Runner, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = DefaultWorkers
+	}
+	if opts.Duration <= 0 && opts.Total <= 0 {
+		opts.Duration = DefaultDuration
+	}
+	if opts.FeedbackRatio == 0 {
+		opts.FeedbackRatio = DefaultFeedbackRatio
+	}
+	if opts.FeedbackRatio < 0 {
+		opts.FeedbackRatio = 0
+	}
+	if opts.FeedbackRatio > 1 {
+		return nil, fmt.Errorf("loadgen: FeedbackRatio %v > 1", opts.FeedbackRatio)
+	}
+	if opts.OpTimeout <= 0 {
+		opts.OpTimeout = DefaultOpTimeout
+	}
+	if opts.MaxOpRetries == 0 {
+		opts.MaxOpRetries = DefaultMaxOpRetries
+	}
+	if opts.MaxOpRetries < 0 {
+		opts.MaxOpRetries = 0
+	}
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano()
+	}
+	transport := opts.Transport
+	if transport == nil {
+		// Every worker talks to one target; DefaultTransport's 2 idle conns
+		// per host would churn TCP under any real worker count.
+		if base, ok := http.DefaultTransport.(*http.Transport); ok {
+			t := base.Clone()
+			t.MaxIdleConnsPerHost = DefaultWorkers * 8
+			t.MaxIdleConns = 0
+			transport = t
+		} else {
+			transport = http.DefaultTransport
+		}
+	}
+	reg := telemetry.NewRegistry()
+	return &Runner{
+		opts:   opts,
+		client: &http.Client{Transport: transport, Timeout: opts.OpTimeout},
+		estHist: reg.Histogram(metricLoadEstimateSeconds,
+			"Client-observed estimate latency in seconds.", telemetry.LatencyBuckets(), nil),
+		fbHist: reg.Histogram(metricLoadFeedbackSeconds,
+			"Client-observed feedback latency in seconds.", telemetry.LatencyBuckets(), nil),
+	}, nil
+}
+
+// discoverTables fetches GET /tables.
+func (r *Runner) discoverTables(ctx context.Context) ([]string, error) {
+	body, _, err := r.get(ctx, "/tables")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: discovering tables: %w", err)
+	}
+	var names []string
+	if err := json.Unmarshal(body, &names); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding /tables: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loadgen: target serves no tables")
+	}
+	return names, nil
+}
+
+// fetchDomain reads the table's domain from GET /stats.
+func (r *Runner) fetchDomain(ctx context.Context, table string) (tableDomain, error) {
+	body, _, err := r.get(ctx, "/stats?table="+table)
+	if err != nil {
+		return tableDomain{}, fmt.Errorf("loadgen: stats for %q: %w", table, err)
+	}
+	var stats struct {
+		Domain struct {
+			Lo []float64 `json:"lo"`
+			Hi []float64 `json:"hi"`
+		} `json:"domain"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return tableDomain{}, fmt.Errorf("loadgen: decoding stats for %q: %w", table, err)
+	}
+	if len(stats.Domain.Lo) == 0 || len(stats.Domain.Lo) != len(stats.Domain.Hi) {
+		return tableDomain{}, fmt.Errorf("loadgen: table %q advertises no usable domain", table)
+	}
+	return tableDomain{name: table, lo: stats.Domain.Lo, hi: stats.Domain.Hi}, nil
+}
+
+func (r *Runner) get(ctx context.Context, pathq string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.BaseURL+pathq, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, resp.StatusCode, fmt.Errorf("GET %s returned %d", pathq, resp.StatusCode)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// Run executes the load and returns the report. It respects ctx cancellation
+// on top of the configured bounds.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	tables := r.opts.Tables
+	if len(tables) == 0 {
+		var err error
+		tables, err = r.discoverTables(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	domains := make([]tableDomain, 0, len(tables))
+	for _, tbl := range tables {
+		d, err := r.fetchDomain(ctx, tbl)
+		if err != nil {
+			return nil, err
+		}
+		domains = append(domains, d)
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if r.opts.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, r.opts.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < r.opts.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.worker(runCtx, rand.New(rand.NewSource(r.opts.Seed+int64(id))), domains)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Target:     r.opts.BaseURL,
+		Tables:     tables,
+		Workers:    r.opts.Workers,
+		DurationMs: float64(elapsed) / float64(time.Millisecond),
+		Estimate:   r.opStats(r.estHist, r.estCount.Load(), r.estErrs.Load(), r.estRetries.Load()),
+		Feedback:   r.opStats(r.fbHist, r.fbCount.Load(), r.fbErrs.Load(), r.fbRetries.Load()),
+	}
+	rep.Ops = rep.Estimate.Count + rep.Feedback.Count
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / secs
+	}
+	return rep, nil
+}
+
+func (r *Runner) opStats(h *telemetry.Histogram, count, errs, retries uint64) OpStats {
+	st := OpStats{Count: count, Errors: errs, Retries: retries}
+	if n := h.Count(); n > 0 {
+		st.P50Ms = h.Quantile(0.50) * 1e3
+		st.P90Ms = h.Quantile(0.90) * 1e3
+		st.P99Ms = h.Quantile(0.99) * 1e3
+		st.MeanMs = h.Sum() / float64(n) * 1e3
+	}
+	return st
+}
+
+// worker runs the op loop until the context ends or the total bound trips.
+func (r *Runner) worker(ctx context.Context, rng *rand.Rand, domains []tableDomain) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if r.opts.Total > 0 && r.ops.Add(1) > r.opts.Total {
+			return
+		}
+		d := domains[rng.Intn(len(domains))]
+		lo, hi := d.query(rng)
+		est, ok := r.estimate(ctx, d.name, lo, hi)
+		if ok && r.opts.FeedbackRatio > 0 && rng.Float64() < r.opts.FeedbackRatio {
+			if r.opts.Total > 0 && r.ops.Add(1) > r.opts.Total {
+				return
+			}
+			r.feedback(ctx, d.name, lo, hi, est)
+		}
+	}
+}
+
+// query draws a uniform random range inside the domain.
+func (d tableDomain) query(rng *rand.Rand) (lo, hi []float64) {
+	lo = make([]float64, len(d.lo))
+	hi = make([]float64, len(d.lo))
+	for i := range d.lo {
+		a := d.lo[i] + rng.Float64()*(d.hi[i]-d.lo[i])
+		b := d.lo[i] + rng.Float64()*(d.hi[i]-d.lo[i])
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return lo, hi
+}
+
+// opOutcome classifies one operation: success, hard failure, or interrupted
+// by the run ending. Interrupted ops are neither errors nor successes — the
+// run boundary cut them off, the target did not fail them.
+type opOutcome int
+
+const (
+	opOK opOutcome = iota
+	opFailed
+	opCancelled
+)
+
+// estimate runs one estimate op (with backpressure retries) and returns the
+// estimated cardinality.
+func (r *Runner) estimate(ctx context.Context, table string, lo, hi []float64) (float64, bool) {
+	r.estCount.Add(1)
+	body, err := json.Marshal(map[string]any{"table": table, "lo": lo, "hi": hi})
+	if err != nil {
+		r.estErrs.Add(1)
+		return 0, false
+	}
+	respBody, outcome := r.post(ctx, "/estimate", body, r.estHist, &r.estRetries)
+	if outcome != opOK {
+		if outcome == opFailed {
+			r.estErrs.Add(1)
+		}
+		return 0, false
+	}
+	var est struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if err := json.Unmarshal(respBody, &est); err != nil {
+		r.estErrs.Add(1)
+		return 0, false
+	}
+	return est.Estimate, true
+}
+
+// feedback reports the estimate back as the observed actual.
+func (r *Runner) feedback(ctx context.Context, table string, lo, hi []float64, actual float64) {
+	r.fbCount.Add(1)
+	body, err := json.Marshal(map[string]any{"table": table, "lo": lo, "hi": hi, "actual": actual})
+	if err != nil {
+		r.fbErrs.Add(1)
+		return
+	}
+	if _, outcome := r.post(ctx, "/feedback", body, r.fbHist, &r.fbRetries); outcome == opFailed {
+		r.fbErrs.Add(1)
+	}
+}
+
+// post performs one operation with Retry-After-honoring retries. The latency
+// of every attempt is observed into hist (a retried op costs what the client
+// actually waited, not just the winning attempt).
+func (r *Runner) post(ctx context.Context, path string, body []byte, hist *telemetry.Histogram, retries *atomic.Uint64) ([]byte, opOutcome) {
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		respBody, status, retryAfter, err := r.postOnce(ctx, path, body)
+		hist.Observe(time.Since(start).Seconds())
+		if err == nil && status == http.StatusOK {
+			return respBody, opOK
+		}
+		if ctx.Err() != nil {
+			// The run ended while this op was in flight or about to retry:
+			// the boundary cut it off, it is not a target failure.
+			return nil, opCancelled
+		}
+		// Retry only transient conditions and only within budget.
+		transient := err != nil || status == http.StatusTooManyRequests || status >= 500
+		if !transient || attempt >= r.opts.MaxOpRetries {
+			return nil, opFailed
+		}
+		retries.Add(1)
+		t := time.NewTimer(retryAfterHint(retryAfter, attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, opCancelled
+		case <-t.C:
+		}
+	}
+}
+
+// postOnce fires one HTTP POST and returns body, status and the Retry-After
+// header (empty when absent).
+func (r *Runner) postOnce(ctx context.Context, path string, body []byte) ([]byte, int, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	cerr := resp.Body.Close()
+	retryAfter := resp.Header.Get("Retry-After")
+	if err != nil {
+		return nil, resp.StatusCode, retryAfter, err
+	}
+	if cerr != nil {
+		return nil, resp.StatusCode, retryAfter, cerr
+	}
+	return data, resp.StatusCode, retryAfter, nil
+}
+
+// retryAfterHint converts a Retry-After header (possibly empty) plus the
+// attempt number into a sleep: honor the hint when present (capped), else
+// back off exponentially from 10ms.
+func retryAfterHint(header string, attempt int) time.Duration {
+	if header != "" {
+		if secs, err := strconv.Atoi(header); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d == 0 {
+				d = 50 * time.Millisecond // "Retry-After: 0" means immediately-ish
+			}
+			if d > maxRetryAfterSleep {
+				d = maxRetryAfterSleep
+			}
+			return d
+		}
+	}
+	d := 10 * time.Millisecond << uint(attempt)
+	if d > maxRetryAfterSleep {
+		d = maxRetryAfterSleep
+	}
+	return d
+}

@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTarget mimics the sthistd surface the load generator touches: table
+// discovery, domain stats, estimates and feedback.
+func fakeTarget(t *testing.T, failFeedbackFirst int64) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var estimates, feedbacks atomic.Int64
+	var feedbackAttempts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tables", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]string{"orders"})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("table") != "orders" {
+			http.Error(w, `{"error":"unknown table"}`, http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"domain": map[string][]float64{"lo": {0, 0}, "hi": {100, 100}},
+		})
+	})
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Table string    `json:"table"`
+			Lo    []float64 `json:"lo"`
+			Hi    []float64 `json:"hi"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Table != "orders" {
+			http.Error(w, `{"error":"bad estimate"}`, http.StatusBadRequest)
+			return
+		}
+		for i := range req.Lo {
+			if req.Lo[i] < 0 || req.Hi[i] > 100 || req.Lo[i] > req.Hi[i] {
+				http.Error(w, `{"error":"query outside advertised domain"}`, http.StatusBadRequest)
+				return
+			}
+		}
+		estimates.Add(1)
+		_ = json.NewEncoder(w).Encode(map[string]float64{"estimate": 42, "selectivity": 0.1})
+	})
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Table  string    `json:"table"`
+			Lo     []float64 `json:"lo"`
+			Hi     []float64 `json:"hi"`
+			Actual *float64  `json:"actual"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Actual == nil {
+			http.Error(w, `{"error":"bad feedback"}`, http.StatusBadRequest)
+			return
+		}
+		if feedbackAttempts.Add(1) <= failFeedbackFirst {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		feedbacks.Add(1)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &estimates, &feedbacks
+}
+
+func TestRunTotalBoundedMix(t *testing.T) {
+	ts, estimates, feedbacks := fakeTarget(t, 0)
+	r, err := New(Options{
+		BaseURL:       ts.URL,
+		Workers:       4,
+		Total:         200,
+		FeedbackRatio: 0.3,
+		Seed:          17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Ops > 200 {
+		t.Fatalf("ops = %d, want (0, 200]", rep.Ops)
+	}
+	if rep.Estimate.Count == 0 {
+		t.Fatal("no estimates ran")
+	}
+	if rep.Feedback.Count == 0 {
+		t.Fatal("FeedbackRatio 0.3 produced no feedback")
+	}
+	if rep.Estimate.Errors != 0 || rep.Feedback.Errors != 0 {
+		t.Fatalf("healthy target produced errors: %+v %+v", rep.Estimate, rep.Feedback)
+	}
+	if estimates.Load() == 0 || feedbacks.Load() == 0 {
+		t.Fatal("server saw no traffic")
+	}
+	// The mix should be roughly 30% feedback (loose bounds; seeded rand).
+	ratio := float64(rep.Feedback.Count) / float64(rep.Estimate.Count)
+	if ratio < 0.1 || ratio > 0.6 {
+		t.Fatalf("feedback/estimate ratio = %v, want ~0.3", ratio)
+	}
+	if rep.Estimate.P50Ms <= 0 || rep.Estimate.P50Ms > rep.Estimate.P99Ms {
+		t.Fatalf("latency percentiles inconsistent: %+v", rep.Estimate)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Fatalf("ops/sec = %v", rep.OpsPerSec)
+	}
+}
+
+func TestRunDurationBounded(t *testing.T) {
+	ts, _, _ := fakeTarget(t, 0)
+	r, err := New(Options{
+		BaseURL:       ts.URL,
+		Workers:       2,
+		Duration:      150 * time.Millisecond,
+		FeedbackRatio: -1, // estimates only
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("duration-bounded run took %v", elapsed)
+	}
+	if rep.Feedback.Count != 0 {
+		t.Fatalf("FeedbackRatio < 0 still sent %d feedbacks", rep.Feedback.Count)
+	}
+	if rep.Estimate.Count == 0 {
+		t.Fatal("no estimates in a 150ms run")
+	}
+}
+
+// Backpressure with Retry-After must be absorbed as retries, not errors.
+func TestRunHonorsRetryAfter(t *testing.T) {
+	ts, _, feedbacks := fakeTarget(t, 3)
+	r, err := New(Options{
+		BaseURL:       ts.URL,
+		Workers:       1,
+		Total:         40,
+		FeedbackRatio: 1, // every estimate feeds back
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feedback.Errors != 0 {
+		t.Fatalf("backpressured feedback counted as %d errors, want retries", rep.Feedback.Errors)
+	}
+	if rep.Feedback.Retries == 0 {
+		t.Fatal("503+Retry-After produced no counted retries")
+	}
+	if feedbacks.Load() == 0 {
+		t.Fatal("no feedback ever landed after backpressure lifted")
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	if d := retryAfterHint("1", 0); d != time.Second {
+		t.Fatalf("Retry-After 1 -> %v", d)
+	}
+	if d := retryAfterHint("3600", 0); d != maxRetryAfterSleep {
+		t.Fatalf("huge Retry-After not capped: %v", d)
+	}
+	if d := retryAfterHint("0", 0); d <= 0 || d > time.Second {
+		t.Fatalf("Retry-After 0 -> %v", d)
+	}
+	if d := retryAfterHint("", 0); d != 10*time.Millisecond {
+		t.Fatalf("no header, attempt 0 -> %v", d)
+	}
+	if d := retryAfterHint("", 20); d != maxRetryAfterSleep {
+		t.Fatalf("deep attempt backoff not capped: %v", d)
+	}
+	if d := retryAfterHint("soon", 1); d != 20*time.Millisecond {
+		t.Fatalf("unparseable header should fall back to backoff, got %v", d)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := New(Options{BaseURL: "http://x", FeedbackRatio: 1.5}); err == nil {
+		t.Fatal("FeedbackRatio > 1 accepted")
+	}
+}

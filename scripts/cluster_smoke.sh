@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Cluster smoke test: 3 sthistd nodes + 1 sthproxy, mixed load from sthload,
+# SIGKILL the loaded table's primary mid-run. Asserts:
+#
+#   1. sthload exits 0 — zero non-retried client errors across the kill
+#      (the binary exits 3 when any operation ended in a hard error);
+#   2. the proxy marks the dead target unready (ready_targets drops to 2)
+#      within its advertised failover deadline plus probe slack;
+#   3. a replacement node started with -warm-from pointing at the proxy
+#      restores the dead table's shipped snapshot and rejoins, bringing
+#      ready_targets back to 3.
+#
+# Run via `make cluster-smoke` or directly. Needs curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    kill "${PIDS[@]}" >/dev/null 2>&1 || true
+    wait >/dev/null 2>&1 || true
+    rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- logs ---" >&2
+    tail -n 40 "$WORK"/*.log >&2 || true
+    exit 1
+}
+
+echo "== building sthistd, sthproxy, sthload"
+go build -o "$BIN" ./cmd/sthistd ./cmd/sthproxy ./cmd/sthload
+
+PORTS=(18081 18082 18083)
+PROXY=http://127.0.0.1:18090
+
+start_node() { # port data-dir [extra flags...]
+    local port=$1 dir=$2
+    shift 2
+    "$BIN/sthistd" -addr "127.0.0.1:$port" -table orders=@gauss:0.02 \
+        -buckets 40 -seed 3 -data-dir "$dir" -checkpoint-records 200 \
+        "$@" >"$WORK/sthistd-$port.log" 2>&1 &
+    echo $!
+}
+
+declare -A NODE_PID
+for port in "${PORTS[@]}"; do
+    NODE_PID[$port]=$(start_node "$port" "$WORK/node-$port")
+    PIDS+=("${NODE_PID[$port]}")
+done
+
+"$BIN/sthproxy" -addr 127.0.0.1:18090 \
+    -target "http://127.0.0.1:${PORTS[0]}" \
+    -target "http://127.0.0.1:${PORTS[1]}" \
+    -target "http://127.0.0.1:${PORTS[2]}" \
+    -probe-interval 100ms -probe-timeout 500ms \
+    >"$WORK/sthproxy.log" 2>&1 &
+PIDS+=($!)
+
+ready_targets() {
+    curl -fsS "$PROXY/cluster" 2>/dev/null | jq -r .ready_targets || echo 0
+}
+
+wait_ready_targets() { # want attempts
+    local want=$1 attempts=$2
+    for _ in $(seq "$attempts"); do
+        [ "$(ready_targets)" = "$want" ] && return 0
+        sleep 0.25
+    done
+    fail "proxy never saw $want ready targets (now: $(ready_targets))"
+}
+
+echo "== waiting for 3 ready targets behind the proxy"
+wait_ready_targets 3 80
+
+PRIMARY=$(curl -fsS "$PROXY/cluster?table=orders" | jq -r '.placement[0]')
+PRIMARY_PORT=${PRIMARY##*:}
+DEADLINE_MS=$(curl -fsS "$PROXY/cluster" | jq -r .failover_deadline_ms)
+echo "== primary for orders: $PRIMARY (failover deadline ${DEADLINE_MS}ms)"
+
+echo "== starting mixed load through the proxy (10s, kill at t+3s)"
+"$BIN/sthload" -target "$PROXY" -tables orders -workers 4 -duration 10s \
+    -feedback-ratio 0.2 -seed 7 -op-retries 16 -out "$WORK/load.json" \
+    >"$WORK/sthload.log" 2>&1 &
+LOAD_PID=$!
+PIDS+=($LOAD_PID)
+
+sleep 3
+echo "== SIGKILL primary (pid ${NODE_PID[$PRIMARY_PORT]})"
+kill -9 "${NODE_PID[$PRIMARY_PORT]}"
+KILLED_AT=$(date +%s%3N)
+
+# Failover detection: ready_targets must drop to 2 within the advertised
+# deadline plus generous probe/scheduler slack.
+BUDGET_MS=$((DEADLINE_MS + 2000))
+while [ "$(ready_targets)" != "2" ]; do
+    NOW=$(date +%s%3N)
+    [ $((NOW - KILLED_AT)) -gt "$BUDGET_MS" ] &&
+        fail "proxy did not mark the dead target unready within ${BUDGET_MS}ms"
+    sleep 0.1
+done
+NOW=$(date +%s%3N)
+echo "== proxy detected the dead target in $((NOW - KILLED_AT))ms"
+
+if ! wait "$LOAD_PID"; then
+    cat "$WORK/sthload.log" >&2 || true
+    fail "sthload reported non-retried client errors across the kill"
+fi
+echo "== load finished with zero non-retried errors"
+jq '{ops, ops_per_sec, estimate: {count: .estimate.count, errors: .estimate.errors, retries: .estimate.retries, p50_ms: .estimate.p50_ms}, feedback: {count: .feedback.count, errors: .feedback.errors, retries: .feedback.retries, p50_ms: .feedback.p50_ms}}' \
+    "$WORK/load.json" 2>/dev/null || cat "$WORK/load.json"
+
+echo "== restarting the dead node warm from the proxy's snapshot ship"
+NODE_PID[$PRIMARY_PORT]=$(start_node "$PRIMARY_PORT" "$WORK/node-$PRIMARY_PORT-reborn" -warm-from "$PROXY")
+PIDS+=("${NODE_PID[$PRIMARY_PORT]}")
+wait_ready_targets 3 80
+grep -q "warm-started from" "$WORK/sthistd-$PRIMARY_PORT.log" ||
+    fail "replacement node did not warm-start from the shipped snapshot"
+echo "== replacement node rejoined; 3 targets ready"
+
+echo "PASS: cluster smoke"
