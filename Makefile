@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift bench-cluster cluster-smoke obs-demo examples experiments cover
+.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift bench-trace bench-cluster cluster-smoke obs-demo examples experiments cover
 
 all: build vet lint test
 
@@ -85,6 +85,18 @@ bench-drift: lint
 		-pkg ./internal/httpapi -bench 'BenchmarkFeedbackDrift$$' -benchtime 300x -count 6 \
 		-guard-base 'BenchmarkFeedbackDrift/drift=off' \
 		-guard-subject 'BenchmarkFeedbackDrift/drift=on' \
+		-guard-max-ratio 1.05
+
+# Tracing overhead guard: always-on tracing (sample rate 1 — the worst case;
+# production head-samples a fraction) must cost < 5% on the feedback hot path
+# for the root span, queue-wait child, per-batch stage spans and ring flush.
+# Results land in results/BENCH_trace.json. sthlint rides along so the spanend
+# lifecycle check gates the same step.
+bench-trace: lint
+	$(GO) run ./cmd/benchjson -label $(LABEL) -out results/BENCH_trace.json \
+		-pkg ./internal/httpapi -bench 'BenchmarkFeedbackTrace$$' -benchtime 300x -count 6 \
+		-guard-base 'BenchmarkFeedbackTrace/trace=off' \
+		-guard-subject 'BenchmarkFeedbackTrace/trace=on' \
 		-guard-max-ratio 1.05
 
 # Proxy-overhead guard: the mixed estimate/feedback workload through the

@@ -72,6 +72,7 @@ import (
 	"sthist/internal/drift"
 	"sthist/internal/httpapi"
 	"sthist/internal/telemetry"
+	"sthist/internal/trace"
 	"sthist/internal/wal"
 )
 
@@ -154,6 +155,8 @@ func setup(args []string) (*daemon, error) {
 	batchWindow := fs.Duration("batch-window", 0,
 		"how long the feedback writer waits for stragglers before committing a batch (0 = commit immediately)")
 	telemetryOn := fs.Bool("telemetry", true, "enable metrics, flight recorder and rolling accuracy tracking")
+	traceSample := fs.Float64("trace-sample", 0,
+		"probability of head-sampling a distributed trace per request (0 disables tracing, 1 traces everything; slow and failed traces are tail-retained regardless)")
 	slowQuery := fs.Duration("slow-query", telemetry.DefaultSlowThreshold, "log feedback rounds at or above this latency (0 disables)")
 	traceEvents := fs.Int("trace-events", telemetry.DefaultTraceEvents, "flight-recorder ring capacity per table")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for /debug/pprof, /metrics and /debug/trace (empty = off)")
@@ -196,6 +199,9 @@ func setup(args []string) (*daemon, error) {
 	}
 	if *batchWindow < 0 {
 		return nil, fmt.Errorf("bad -batch-window %v (want >= 0)", *batchWindow)
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return nil, fmt.Errorf("bad -trace-sample %v (want 0..1)", *traceSample)
 	}
 	dcfg := drift.Config{
 		NAEThreshold:  *driftNAE,
@@ -249,6 +255,20 @@ func setup(args []string) (*daemon, error) {
 		}
 		d.tel = telemetry.New(telemetry.Options{TraceEvents: *traceEvents, SlowThreshold: slow})
 		d.srv.EnableTelemetry(d.tel)
+	}
+	if *traceSample > 0 {
+		// Slow-trace tail retention follows the same threshold that flags a
+		// feedback round as slow in the logs, so an exemplar and its log line
+		// agree on what "slow" means.
+		slow := *slowQuery
+		if slow == 0 {
+			slow = -1
+		}
+		d.srv.SetTracer(trace.New(trace.Options{
+			Service:       "sthistd:" + *addr,
+			SampleRate:    *traceSample,
+			SlowThreshold: slow,
+		}))
 	}
 
 	opts := sthist.Options{Buckets: *buckets, Seed: *seed, ValidateEvery: *validateEvery}

@@ -58,6 +58,10 @@ func run(args []string, out *os.File) (int, error) {
 	opTimeout := fs.Duration("op-timeout", loadgen.DefaultOpTimeout, "per-attempt HTTP timeout")
 	opRetries := fs.Int("op-retries", loadgen.DefaultMaxOpRetries, "backpressure retries per operation (negative disables)")
 	seed := fs.Int64("seed", 0, "query-generation seed (0 = from clock)")
+	traceSample := fs.Float64("trace-sample", 0,
+		"probability of head-sampling a distributed trace per operation (0 disables tracing; failed ops always report their trace ID)")
+	slowestK := fs.Int("slowest", loadgen.DefaultSlowestK,
+		"how many slowest-operation trace IDs to report at exit (needs -trace-sample > 0)")
 	jsonOut := fs.String("out", "", "write the JSON report to this file instead of stdout")
 	allowErrors := fs.Bool("allow-errors", false, "exit 0 even when operations ended in non-retried errors")
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +89,8 @@ func run(args []string, out *os.File) (int, error) {
 		OpTimeout:     *opTimeout,
 		MaxOpRetries:  *opRetries,
 		Seed:          *seed,
+		TraceSample:   *traceSample,
+		SlowestK:      *slowestK,
 	})
 	if err != nil {
 		return 2, err
@@ -112,6 +118,14 @@ func run(args []string, out *os.File) (int, error) {
 	fmt.Fprintf(os.Stderr, "sthload: %d ops in %v (%.0f ops/s), estimate errors=%d retries=%d, feedback errors=%d retries=%d\n",
 		rep.Ops, time.Since(start).Round(time.Millisecond), rep.OpsPerSec,
 		rep.Estimate.Errors, rep.Estimate.Retries, rep.Feedback.Errors, rep.Feedback.Retries)
+	// The chase-a-slow-query entry points: paste one of these IDs into
+	// GET /debug/trace/spans?trace=<id> on the proxy to see the whole story.
+	for _, ref := range rep.Slowest {
+		fmt.Fprintf(os.Stderr, "sthload: slowest %-10s %8.1fms  trace=%s\n", ref.Op, ref.Ms, ref.TraceID)
+	}
+	for _, ref := range rep.Failed {
+		fmt.Fprintf(os.Stderr, "sthload: FAILED  %-10s           trace=%s\n", ref.Op, ref.TraceID)
+	}
 	if !*allowErrors && (rep.Estimate.Errors > 0 || rep.Feedback.Errors > 0) {
 		return 3, fmt.Errorf("%d non-retried errors (estimate %d, feedback %d)",
 			rep.Estimate.Errors+rep.Feedback.Errors, rep.Estimate.Errors, rep.Feedback.Errors)

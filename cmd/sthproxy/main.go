@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"sthist/internal/cluster"
+	"sthist/internal/trace"
 )
 
 // targetList collects repeated -target flags.
@@ -70,6 +71,10 @@ func run(args []string) error {
 	probeTimeout := fs.Duration("probe-timeout", cluster.DefaultProbeTimeout, "readiness probe timeout")
 	downAfter := fs.Int("down-after", cluster.DefaultDownAfter, "consecutive failed probes before a target is unready")
 	upAfter := fs.Int("up-after", cluster.DefaultUpAfter, "consecutive successful probes before a target is ready")
+	traceSample := fs.Float64("trace-sample", 0,
+		"probability of head-sampling a distributed trace per proxied request (0 disables tracing; error and slow traces are tail-retained regardless)")
+	traceSlow := fs.Duration("trace-slow", trace.DefaultSlowThreshold,
+		"tail-retain any trace containing a span at or above this latency (0 = default, negative disables)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout (snapshot ships ride this)")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "in-flight drain budget on shutdown")
@@ -78,6 +83,17 @@ func run(args []string) error {
 	}
 	if len(targets) == 0 {
 		return fmt.Errorf("at least one -target is required")
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("bad -trace-sample %v (want 0..1)", *traceSample)
+	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Options{
+			Service:       "sthproxy",
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+		})
 	}
 
 	p, err := cluster.NewProxy(cluster.ProxyOptions{
@@ -89,6 +105,7 @@ func run(args []string) error {
 		RetryBase:      *retryBase,
 		RetryMax:       *retryMax,
 		HedgeAfter:     *hedgeAfter,
+		Tracer:         tracer,
 		Health: cluster.MonitorOptions{
 			Interval:  *probeInterval,
 			Timeout:   *probeTimeout,

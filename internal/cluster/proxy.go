@@ -9,10 +9,12 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"sthist/internal/telemetry"
+	"sthist/internal/trace"
 )
 
 // Defaults for ProxyOptions fields left zero.
@@ -55,6 +57,7 @@ const (
 	metricProxyUnhealthy = "sthist_proxy_target_unhealthy"
 	metricProxyShipDur   = "sthist_proxy_snapshot_ship_seconds"
 	metricProxyRequests  = "sthist_proxy_requests_total"
+	metricProxyDuration  = "sthist_proxy_request_duration_seconds"
 )
 
 // ProxyOptions configures NewProxy. Targets is required; everything else has
@@ -87,6 +90,11 @@ type ProxyOptions struct {
 	Health MonitorOptions
 	// Registry receives the proxy metrics. Nil creates a private registry.
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, records a proxy-side root span per proxied
+	// request, a child span per upstream attempt (with retry/hedge attrs),
+	// injects traceparent into every upstream call, and serves the
+	// cross-process trace assembly at /debug/trace/spans.
+	Tracer *trace.Tracer
 	// Seed seeds the backoff jitter. Zero derives one from the clock (jitter
 	// quality does not need determinism, tests that do pass a seed).
 	Seed int64
@@ -105,11 +113,14 @@ type Proxy struct {
 	client *http.Client
 	reg    *telemetry.Registry
 
+	tracer *trace.Tracer
+
 	retries  *telemetry.Counter
 	hedges   *telemetry.Counter
 	stale    *telemetry.Counter
 	shipDur  *telemetry.Histogram
-	requests map[string]*telemetry.Counter // per proxied route, fixed at construction
+	requests map[string]*telemetry.Counter   // per proxied route, fixed at construction
+	durs     map[string]*telemetry.Histogram // per proxied route, fixed at construction
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // guarded by rngMu
@@ -182,8 +193,10 @@ func NewProxy(opts ProxyOptions) (*Proxy, error) {
 		// request context so a hedged pair shares one budget.
 		client:   &http.Client{Transport: transport},
 		reg:      reg,
+		tracer:   opts.Tracer,
 		rng:      rand.New(rand.NewSource(seed)),
 		requests: make(map[string]*telemetry.Counter, len(proxiedRoutes)),
+		durs:     make(map[string]*telemetry.Histogram, len(proxiedRoutes)),
 	}
 	p.retries = reg.Counter(metricProxyRetries,
 		"Idempotent-read retry attempts beyond the first request.", nil)
@@ -197,6 +210,9 @@ func NewProxy(opts ProxyOptions) (*Proxy, error) {
 	for _, route := range proxiedRoutes {
 		p.requests[route] = reg.Counter(metricProxyRequests,
 			"Proxied requests by route.", telemetry.L("route", route))
+		p.durs[route] = reg.Histogram(metricProxyDuration,
+			"Proxied request latency by route, client-side of the proxy.",
+			telemetry.LatencyBuckets(), telemetry.L("route", route))
 	}
 	unhealthy := make(map[string]*telemetry.Gauge, len(opts.Targets))
 	for _, t := range ring.Targets() {
@@ -241,15 +257,17 @@ func (p *Proxy) Registry() *telemetry.Registry { return p.reg }
 // plus the proxy's own health split, metrics and cluster view.
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", p.handleEstimate)
-	mux.HandleFunc("/feedback", p.handleFeedback)
-	mux.HandleFunc("/stats", p.handleStats)
-	mux.HandleFunc("/tables", p.handleTables)
-	mux.HandleFunc("/snapshot", p.handleSnapshot)
+	mux.HandleFunc("/estimate", p.traced("/estimate", p.handleEstimate))
+	mux.HandleFunc("/feedback", p.traced("/feedback", p.handleFeedback))
+	mux.HandleFunc("/stats", p.traced("/stats", p.handleStats))
+	mux.HandleFunc("/tables", p.traced("/tables", p.handleTables))
+	mux.HandleFunc("/snapshot", p.traced("/snapshot", p.handleSnapshot))
 	mux.HandleFunc("/livez", p.handleLivez)
 	mux.HandleFunc("/readyz", p.handleReadyz)
 	mux.HandleFunc("/healthz", p.handleReadyz) // the proxy holds no state: healthy == ready
 	mux.HandleFunc("/cluster", p.handleCluster)
+	mux.HandleFunc("/debug/trace/spans", p.handleTraceSpans)
+	mux.HandleFunc("/debug/trace/exemplars", p.handleTraceExemplars)
 	mux.Handle("/metrics", p.reg.MetricsHandler())
 	return mux
 }
@@ -287,28 +305,45 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
 }
 
-// send performs one upstream attempt with the per-request timeout.
-func (p *Proxy) send(ctx context.Context, method, target, pathq, contentType string, body []byte) (*upstream, error) {
+// send performs one upstream attempt with the per-request timeout. When the
+// context carries a trace span, the attempt gets its own child span (named
+// "proxy.attempt", tagged with the ring target plus any caller attrs) whose
+// context is injected as the upstream traceparent — that handoff is what lets
+// the node's spans land in the same trace.
+func (p *Proxy) send(ctx context.Context, method, target, pathq, contentType string, body []byte, attrs ...trace.Attr) (*upstream, error) {
+	sp := trace.FromContext(ctx).StartChild("proxy.attempt", append(attrs, trace.A("target", target))...)
+	defer sp.End()
 	ctx, cancel := context.WithTimeout(ctx, p.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, target+pathq, bytes.NewReader(body))
 	if err != nil {
+		sp.SetError(err.Error())
 		return nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if sc := sp.Context(); sc.Valid() {
+		req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
+		sp.SetError(err.Error())
 		return nil, err
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
 	cerr := resp.Body.Close()
 	if err != nil {
+		sp.SetError(err.Error())
 		return nil, err
 	}
 	if cerr != nil {
+		sp.SetError(cerr.Error())
 		return nil, cerr
+	}
+	sp.SetAttr("code", strconv.Itoa(resp.StatusCode))
+	if retryable(resp.StatusCode) {
+		sp.SetError(http.StatusText(resp.StatusCode))
 	}
 	return &upstream{status: resp.StatusCode, header: resp.Header, body: data, target: target}, nil
 }
@@ -341,11 +376,12 @@ func (p *Proxy) hedged(ctx context.Context, method, pathq, contentType string, b
 		err error
 	}
 	results := make(chan outcome, 2)
-	attempt := func(target string) {
-		u, err := p.send(ctx, method, target, pathq, contentType, body)
+	attempt := func(target, role string) {
+		u, err := p.send(ctx, method, target, pathq, contentType, body,
+			trace.A("attempt", "0"), trace.A("hedge", role))
 		results <- outcome{u, err}
 	}
-	go attempt(first)
+	go attempt(first, "first")
 	timer := time.NewTimer(p.opts.HedgeAfter)
 	defer timer.Stop()
 	pending := 1
@@ -356,6 +392,11 @@ func (p *Proxy) hedged(ctx context.Context, method, pathq, contentType string, b
 		case r := <-results:
 			pending--
 			if r.err == nil && !retryable(r.u.status) {
+				if hedgedYet {
+					// The losing attempt's span identifies itself by not being
+					// this target; the winner is recorded on the root span.
+					trace.FromContext(ctx).SetAttr("hedge_winner", r.u.target)
+				}
 				return r.u, nil
 			}
 			last = r
@@ -367,7 +408,7 @@ func (p *Proxy) hedged(ctx context.Context, method, pathq, contentType string, b
 				hedgedYet = true
 				pending++
 				p.hedges.Inc()
-				go attempt(second)
+				go attempt(second, "hedge")
 			}
 		case <-ctx.Done():
 			if last.u != nil || last.err != nil {
@@ -391,7 +432,8 @@ func (p *Proxy) forwardIdempotent(ctx context.Context, method, pathq, contentTyp
 		if i == 0 && hedge && p.opts.HedgeAfter > 0 && len(cands) > 1 {
 			u, err = p.hedged(ctx, method, pathq, contentType, body, target, cands[1])
 		} else {
-			u, err = p.send(ctx, method, target, pathq, contentType, body)
+			u, err = p.send(ctx, method, target, pathq, contentType, body,
+				trace.A("attempt", strconv.Itoa(i)))
 		}
 		if err == nil && !retryable(u.status) {
 			return u, nil
@@ -473,7 +515,9 @@ func (p *Proxy) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// primary's feedback stream, so mark the response stale.
 		w.Header().Set("X-Sthist-Stale", "true")
 		p.stale.Inc()
+		trace.FromContext(r.Context()).SetAttr("stale", "true")
 	}
+	trace.FromContext(r.Context()).SetAttr("served_by", u.target)
 	w.Header().Set("X-Sthist-Served-By", u.target)
 	relay(w, u)
 }
@@ -497,6 +541,7 @@ func (p *Proxy) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		unavailable(w, err)
 		return
 	}
+	trace.FromContext(r.Context()).SetAttr("served_by", u.target)
 	w.Header().Set("X-Sthist-Served-By", u.target)
 	relay(w, u)
 }

@@ -44,6 +44,7 @@ import (
 	"sthist"
 	"sthist/internal/geom"
 	"sthist/internal/telemetry"
+	"sthist/internal/trace"
 	"sthist/internal/wal"
 )
 
@@ -83,6 +84,7 @@ type entry struct {
 	liveScratch []float64 // writer-owned scratch like reqScratch
 
 	jmu            sync.Mutex
+	walTap         *trace.WALTap // tracing tap chained into the WAL observer; guarded by jmu
 	log            *wal.Log      // guarded by jmu
 	appendErrors   int           // WAL appends that failed (served anyway, durability degraded); guarded by jmu
 	sinceCkpt      int           // records appended since the last checkpoint; guarded by jmu
@@ -100,6 +102,11 @@ type Server struct {
 	draining atomic.Bool
 	unready  atomic.Bool          // true while recovering/warming; inverted so the zero value serves
 	tel      *telemetry.Telemetry // guarded by mu
+	tracer   *trace.Tracer        // guarded by mu
+
+	// routeDurs is the per-route latency histogram set, published by
+	// instrumentMiddleware so the exemplar endpoint can enumerate it.
+	routeDurs map[string]*telemetry.Histogram // guarded by mu
 
 	queueDepth  int           // feedback queue depth for tables registered later; guarded by mu
 	batchMax    int           // max observations per group commit; guarded by mu
@@ -162,6 +169,9 @@ func (s *Server) register(name string, est *sthist.Estimator, l *wal.Log) error 
 	}
 	s.tables[name] = ent
 	s.wireTelemetryLocked(name, ent)
+	if s.tracer != nil {
+		ent.wireTraceTap()
+	}
 	go ent.writerLoop()
 	return nil
 }
@@ -269,12 +279,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/livez", s.handleLivez)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	// The span endpoints are always mounted (they answer 404 until a tracer
+	// is attached) so debug tooling has one stable URL space.
+	mux.HandleFunc("/debug/trace/spans", s.handleTraceSpans)
+	mux.HandleFunc("/debug/trace/exemplars", s.handleTraceExemplars)
 	var h http.Handler = mux
 	if tel := s.Telemetry(); tel != nil {
 		mux.Handle("/metrics", tel.MetricsHandler())
 		mux.Handle("/debug/trace", tel.TraceHandler())
 		h = s.instrumentMiddleware(tel, h)
 	}
+	// Tracing wraps instrumentation so the route middleware sees the span in
+	// the request context and can stamp latency exemplars with its trace ID.
+	h = s.traceMiddleware(h)
 	return recoverMiddleware(h)
 }
 
@@ -285,6 +302,7 @@ var instrumentedRoutes = map[string]bool{
 	"/tables": true, "/estimate": true, "/feedback": true,
 	"/stats": true, "/healthz": true, "/metrics": true, "/debug/trace": true,
 	"/livez": true, "/readyz": true, "/snapshot": true,
+	"/debug/trace/spans": true, "/debug/trace/exemplars": true,
 }
 
 // statusWriter captures the response code for the request counter.
@@ -334,6 +352,9 @@ func (s *Server) instrumentMiddleware(tel *telemetry.Telemetry, next http.Handle
 				telemetry.Labels{{Key: "route", Value: route}, {Key: "code", Value: strconv.Itoa(code)}})
 		}
 	}
+	s.mu.Lock()
+	s.routeDurs = durs
+	s.mu.Unlock()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := r.URL.Path
 		if !instrumentedRoutes[route] {
@@ -342,7 +363,14 @@ func (s *Server) instrumentMiddleware(tel *telemetry.Telemetry, next http.Handle
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		durs[route].Observe(time.Since(start).Seconds())
+		d := time.Since(start)
+		// A retained trace's ID rides the latency histogram as an exemplar,
+		// linking a bad bucket to a concrete /debug/trace/spans lookup.
+		if sp := trace.FromContext(r.Context()); exemplarKeep(s.Tracer(), sp, sw.code, d) {
+			durs[route].ObserveEx(d.Seconds(), sp.TraceID())
+		} else {
+			durs[route].Observe(d.Seconds())
+		}
 		c := counters[routeCode{route, sw.code}]
 		if c == nil {
 			c = reg.Counter("sthist_http_requests_total", httpRequestsHelp,
@@ -449,7 +477,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	est, sel, err := ent.estimate(q)
-	ent.rec.RecordEstimate(time.Since(start))
+	d := time.Since(start)
+	ent.rec.RecordEstimate(d)
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		sp.Event("estimate.compute", start, d, errMsg)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -503,7 +539,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	seq, err := ent.enqueue(q, actual)
+	seq, err := ent.enqueue(q, actual, trace.FromContext(r.Context()))
 	switch {
 	case errors.Is(err, errQueueFull):
 		ent.notePressure()

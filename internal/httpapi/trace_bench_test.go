@@ -5,21 +5,21 @@ import (
 	"testing"
 
 	"sthist"
-	"sthist/internal/drift"
 	"sthist/internal/geom"
 	"sthist/internal/telemetry"
+	"sthist/internal/trace"
 )
 
-// BenchmarkFeedbackDrift measures what arming the drift loop costs a table
-// whose workload is NOT drifting: the detector ticks and the reservoir
-// samples on every commit, but nothing ever fires, so this is the permanent
-// overhead every drift-enabled table pays. bench-drift guards the on/off
-// ratio at 1.05 via results/BENCH_drift.json.
-func BenchmarkFeedbackDrift(b *testing.B) {
+// BenchmarkFeedbackTrace measures what always-on tracing at sample rate 1
+// costs the feedback hot path: a root span per request, a queue-wait child,
+// the per-batch stage events, and the ring flush at End. This is the WORST
+// case — production head-samples a small fraction — so the bench-trace guard
+// holds the on/off ratio at 1.05 via results/BENCH_trace.json.
+func BenchmarkFeedbackTrace(b *testing.B) {
 	for _, on := range []bool{false, true} {
-		name := "drift=off"
+		name := "trace=off"
 		if on {
-			name = "drift=on"
+			name = "trace=on"
 		}
 		b.Run(name, func(b *testing.B) {
 			tab, err := sthist.NewTable("x", "y")
@@ -35,18 +35,16 @@ func BenchmarkFeedbackDrift(b *testing.B) {
 				b.Fatal(err)
 			}
 			s := NewServer()
-			// Telemetry is on in both arms: drift requires it, and the guard
-			// should isolate the drift delta, not re-measure telemetry's.
+			// Telemetry is on in both arms so the guard isolates tracing's
+			// delta, not telemetry's.
 			s.EnableTelemetry(telemetry.New(telemetry.Options{}))
 			if err := s.Register("orders", est); err != nil {
 				b.Fatal(err)
 			}
+			var tr *trace.Tracer
 			if on {
-				cfg := drift.DefaultConfig()
-				cfg.NAEThreshold = 1e9 // never fires: steady-state watching only
-				if err := s.EnableDrift("orders", cfg); err != nil {
-					b.Fatal(err)
-				}
+				tr = trace.New(trace.Options{Service: "bench", SampleRate: 1, Seed: 3})
+				s.SetTracer(tr)
 			}
 			ent, err := s.lookup("orders")
 			if err != nil {
@@ -66,9 +64,14 @@ func BenchmarkFeedbackDrift(b *testing.B) {
 
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ent.enqueue(queries[i%len(queries)], float64(5+i%40), nil); err != nil {
+				var sp *trace.Span
+				if tr != nil {
+					sp = tr.StartRoot("node /feedback")
+				}
+				if _, err := ent.enqueue(queries[i%len(queries)], float64(5+i%40), sp); err != nil {
 					b.Fatal(err)
 				}
+				sp.End()
 			}
 			b.StopTimer()
 			s.DrainFeedback()

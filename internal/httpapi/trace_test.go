@@ -1,0 +1,235 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sthist"
+	"sthist/internal/telemetry"
+	"sthist/internal/trace"
+	"sthist/internal/wal"
+)
+
+// newTracedServer builds a durable one-table server with tracing at sample
+// rate 1, so every request's trace is retained and stage spans are
+// observable.
+func newTracedServer(t *testing.T) (*Server, *httptest.Server, *trace.Tracer) {
+	t.Helper()
+	tab, err := sthist.NewTable("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tab.MustAppend([]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	est, err := sthist.Open(tab, sthist.Options{Buckets: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := wal.Open(filepath.Join(t.TempDir(), "orders"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	if err := s.RegisterDurable("orders", est, l); err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTelemetry(telemetry.New(telemetry.Options{}))
+	tr := trace.New(trace.Options{Service: "node-test", SampleRate: 1, Seed: 7})
+	s.SetTracer(tr)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.DrainFeedback()
+		_ = l.Close()
+	})
+	return s, ts, tr
+}
+
+func getSpans(t *testing.T, base, traceID string) []trace.SpanData {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/trace/spans?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spans endpoint status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Service string           `json:"service"`
+		Spans   []trace.SpanData `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Spans
+}
+
+func spanNames(spans []trace.SpanData) map[string]trace.SpanData {
+	m := make(map[string]trace.SpanData, len(spans))
+	for _, sp := range spans {
+		m[sp.Name] = sp
+	}
+	return m
+}
+
+func TestTraceMiddlewareStampsTraceID(t *testing.T) {
+	_, ts, _ := newTracedServer(t)
+
+	// Without a traceparent the node starts a fresh trace and stamps its ID.
+	resp, _ := post(t, ts.URL+"/estimate", map[string]any{
+		"table": "orders", "lo": []float64{0, 0}, "hi": []float64{100, 100},
+	})
+	id := resp.Header.Get(trace.TraceIDHeader)
+	if !trace.ValidTraceIDString(id) {
+		t.Fatalf("fresh request: bad %s %q", trace.TraceIDHeader, id)
+	}
+
+	// With a traceparent the node must continue the caller's trace.
+	const want = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/tables", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.TraceparentHeader, "00-"+want+"-00f067aa0ba902b7-01")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(trace.TraceIDHeader); got != want {
+		t.Fatalf("continued trace ID = %q, want %q", got, want)
+	}
+}
+
+func TestFeedbackStageSpans(t *testing.T) {
+	_, ts, _ := newTracedServer(t)
+
+	const traceID = "0123456789abcdef0123456789abcdef"
+	body := map[string]any{
+		"table": "orders", "lo": []float64{0, 0}, "hi": []float64{100, 100}, "actual": 42,
+	}
+	data, _ := json.Marshal(body)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/feedback", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.TraceparentHeader, "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status = %d", resp.StatusCode)
+	}
+
+	spans := getSpans(t, ts.URL, traceID)
+	byName := spanNames(spans)
+	root, ok := byName["node /feedback"]
+	if !ok {
+		t.Fatalf("no node root span; got %d spans: %+v", len(spans), byName)
+	}
+	if root.TraceID != traceID {
+		t.Errorf("root trace ID = %q, want %q", root.TraceID, traceID)
+	}
+	if root.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("root parent = %q, want caller span ID", root.ParentID)
+	}
+	for _, stage := range []string{"feedback.queue", "wal.append", "wal.fsync", "feedback.apply"} {
+		sp, ok := byName[stage]
+		if !ok {
+			t.Errorf("missing stage span %q", stage)
+			continue
+		}
+		if sp.ParentID != root.SpanID {
+			t.Errorf("%s parent = %q, want root %q", stage, sp.ParentID, root.SpanID)
+		}
+		if sp.TraceID != traceID {
+			t.Errorf("%s trace ID = %q", stage, sp.TraceID)
+		}
+	}
+	if sp := byName["wal.append"]; sp.Error != "" {
+		t.Errorf("wal.append unexpectedly failed: %q", sp.Error)
+	}
+}
+
+func TestTraceSpansEndpointValidation(t *testing.T) {
+	_, ts, _ := newTracedServer(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/debug/trace/spans", http.StatusOK},
+		{"/debug/trace/spans?n=5", http.StatusOK},
+		{"/debug/trace/spans?trace=0123456789abcdef0123456789abcdef", http.StatusOK},
+		{"/debug/trace/spans?trace=XYZ", http.StatusBadRequest},
+		{"/debug/trace/spans?trace=0123", http.StatusBadRequest},
+		{"/debug/trace/spans?n=-1", http.StatusBadRequest},
+		{"/debug/trace/spans?n=abc", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("GET %s = %d, want %d", c.url, resp.StatusCode, c.code)
+		}
+	}
+}
+
+func TestTraceSpansEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t) // no tracer attached
+	resp, err := http.Get(ts.URL + "/debug/trace/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("spans endpoint without tracer = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTraceExemplars(t *testing.T) {
+	_, ts, _ := newTracedServer(t)
+
+	// Sampled requests stamp exemplars on the route latency histogram.
+	post(t, ts.URL+"/estimate", map[string]any{
+		"table": "orders", "lo": []float64{0, 0}, "hi": []float64{50, 50},
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/debug/trace/exemplars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Routes map[string][]telemetry.BucketExemplar `json:"routes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if exs := out.Routes["/estimate"]; len(exs) > 0 {
+			if !trace.ValidTraceIDString(exs[0].TraceID) {
+				t.Fatalf("exemplar carries bad trace ID %q", exs[0].TraceID)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no exemplar appeared for /estimate")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

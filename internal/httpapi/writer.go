@@ -3,10 +3,12 @@ package httpapi
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"sthist"
 	"sthist/internal/geom"
+	"sthist/internal/trace"
 	"sthist/internal/wal"
 )
 
@@ -28,6 +30,14 @@ type feedbackReq struct {
 	q      geom.Rect
 	actual float64
 	done   chan feedbackResult // buffered(1); written exactly once by the writer
+
+	// Tracing (nil when the request is untraced): span is the node-side root
+	// span owned by the handler, qspan covers the queue wait and is ended by
+	// the writer at commit time. The writer must emit every stage event
+	// BEFORE replying on done — the handler ends the root span right after,
+	// which flushes the trace.
+	span  *trace.Span
+	qspan *trace.Span
 }
 
 // feedbackResult is the commit outcome handed back to the waiting handler.
@@ -89,11 +99,17 @@ func (s *Server) DrainFeedback() {
 // and waits for the commit outcome. It fails fast with errQueueFull when the
 // queue is at capacity (the handler maps this to 429 + Retry-After) and with
 // errTableDraining once DrainFeedback has closed the queue.
-func (e *entry) enqueue(q geom.Rect, actual float64) (uint64, error) {
+func (e *entry) enqueue(q geom.Rect, actual float64, sp *trace.Span) (uint64, error) {
 	req := &feedbackReq{q: q, actual: actual, done: make(chan feedbackResult, 1)}
+	if sp != nil {
+		req.span = sp
+		req.qspan = sp.StartChild("feedback.queue")
+	}
 	e.qmu.RLock()
 	if e.qclosed {
 		e.qmu.RUnlock()
+		req.qspan.SetError(errTableDraining.Error())
+		req.qspan.End()
 		return 0, errTableDraining
 	}
 	select {
@@ -101,6 +117,8 @@ func (e *entry) enqueue(q geom.Rect, actual float64) (uint64, error) {
 		e.qmu.RUnlock()
 	default:
 		e.qmu.RUnlock()
+		req.qspan.SetError(errQueueFull.Error())
+		req.qspan.End()
 		return 0, errQueueFull
 	}
 	res := <-req.done
@@ -185,16 +203,37 @@ func (e *entry) gatherBatch(batch []*feedbackReq) []*feedbackReq {
 func (e *entry) commitBatch(batch []*feedbackReq) {
 	e.jmu.Lock()
 	defer e.jmu.Unlock()
+	// Queue-wait spans end when their batch reaches the commit.
+	traced := false
+	for _, r := range batch {
+		if r.span != nil {
+			traced = true
+			r.qspan.End()
+		}
+	}
 	var firstSeq uint64
 	appended := false
+	var walStart time.Time
+	var wt trace.WALTimings
 	if e.log != nil {
 		recs := e.recScratch[:0]
 		for _, r := range batch {
 			recs = append(recs, wal.Record{Lo: r.q.Lo, Hi: r.q.Hi, Actual: r.actual})
 		}
 		e.recScratch = recs
+		tap := e.walTap
+		if !traced {
+			tap = nil
+		}
+		if tap != nil {
+			tap.Take() // drop timings from earlier untraced batches
+		}
 		var err error
+		walStart = time.Now()
 		firstSeq, err = e.log.AppendBatch(recs)
+		if tap != nil {
+			wt = tap.Take()
+		}
 		if err != nil {
 			e.appendErrors += len(batch)
 		} else {
@@ -210,7 +249,23 @@ func (e *entry) commitBatch(batch []*feedbackReq) {
 	// During probation the shadow comparison needs the live arm's answers
 	// from BEFORE this batch is learned; nil (free) otherwise.
 	liveEsts := e.driftPreApplyLocked(batch)
+	applyStart := time.Now()
 	errs, aerr := e.applyBatchLocked(obs)
+	applyDur := time.Since(applyStart)
+	// For a traced batch the drift step runs before the replies go out so its
+	// duration can ride the batch's traces — a handler ends (and flushes) its
+	// root span as soon as the reply lands. The step only reads obs/liveEsts,
+	// so the order is free to flip; untraced batches keep the reply-first
+	// order to get waiters unblocked as early as possible.
+	var driftDur time.Duration
+	if traced && aerr == nil {
+		driftStart := time.Now()
+		e.driftStepLocked(obs, liveEsts)
+		driftDur = time.Since(driftStart)
+	}
+	if traced {
+		e.emitStageSpansLocked(batch, walStart, wt, applyStart, applyDur, driftDur)
+	}
 	for i, r := range batch {
 		var res feedbackResult
 		switch {
@@ -223,7 +278,7 @@ func (e *entry) commitBatch(batch []*feedbackReq) {
 		}
 		r.done <- res
 	}
-	if aerr == nil {
+	if !traced && aerr == nil {
 		e.driftStepLocked(obs, liveEsts)
 	}
 	e.qmu.RLock()
@@ -231,6 +286,38 @@ func (e *entry) commitBatch(batch []*feedbackReq) {
 	e.qmu.RUnlock()
 	if bs != nil {
 		bs.Observe(float64(len(batch)))
+	}
+}
+
+// emitStageSpansLocked duplicates the batch-level stage timings into every
+// traced request of the batch: a group commit's append, fsync, apply and
+// drift step belong to each request that rode it, and the "batch" attribute
+// records how many shared the cost. Must run before the replies are sent
+// (see commitBatch); jmu is held by the caller.
+func (e *entry) emitStageSpansLocked(batch []*feedbackReq, walStart time.Time, wt trace.WALTimings, applyStart time.Time, applyDur, driftDur time.Duration) {
+	batchAttr := trace.A("batch", strconv.Itoa(len(batch)))
+	for _, r := range batch {
+		if r.span == nil {
+			continue
+		}
+		if wt.HasAppend {
+			msg := ""
+			if wt.AppendErr != nil {
+				msg = wt.AppendErr.Error()
+			}
+			r.span.Event("wal.append", walStart, wt.Append, msg, batchAttr)
+		}
+		if wt.HasSync {
+			msg := ""
+			if wt.SyncErr != nil {
+				msg = wt.SyncErr.Error()
+			}
+			r.span.Event("wal.fsync", walStart.Add(wt.Append), wt.Sync, msg, batchAttr)
+		}
+		r.span.Event("feedback.apply", applyStart, applyDur, "", batchAttr)
+		if e.drift != nil && driftDur > 0 {
+			r.span.Event("drift.shadow", applyStart.Add(applyDur), driftDur, "")
+		}
 	}
 }
 

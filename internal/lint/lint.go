@@ -17,6 +17,9 @@
 //     snapshot-publication point) must be fully built before the Store and
 //     never written afterwards, and pointers obtained from Load are
 //     read-only views.
+//   - spanend: every trace span minted by StartRoot/StartRemote/StartChild
+//     must reach End() on all return paths (or visibly escape to an owner
+//     that ends it), so no request silently vanishes from the trace rings.
 //
 // The suite is stdlib-only: packages are parsed with go/parser and
 // type-checked with go/types against export data obtained from the go
@@ -94,7 +97,7 @@ func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) 
 
 // Analyzers returns the full suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoAlloc(), LockCheck(), Determinism(), ErrFlow(), Publish()}
+	return []*Analyzer{NoAlloc(), LockCheck(), Determinism(), ErrFlow(), Publish(), SpanEnd()}
 }
 
 // checkNames returns the set of valid check names (for directive validation).

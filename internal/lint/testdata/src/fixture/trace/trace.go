@@ -1,0 +1,32 @@
+// Package trace is a lint-fixture stub of sthist's internal/trace: just
+// enough surface for the spanend analyzer, which matches the Start* methods
+// by name and by their *trace.Span result type. The package is itself named
+// trace so the analyzer's self-exemption for the real implementation does
+// NOT apply to clients importing it — only to this package's own bodies.
+package trace
+
+// SpanContext identifies a trace across processes.
+type SpanContext struct {
+	TraceID string
+}
+
+// Span is one traced operation.
+type Span struct{}
+
+// Tracer mints spans.
+type Tracer struct{}
+
+// StartRoot begins a fresh trace.
+func (t *Tracer) StartRoot(name string) *Span { return &Span{} }
+
+// StartRemote continues a propagated context.
+func (t *Tracer) StartRemote(sc SpanContext, name string) *Span { return &Span{} }
+
+// StartChild begins a child span.
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+
+// End completes the span.
+func (s *Span) End() {}
+
+// SetError marks the span failed.
+func (s *Span) SetError(msg string) {}

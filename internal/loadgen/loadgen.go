@@ -27,12 +27,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sthist/internal/telemetry"
+	"sthist/internal/trace"
 )
 
 // Defaults for Options fields left zero.
@@ -44,6 +46,12 @@ const (
 	// DefaultMaxOpRetries bounds how often one operation is retried on
 	// backpressure before counting as an error.
 	DefaultMaxOpRetries = 8
+	// DefaultSlowestK is how many slowest-operation trace references the
+	// report keeps when tracing is on.
+	DefaultSlowestK = 5
+	// maxFailedTraces caps the failed-operation trace list so a full outage
+	// cannot balloon the report.
+	maxFailedTraces = 32
 	// maxRetryAfterSleep caps an upstream Retry-After hint so a hostile or
 	// buggy header cannot park a worker for minutes.
 	maxRetryAfterSleep = 2 * time.Second
@@ -83,6 +91,24 @@ type Options struct {
 	// Transport overrides the HTTP transport (tests, chaos). Nil uses
 	// http.DefaultTransport.
 	Transport http.RoundTripper
+	// TraceSample, when > 0, makes every operation originate a W3C
+	// traceparent with this head-sampling probability. The trace ID is reused
+	// across an operation's backpressure retries, so one op is one trace even
+	// when the proxy bounced it. The report then carries the trace IDs of the
+	// slowest and all failed operations.
+	TraceSample float64
+	// SlowestK is how many slowest-operation traces the report keeps. Zero
+	// uses DefaultSlowestK; negative disables. Only meaningful with
+	// TraceSample > 0.
+	SlowestK int
+}
+
+// TraceRef points one reported operation at its distributed trace: quote the
+// ID to GET /debug/trace/spans?trace= on the proxy for the assembled timeline.
+type TraceRef struct {
+	Op      string  `json:"op"`
+	TraceID string  `json:"trace_id"`
+	Ms      float64 `json:"ms"`
 }
 
 // OpStats is the per-operation-type slice of a Report.
@@ -106,6 +132,11 @@ type Report struct {
 	OpsPerSec  float64  `json:"ops_per_sec"`
 	Estimate   OpStats  `json:"estimate"`
 	Feedback   OpStats  `json:"feedback"`
+	// Slowest and Failed carry trace references when TraceSample > 0:
+	// the K slowest successful operations and up to maxFailedTraces failed
+	// ones, each resolvable via /debug/trace/spans?trace=.
+	Slowest []TraceRef `json:"slowest,omitempty"`
+	Failed  []TraceRef `json:"failed_traces,omitempty"`
 }
 
 // tableDomain is what a worker needs to generate queries for one table.
@@ -119,6 +150,7 @@ type tableDomain struct {
 type Runner struct {
 	opts   Options
 	client *http.Client
+	tracer *trace.Tracer // nil when TraceSample <= 0; mints contexts, records no spans
 
 	estHist *telemetry.Histogram
 	fbHist  *telemetry.Histogram
@@ -130,6 +162,10 @@ type Runner struct {
 	fbRetries  atomic.Uint64
 	estCount   atomic.Uint64
 	fbCount    atomic.Uint64
+
+	traceMu sync.Mutex
+	slowest []TraceRef // top-K by Ms, unsorted; guarded by traceMu
+	failed  []TraceRef // capped at maxFailedTraces; guarded by traceMu
 }
 
 // New validates opts and prepares a runner.
@@ -164,6 +200,15 @@ func New(opts Options) (*Runner, error) {
 	if opts.Seed == 0 {
 		opts.Seed = time.Now().UnixNano()
 	}
+	if opts.TraceSample > 1 {
+		opts.TraceSample = 1
+	}
+	if opts.SlowestK == 0 {
+		opts.SlowestK = DefaultSlowestK
+	}
+	if opts.SlowestK < 0 {
+		opts.SlowestK = 0
+	}
 	transport := opts.Transport
 	if transport == nil {
 		// Every worker talks to one target; DefaultTransport's 2 idle conns
@@ -177,10 +222,19 @@ func New(opts Options) (*Runner, error) {
 			transport = http.DefaultTransport
 		}
 	}
+	var tracer *trace.Tracer
+	if opts.TraceSample > 0 {
+		tracer = trace.New(trace.Options{
+			Service:    "sthload",
+			SampleRate: opts.TraceSample,
+			Seed:       opts.Seed,
+		})
+	}
 	reg := telemetry.NewRegistry()
 	return &Runner{
 		opts:   opts,
 		client: &http.Client{Transport: transport, Timeout: opts.OpTimeout},
+		tracer: tracer,
 		estHist: reg.Histogram(metricLoadEstimateSeconds,
 			"Client-observed estimate latency in seconds.", telemetry.LatencyBuckets(), nil),
 		fbHist: reg.Histogram(metricLoadFeedbackSeconds,
@@ -296,6 +350,11 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
 	}
+	r.traceMu.Lock()
+	rep.Slowest = append([]TraceRef(nil), r.slowest...)
+	rep.Failed = append([]TraceRef(nil), r.failed...)
+	r.traceMu.Unlock()
+	sort.Slice(rep.Slowest, func(i, j int) bool { return rep.Slowest[i].Ms > rep.Slowest[j].Ms })
 	return rep, nil
 }
 
@@ -398,13 +457,18 @@ func (r *Runner) feedback(ctx context.Context, table string, lo, hi []float64, a
 
 // post performs one operation with Retry-After-honoring retries. The latency
 // of every attempt is observed into hist (a retried op costs what the client
-// actually waited, not just the winning attempt).
+// actually waited, not just the winning attempt). With tracing on, the op
+// mints one trace context up front and reuses it across retries — one
+// operation is one trace, however many times backpressure bounced it.
 func (r *Runner) post(ctx context.Context, path string, body []byte, hist *telemetry.Histogram, retries *atomic.Uint64) ([]byte, opOutcome) {
+	sc := r.tracer.NewContext()
+	opStart := time.Now()
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
-		respBody, status, retryAfter, err := r.postOnce(ctx, path, body)
+		respBody, status, retryAfter, err := r.postOnce(ctx, path, body, sc)
 		hist.Observe(time.Since(start).Seconds())
 		if err == nil && status == http.StatusOK {
+			r.noteSlowest(path, sc, time.Since(opStart))
 			return respBody, opOK
 		}
 		if ctx.Err() != nil {
@@ -415,6 +479,7 @@ func (r *Runner) post(ctx context.Context, path string, body []byte, hist *telem
 		// Retry only transient conditions and only within budget.
 		transient := err != nil || status == http.StatusTooManyRequests || status >= 500
 		if !transient || attempt >= r.opts.MaxOpRetries {
+			r.noteFailed(path, sc, time.Since(opStart))
 			return nil, opFailed
 		}
 		retries.Add(1)
@@ -428,14 +493,54 @@ func (r *Runner) post(ctx context.Context, path string, body []byte, hist *telem
 	}
 }
 
-// postOnce fires one HTTP POST and returns body, status and the Retry-After
-// header (empty when absent).
-func (r *Runner) postOnce(ctx context.Context, path string, body []byte) ([]byte, int, string, error) {
+// noteSlowest keeps the top-K slowest successful ops by evicting the current
+// minimum — K is small, so a scan beats a heap.
+func (r *Runner) noteSlowest(op string, sc trace.SpanContext, d time.Duration) {
+	if !sc.Valid() || r.opts.SlowestK <= 0 {
+		return
+	}
+	ref := TraceRef{Op: op, TraceID: sc.TraceID.String(), Ms: float64(d) / float64(time.Millisecond)}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if len(r.slowest) < r.opts.SlowestK {
+		r.slowest = append(r.slowest, ref)
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.slowest); i++ {
+		if r.slowest[i].Ms < r.slowest[min].Ms {
+			min = i
+		}
+	}
+	if ref.Ms > r.slowest[min].Ms {
+		r.slowest[min] = ref
+	}
+}
+
+// noteFailed records a failed op's trace reference (capped).
+func (r *Runner) noteFailed(op string, sc trace.SpanContext, d time.Duration) {
+	if !sc.Valid() {
+		return
+	}
+	ref := TraceRef{Op: op, TraceID: sc.TraceID.String(), Ms: float64(d) / float64(time.Millisecond)}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if len(r.failed) < maxFailedTraces {
+		r.failed = append(r.failed, ref)
+	}
+}
+
+// postOnce fires one HTTP POST (injecting the op's traceparent when tracing)
+// and returns body, status and the Retry-After header (empty when absent).
+func (r *Runner) postOnce(ctx context.Context, path string, body []byte, sc trace.SpanContext) ([]byte, int, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc.Valid() {
+		req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, 0, "", err

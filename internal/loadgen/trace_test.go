@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sthist/internal/trace"
+)
+
+// tracingTarget records the traceparent header of every /feedback attempt and
+// fails the first failFirst of them with a retryable 503.
+func tracingTarget(t *testing.T, failFirst int) (*httptest.Server, func() []string) {
+	t.Helper()
+	var mu sync.Mutex
+	var fbParents []string
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tables", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]string{"orders"})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"domain": map[string][]float64{"lo": {0, 0}, "hi": {100, 100}},
+		})
+	})
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]float64{"estimate": 42})
+	})
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		fbParents = append(fbParents, r.Header.Get(trace.TraceparentHeader))
+		attempts++
+		fail := attempts <= failFirst
+		mu.Unlock()
+		if fail {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), fbParents...)
+	}
+}
+
+// With TraceSample on, every op injects a traceparent, the trace ID survives
+// the op's backpressure retries, and the report quotes the slowest ops.
+func TestRunInjectsTraceparentAndReportsSlowest(t *testing.T) {
+	ts, parents := tracingTarget(t, 1) // first feedback attempt bounces, retry succeeds
+	r, err := New(Options{
+		BaseURL:       ts.URL,
+		Workers:       1,
+		Total:         40,
+		FeedbackRatio: 1,
+		Seed:          17,
+		TraceSample:   1,
+		SlowestK:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feedback.Errors != 0 {
+		t.Fatalf("retried feedback counted as error: %+v", rep.Feedback)
+	}
+	got := parents()
+	if len(got) < 2 {
+		t.Fatalf("target saw %d feedback attempts, want >= 2", len(got))
+	}
+	for i, tp := range got {
+		sc, err := trace.ParseTraceparent(tp)
+		if err != nil || !sc.Valid() {
+			t.Fatalf("attempt %d carried bad traceparent %q: %v", i, tp, err)
+		}
+	}
+	// The bounced attempt and its retry share one trace ID.
+	sc0, _ := trace.ParseTraceparent(got[0])
+	sc1, _ := trace.ParseTraceparent(got[1])
+	if sc0.TraceID != sc1.TraceID {
+		t.Errorf("retry minted a fresh trace: %s vs %s", sc0.TraceID, sc1.TraceID)
+	}
+	if len(rep.Slowest) == 0 || len(rep.Slowest) > 3 {
+		t.Fatalf("slowest = %d refs, want 1..3", len(rep.Slowest))
+	}
+	for i, ref := range rep.Slowest {
+		if !trace.ValidTraceIDString(ref.TraceID) {
+			t.Errorf("slowest[%d] has bad trace ID %q", i, ref.TraceID)
+		}
+		if i > 0 && ref.Ms > rep.Slowest[i-1].Ms {
+			t.Errorf("slowest not sorted descending at %d", i)
+		}
+	}
+}
+
+// Operations that exhaust retries land in the failed-trace list.
+func TestRunReportsFailedTraces(t *testing.T) {
+	ts, _ := tracingTarget(t, 1<<30) // feedback always fails
+	r, err := New(Options{
+		BaseURL:       ts.URL,
+		Workers:       1,
+		Total:         20,
+		FeedbackRatio: 1,
+		MaxOpRetries:  -1, // fail fast, no retries
+		Seed:          5,
+		TraceSample:   0.5, // even unsampled ops must still report their trace ID
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feedback.Errors == 0 {
+		t.Fatal("always-failing feedback produced no errors")
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("failed ops left no trace references")
+	}
+	for _, ref := range rep.Failed {
+		if ref.Op != "/feedback" {
+			t.Errorf("failed ref op = %q", ref.Op)
+		}
+		if !trace.ValidTraceIDString(ref.TraceID) {
+			t.Errorf("failed ref has bad trace ID %q", ref.TraceID)
+		}
+	}
+}
+
+// Without tracing the report carries no trace references and no headers leak.
+func TestRunWithoutTracingInjectsNothing(t *testing.T) {
+	ts, parents := tracingTarget(t, 0)
+	r, err := New(Options{BaseURL: ts.URL, Workers: 1, Total: 10, FeedbackRatio: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slowest) != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("untraced run reported trace refs: %+v %+v", rep.Slowest, rep.Failed)
+	}
+	for _, tp := range parents() {
+		if tp != "" {
+			t.Fatalf("untraced run injected traceparent %q", tp)
+		}
+	}
+}

@@ -57,6 +57,27 @@ type Histogram struct {
 	inf    atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// ex holds the latest trace-ID exemplar per bucket (len(bounds)+1, the
+	// last slot is +Inf). Exemplars ride alongside the counters and are
+	// exposed over the trace endpoints, never in the text exposition — the
+	// Prometheus text 0.0.4 output is pinned by golden file and stays
+	// byte-identical whether or not tracing runs.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, so a bad
+// latency bucket resolves to a concrete request (GET /debug/trace/spans).
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
+// BucketExemplar is one bucket's exemplar with its upper bound (+Inf is
+// math.Inf(1)).
+type BucketExemplar struct {
+	UpperBound float64 `json:"le"`
+	TraceID    string  `json:"trace_id"`
+	Value      float64 `json:"value"`
 }
 
 // ExponentialBuckets returns n ascending upper bounds starting at start and
@@ -88,7 +109,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	cp := make([]float64, len(bounds))
 	copy(cp, bounds)
-	return &Histogram{bounds: cp, counts: make([]atomic.Uint64, len(bounds))}
+	return &Histogram{
+		bounds: cp,
+		counts: make([]atomic.Uint64, len(bounds)),
+		ex:     make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -111,6 +136,35 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveEx records one value and, when traceID is non-empty, stamps it as
+// the bucket's exemplar (last writer wins; readers use Exemplars).
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// Exemplars returns the buckets that currently carry an exemplar, ascending
+// by upper bound. Empty (not nil) when tracing never stamped one.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	out := make([]BucketExemplar, 0, len(h.ex))
+	for i := range h.ex {
+		e := h.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out = append(out, BucketExemplar{UpperBound: ub, TraceID: e.TraceID, Value: e.Value})
+	}
+	return out
 }
 
 // Count returns the number of observations.

@@ -147,7 +147,10 @@ func (t *Telemetry) MetricsHandler() http.Handler {
 // TraceHandler serves GET /debug/trace?table=T&n=K[&slow=1]: the last K
 // flight-recorder events of table T as JSON, oldest first. Without n it
 // returns everything retained; with slow=1 it serves the slow-round log
-// instead of the full ring.
+// instead of the full ring. Malformed parameters — an unknown table, a
+// non-integer or negative n, a slow value other than 0/1/true/false — are
+// rejected with 400 rather than silently defaulted, so a typo in a debug
+// session cannot masquerade as an empty result.
 func (t *Telemetry) TraceHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
@@ -169,8 +172,17 @@ func (t *Telemetry) TraceHandler() http.Handler {
 			}
 			n = v
 		}
+		slow := false
+		switch s := req.URL.Query().Get("slow"); s {
+		case "", "0", "false":
+		case "1", "true":
+			slow = true
+		default:
+			http.Error(w, fmt.Sprintf("bad slow %q (want 0 or 1)", s), http.StatusBadRequest)
+			return
+		}
 		var events []TraceEvent
-		if req.URL.Query().Get("slow") == "1" {
+		if slow {
 			events = rec.Slow(n)
 		} else {
 			events = rec.Last(n)

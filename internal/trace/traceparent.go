@@ -1,0 +1,129 @@
+// W3C Trace Context propagation: the traceparent header ties one logical
+// request together across sthload, sthproxy and sthistd processes. Only the
+// header's version-00 form is emitted; parsing additionally tolerates
+// higher versions with trailing fields, as the spec requires of forwards.
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the canonical header name (HTTP headers are
+// case-insensitive; the spec spells it lowercase).
+const TraceparentHeader = "traceparent"
+
+// TraceIDHeader is the response header every traced server stamps, so a
+// client that never set a traceparent can still quote the ID when reporting
+// a slow or failed request.
+const TraceIDHeader = "X-Sthist-Trace-Id"
+
+// TraceID identifies one end-to-end request across processes.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// String returns the 32-digit lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the 16-digit lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports the invalid all-zeros ID (the spec forbids emitting it).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports the invalid all-zeros ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext is the propagated slice of a span: enough to parent a remote
+// child and to carry the head-sampling decision downstream.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the version-00 header value.
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. The zero SpanContext
+// and an error come back for anything malformed: wrong field count, bad
+// lengths, uppercase or non-hex digits, all-zero IDs, or the reserved
+// version ff. Unknown future versions parse as long as their first four
+// fields have the version-00 shape (per the W3C forward-compatibility rule).
+func ParseTraceparent(h string) (SpanContext, error) {
+	if h == "" {
+		return SpanContext{}, fmt.Errorf("trace: empty traceparent")
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, fmt.Errorf("trace: traceparent has %d fields, need 4", len(parts))
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isLowerHex(version, 2) {
+		return SpanContext{}, fmt.Errorf("trace: bad traceparent version %q", version)
+	}
+	if version == "ff" {
+		return SpanContext{}, fmt.Errorf("trace: reserved traceparent version ff")
+	}
+	if version == "00" && len(parts) != 4 {
+		return SpanContext{}, fmt.Errorf("trace: version 00 traceparent has %d fields, need exactly 4", len(parts))
+	}
+	if !isLowerHex(traceID, 32) {
+		return SpanContext{}, fmt.Errorf("trace: bad trace-id %q", traceID)
+	}
+	if !isLowerHex(spanID, 16) {
+		return SpanContext{}, fmt.Errorf("trace: bad parent-id %q", spanID)
+	}
+	if !isLowerHex(flags, 2) {
+		return SpanContext{}, fmt.Errorf("trace: bad trace-flags %q", flags)
+	}
+	var sc SpanContext
+	_, _ = hex.Decode(sc.TraceID[:], []byte(traceID)) // validated above
+	_, _ = hex.Decode(sc.SpanID[:], []byte(spanID))
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("trace: all-zero trace-id")
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, fmt.Errorf("trace: all-zero parent-id")
+	}
+	var fb [1]byte
+	_, _ = hex.Decode(fb[:], []byte(flags))
+	sc.Sampled = fb[0]&0x01 != 0
+	return sc, nil
+}
+
+// ValidTraceIDString reports whether s is a well-formed (lowercase hex,
+// non-zero) trace ID — the validation the /debug/trace/spans endpoints apply
+// to their ?trace= parameter before scanning any ring.
+func ValidTraceIDString(s string) bool {
+	if !isLowerHex(s, 32) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+// isLowerHex reports whether s is exactly n lowercase hex digits.
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

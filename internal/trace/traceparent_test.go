@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{Service: "test", SampleRate: 1, Seed: 42})
+	sc := tr.NewContext()
+	if !sc.Valid() {
+		t.Fatalf("NewContext returned invalid context: %+v", sc)
+	}
+	if !sc.Sampled {
+		t.Fatalf("SampleRate 1 must sample every context")
+	}
+	h := sc.Traceparent()
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip mismatch: sent %+v got %+v", sc, got)
+	}
+	// Unsampled contexts round-trip the flag too.
+	unsampled := SpanContext{TraceID: sc.TraceID, SpanID: sc.SpanID, Sampled: false}
+	got, err = ParseTraceparent(unsampled.Traceparent())
+	if err != nil {
+		t.Fatalf("unsampled round trip: %v", err)
+	}
+	if got.Sampled {
+		t.Fatalf("flags 00 parsed as sampled")
+	}
+}
+
+func TestTraceparentHeaderShape(t *testing.T) {
+	sc := SpanContext{Sampled: true}
+	sc.TraceID[0], sc.TraceID[15] = 0x0a, 0xff
+	sc.SpanID[7] = 0x01
+	got := sc.Traceparent()
+	want := "00-0a0000000000000000000000000000ff-0000000000000001-01"
+	if got != want {
+		t.Fatalf("Traceparent() = %q, want %q", got, want)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, err := ParseTraceparent(valid); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	// A future version with a trailing field must still parse.
+	future := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"
+	if _, err := ParseTraceparent(future); err != nil {
+		t.Fatalf("future-version header rejected: %v", err)
+	}
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",          // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // version 00 takes exactly 4 fields
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // reserved version
+		"0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",        // short version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",        // short trace-id
+		"00-4bf92f3577b34da6a3ce929d0e0e47366-00f067aa0ba902b7-01",      // long trace-id
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace-id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero parent-id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902g7-01",       // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",       // bad flags
+	}
+	for _, h := range bad {
+		if sc, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header: %+v", h, sc)
+		}
+	}
+}
+
+func TestValidTraceIDString(t *testing.T) {
+	if !ValidTraceIDString("4bf92f3577b34da6a3ce929d0e0e4736") {
+		t.Fatalf("valid trace ID rejected")
+	}
+	for _, s := range []string{"", "zz", strings.Repeat("0", 32), strings.Repeat("A", 32), strings.Repeat("a", 31)} {
+		if ValidTraceIDString(s) {
+			t.Errorf("ValidTraceIDString(%q) = true", s)
+		}
+	}
+}
+
+// FuzzParseTraceparent asserts parse never panics and that every accepted
+// header re-renders to a header that parses to the same context (inject ->
+// extract is a fixed point after one round).
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-tail")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("00---")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add(strings.Repeat("-", 60))
+	f.Add("\x00\xff-byte salad")
+	f.Fuzz(func(t *testing.T, h string) {
+		sc, err := ParseTraceparent(h)
+		if err != nil {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted header %q produced invalid context %+v", h, sc)
+		}
+		again, err := ParseTraceparent(sc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-rendered header %q rejected: %v", sc.Traceparent(), err)
+		}
+		if again != sc {
+			t.Fatalf("re-parse mismatch: %+v vs %+v", sc, again)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// WALObserver mirrors wal.Observer structurally (this package must not
+// import internal/wal — the dependency points the other way at wiring time).
+type WALObserver interface {
+	ObserveAppend(d time.Duration, err error)
+	ObserveSync(d time.Duration, err error)
+	ObserveCheckpoint(d time.Duration, err error)
+}
+
+// WALTimings is one batch's durability timing as seen by a WALTap: the
+// append (framing + write) and the fsync that followed it, if any.
+type WALTimings struct {
+	Append    time.Duration
+	AppendErr error
+	HasAppend bool
+	Sync      time.Duration
+	SyncErr   error
+	HasSync   bool
+}
+
+// WALTap satisfies wal.Observer and remembers the latest append/fsync
+// timings so the writer goroutine can convert them into spans right after
+// wal.AppendBatch returns (the Observer callbacks run synchronously inside
+// that call). Next, when non-nil, receives every callback unchanged — the
+// tap chains in front of telemetry.WALMetrics without displacing it.
+type WALTap struct {
+	Next WALObserver // immutable after construction
+
+	mu sync.Mutex
+	t  WALTimings // guarded by mu
+}
+
+// ObserveAppend implements wal.Observer.
+func (w *WALTap) ObserveAppend(d time.Duration, err error) {
+	w.mu.Lock()
+	w.t.Append, w.t.AppendErr, w.t.HasAppend = d, err, true
+	w.mu.Unlock()
+	if w.Next != nil {
+		w.Next.ObserveAppend(d, err)
+	}
+}
+
+// ObserveSync implements wal.Observer.
+func (w *WALTap) ObserveSync(d time.Duration, err error) {
+	w.mu.Lock()
+	w.t.Sync, w.t.SyncErr, w.t.HasSync = d, err, true
+	w.mu.Unlock()
+	if w.Next != nil {
+		w.Next.ObserveSync(d, err)
+	}
+}
+
+// ObserveCheckpoint implements wal.Observer; checkpoints are not traced per
+// request, so the tap only forwards.
+func (w *WALTap) ObserveCheckpoint(d time.Duration, err error) {
+	if w.Next != nil {
+		w.Next.ObserveCheckpoint(d, err)
+	}
+}
+
+// Take returns the timings recorded since the last Take and resets them.
+func (w *WALTap) Take() WALTimings {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t := w.t
+	w.t = WALTimings{}
+	return t
+}

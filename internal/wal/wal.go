@@ -109,7 +109,7 @@ type Log struct {
 	mu      sync.Mutex
 	fs      faultfs.FS   // immutable after Open
 	dir     string       // immutable after Open
-	opts    Options      // immutable after Open
+	opts    Options      // immutable after Open, except Observer (SetObserver); all access under mu
 	f       faultfs.File // active segment, append mode; guarded by mu
 	seg     string       // active segment file name; guarded by mu
 	snap    string       // live checkpoint file name ("" when none); guarded by mu
@@ -320,6 +320,26 @@ func (l *Log) appendBatchLocked(recs []Record) (uint64, error) {
 	}
 	l.lastSeq = firstSeq + uint64(len(recs)) - 1
 	return firstSeq, nil
+}
+
+// SetObserver replaces the log's observer. The observability layers use it
+// to interpose on an already-open log — e.g. chaining a per-request tracing
+// tap in front of the metrics observer — without reopening. The swap is
+// serialized against appends and checkpoints by the log's lock; callbacks on
+// the new observer follow the same rules as Options.Observer (synchronous,
+// under the lock, no re-entry).
+func (l *Log) SetObserver(o Observer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.opts.Observer = o
+}
+
+// CurrentObserver returns the observer receiving durability callbacks, or
+// nil. Lets a wrapper chain to whatever was installed before it.
+func (l *Log) CurrentObserver() Observer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.opts.Observer
 }
 
 // Checkpoint makes snapshot the new recovery base and starts an empty

@@ -8,7 +8,14 @@
 #      within its advertised failover deadline plus probe slack;
 #   3. a replacement node started with -warm-from pointing at the proxy
 #      restores the dead table's shipped snapshot and rejoins, bringing
-#      ready_targets back to 3.
+#      ready_targets back to 3;
+#   4. distributed tracing (-trace-sample 1 on every process) stitches one
+#      trace across the kill: an estimate fired right after the SIGKILL keeps
+#      BOTH the failed attempt at the dead primary and the successful retry
+#      at the failover target;
+#   5. a traced feedback assembles end-to-end on the proxy's
+#      /debug/trace/spans?trace= endpoint: proxy root + attempt, node route,
+#      queue wait, WAL append, fsync and apply, across >= 2 services.
 #
 # Run via `make cluster-smoke` or directly. Needs curl and jq.
 set -euo pipefail
@@ -43,6 +50,7 @@ start_node() { # port data-dir [extra flags...]
     shift 2
     "$BIN/sthistd" -addr "127.0.0.1:$port" -table orders=@gauss:0.02 \
         -buckets 40 -seed 3 -data-dir "$dir" -checkpoint-records 200 \
+        -trace-sample 1 \
         "$@" >"$WORK/sthistd-$port.log" 2>&1 &
     echo $!
 }
@@ -57,7 +65,7 @@ done
     -target "http://127.0.0.1:${PORTS[0]}" \
     -target "http://127.0.0.1:${PORTS[1]}" \
     -target "http://127.0.0.1:${PORTS[2]}" \
-    -probe-interval 100ms -probe-timeout 500ms \
+    -probe-interval 100ms -probe-timeout 500ms -trace-sample 1 \
     >"$WORK/sthproxy.log" 2>&1 &
 PIDS+=($!)
 
@@ -79,12 +87,19 @@ wait_ready_targets 3 80
 
 PRIMARY=$(curl -fsS "$PROXY/cluster?table=orders" | jq -r '.placement[0]')
 PRIMARY_PORT=${PRIMARY##*:}
+# Query bodies for the hand-rolled traced requests below, spanning the
+# table's advertised domain (same discovery path sthload uses).
+QUERY=$(curl -fsS "$PROXY/stats?table=orders" |
+    jq -c '{table: "orders", lo: .domain.lo, hi: .domain.hi}') ||
+    fail "could not derive a query box from /stats"
+FEEDBACK=$(echo "$QUERY" | jq -c '. + {actual: 25}')
 DEADLINE_MS=$(curl -fsS "$PROXY/cluster" | jq -r .failover_deadline_ms)
 echo "== primary for orders: $PRIMARY (failover deadline ${DEADLINE_MS}ms)"
 
 echo "== starting mixed load through the proxy (10s, kill at t+3s)"
 "$BIN/sthload" -target "$PROXY" -tables orders -workers 4 -duration 10s \
     -feedback-ratio 0.2 -seed 7 -op-retries 16 -out "$WORK/load.json" \
+    -trace-sample 1 -slowest 3 \
     >"$WORK/sthload.log" 2>&1 &
 LOAD_PID=$!
 PIDS+=($LOAD_PID)
@@ -93,6 +108,25 @@ sleep 3
 echo "== SIGKILL primary (pid ${NODE_PID[$PRIMARY_PORT]})"
 kill -9 "${NODE_PID[$PRIMARY_PORT]}"
 KILLED_AT=$(date +%s%3N)
+
+# Fire a traced estimate immediately, while the monitor still believes the
+# dead primary is ready: the proxy must attempt it, fail, and retry a live
+# candidate — leaving BOTH attempts in one trace.
+FAILOVER_TID=f1a2b3c4d5e6f7a8b9c0d1e2f3a4b5c6
+curl -fsS -X POST "$PROXY/estimate" -H 'Content-Type: application/json' \
+    -H "traceparent: 00-$FAILOVER_TID-00f067aa0ba902b7-01" \
+    -d "$QUERY" >/dev/null ||
+    fail "traced estimate across the kill did not succeed"
+FAILOVER_TRACE=$(curl -fsS "$PROXY/debug/trace/spans?trace=$FAILOVER_TID") ||
+    fail "could not scrape the failover trace"
+DEAD_TARGET="http://127.0.0.1:$PRIMARY_PORT"
+echo "$FAILOVER_TRACE" | jq -e --arg t "$DEAD_TARGET" \
+    '[.spans[] | select(.name == "proxy.attempt")
+       | {target: ([.attrs[]? | select(.k == "target").v] | first), err: (.error // "")}]
+     | (map(select(.target == $t and .err != "")) | length > 0)
+       and (map(select(.target != $t and .err == "")) | length > 0)' >/dev/null ||
+    fail "failover trace $FAILOVER_TID lacks the dead-primary attempt plus a successful retry: $(echo "$FAILOVER_TRACE" | jq -c '[.spans[] | {name, error, attrs}]')"
+echo "== failover trace has the failed attempt at $DEAD_TARGET and a successful retry"
 
 # Failover detection: ready_targets must drop to 2 within the advertised
 # deadline plus generous probe/scheduler slack.
@@ -113,6 +147,27 @@ fi
 echo "== load finished with zero non-retried errors"
 jq '{ops, ops_per_sec, estimate: {count: .estimate.count, errors: .estimate.errors, retries: .estimate.retries, p50_ms: .estimate.p50_ms}, feedback: {count: .feedback.count, errors: .feedback.errors, retries: .feedback.retries, p50_ms: .feedback.p50_ms}}' \
     "$WORK/load.json" 2>/dev/null || cat "$WORK/load.json"
+
+grep -q 'slowest .*trace=' "$WORK/sthload.log" ||
+    fail "sthload did not print slowest-operation trace IDs"
+
+echo "== tracing one feedback end to end (proxy attempt -> node route -> queue -> WAL append -> fsync)"
+PIPELINE_TID=0123456789abcdef0123456789abcdef
+curl -fsS -X POST "$PROXY/feedback" -H 'Content-Type: application/json' \
+    -H "traceparent: 00-$PIPELINE_TID-00f067aa0ba902b7-01" \
+    -d "$FEEDBACK" >/dev/null ||
+    fail "traced feedback did not succeed"
+PIPELINE_TRACE=$(curl -fsS "$PROXY/debug/trace/spans?trace=$PIPELINE_TID") ||
+    fail "could not scrape the assembled feedback trace"
+for span in "proxy /feedback" "proxy.attempt" "node /feedback" \
+    "feedback.queue" "wal.append" "wal.fsync" "feedback.apply"; do
+    echo "$PIPELINE_TRACE" | jq -e --arg n "$span" \
+        '[.spans[].name] | index($n) != null' >/dev/null ||
+        fail "assembled trace $PIPELINE_TID lacks span \"$span\": $(echo "$PIPELINE_TRACE" | jq -c '[.spans[].name]')"
+done
+echo "$PIPELINE_TRACE" | jq -e '.services | length >= 2' >/dev/null ||
+    fail "assembled trace covers one service only: $(echo "$PIPELINE_TRACE" | jq -c .services)"
+echo "== assembled trace: $(echo "$PIPELINE_TRACE" | jq -c '{services, spans: [.spans[].name]}')"
 
 echo "== restarting the dead node warm from the proxy's snapshot ship"
 NODE_PID[$PRIMARY_PORT]=$(start_node "$PRIMARY_PORT" "$WORK/node-$PRIMARY_PORT-reborn" -warm-from "$PROXY")
