@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift bench-trace bench-cluster cluster-smoke obs-demo examples experiments cover
+.PHONY: all build vet lint lint-fix lint-sarif test race bench bench-micro bench-json bench-guard bench-concurrency bench-drift bench-trace bench-cluster cluster-smoke obs-demo examples experiments cover
 
 all: build vet lint test
 
@@ -12,11 +12,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: noalloc, lockcheck, determinism and errflow
-# over every package (see DESIGN.md "Static analysis & enforced invariants").
-# Exits non-zero on any un-ignored diagnostic.
+# Repo-specific static analysis over every package (see DESIGN.md "Static
+# analysis & enforced invariants"): the typed sthlint driver with the
+# noalloc, lockcheck, lockorder, determinism, errflow, walorder, ctxflow,
+# leakcheck, publish and spanend analyzers. Exits non-zero on any finding
+# that is neither ignored in source nor recorded in the committed baseline.
 lint:
-	$(GO) run ./cmd/sthlint ./...
+	$(GO) run ./cmd/sthlint -baseline .sthlint-baseline.json ./...
+
+# Applies the suggested fixes (error discards, deferred closes, span End,
+# traceparent injection) in place, then re-lints the changed tree.
+lint-fix:
+	$(GO) run ./cmd/sthlint -baseline .sthlint-baseline.json -fix ./...
+
+# Writes the SARIF 2.1.0 report CI uploads for code-scanning annotations.
+lint-sarif:
+	$(GO) run ./cmd/sthlint -baseline .sthlint-baseline.json -sarif sthlint.sarif ./...
 
 test:
 	$(GO) test ./...

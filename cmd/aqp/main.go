@@ -67,7 +67,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		} else {
 			tab, err = sthist.LoadCSV(f)
 		}
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return err
 		}
@@ -154,7 +154,7 @@ func saveHistogram(est *sthist.Estimator, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return est.SaveHistogram(f)
 }
 
@@ -163,6 +163,6 @@ func loadHistogram(est *sthist.Estimator, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return est.LoadHistogram(f)
 }

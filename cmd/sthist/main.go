@@ -109,7 +109,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	switch {

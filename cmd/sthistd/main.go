@@ -326,7 +326,15 @@ func (d *daemon) warmTable(name string) {
 	}
 	url := strings.TrimSuffix(d.cfg.warmFrom, "/") + "/snapshot?table=" + name
 	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Get(url)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		log.Printf("sthistd: table %q: warm-from request invalid (%v); starting cold", name, err)
+		return
+	}
+	trace.InjectContext(ctx, req)
+	resp, err := client.Do(req)
 	if err != nil {
 		log.Printf("sthistd: table %q: warm-from fetch failed (%v); starting cold", name, err)
 		return

@@ -3,9 +3,16 @@
 //
 // Usage:
 //
-//	sthlint [-json] [-dir d] [packages...]
+//	sthlint [-json] [-sarif out.sarif] [-baseline file] [-write-baseline file]
+//	        [-fix] [-dir d] [packages...]
 //
-// With no patterns it analyzes ./.... Exit status is 0 when clean, 1 when
+// With no patterns it analyzes ./.... A -baseline file subtracts the
+// committed ledger of known findings, so only NEW violations fail the run;
+// -write-baseline regenerates that ledger. -fix applies every suggested fix
+// to disk and re-runs the suite over the patched tree. -sarif additionally
+// writes a SARIF 2.1.0 artifact for GitHub code-scanning annotations.
+//
+// Exit status is 0 when clean (after baseline subtraction), 1 when
 // diagnostics were reported, 2 when loading or type-checking failed.
 package main
 
@@ -13,12 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"sthist/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (CI annotation format)")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
+	baselinePath := flag.String("baseline", "", "subtract the findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings to this baseline file and exit clean")
+	fix := flag.Bool("fix", false, "apply suggested fixes to disk, then re-run over the patched tree")
 	dir := flag.String("dir", "", "directory to run the go command in (default: current directory)")
 	list := flag.Bool("checks", false, "list the registered analyzers and exit")
 	flag.Parse()
@@ -31,21 +43,81 @@ func main() {
 		return
 	}
 
-	pkgs, err := lint.Load(*dir, flag.Args()...)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sthlint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(pkgs, analyzers)
+	root := *dir
+	if root == "" {
+		var err error
+		if root, err = os.Getwd(); err != nil {
+			fail(err)
+		}
+	}
+	if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+
+	run := func() []lint.Diagnostic {
+		pkgs, err := lint.Load(*dir, flag.Args()...)
+		if err != nil {
+			fail(err)
+		}
+		return lint.Run(pkgs, analyzers)
+	}
+
+	diags := run()
+	if *fix {
+		changed, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fail(err)
+		}
+		if len(changed) > 0 {
+			fmt.Fprintf(os.Stderr, "sthlint: applied fixes to %d file(s); re-running\n", len(changed))
+			diags = run()
+		}
+	}
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, root, diags); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sthlint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		var stale int
+		diags, stale = base.Filter(root, diags)
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "sthlint: %d baseline entr(ies) no longer match; regenerate %s to burn them down\n", stale, *baselinePath)
+		}
+	}
+
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fail(err)
+		}
+		werr := lint.WriteSARIF(f, root, analyzers, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+	}
+
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
-			fmt.Fprintln(os.Stderr, "sthlint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 	} else {
 		if err := lint.WriteText(os.Stdout, diags); err != nil {
-			fmt.Fprintln(os.Stderr, "sthlint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 	}
 	if len(diags) > 0 {

@@ -97,7 +97,7 @@ func run(w io.Writer) error {
 			return err
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("feedback round %d: status %d", i, resp.StatusCode)
 		}
@@ -181,7 +181,7 @@ func run(w io.Writer) error {
 			return err
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("shifted feedback round %d: status %d", i, resp.StatusCode)
 		}
@@ -231,7 +231,7 @@ func get(url string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return "", err

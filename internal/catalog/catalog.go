@@ -45,10 +45,10 @@ func DefaultConfig() Config {
 // Manager owns the histograms.
 type Manager struct {
 	mu        sync.Mutex
-	cfg       Config
-	entries   map[string]*entry
-	order     []string // registration order, for deterministic allocation
-	feedbacks int
+	cfg       Config            // guarded by mu
+	entries   map[string]*entry // guarded by mu
+	order     []string          // guarded by mu; registration order, for deterministic allocation
+	feedbacks int               // guarded by mu
 }
 
 type entry struct {

@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
+
+	"sthist/internal/trace"
 )
 
 // Defaults for MonitorOptions fields left zero.
@@ -77,8 +80,9 @@ type Monitor struct {
 	targets []string
 	opts    MonitorOptions
 
-	mu     sync.Mutex
-	states map[string]*targetState // guarded by mu
+	mu      sync.Mutex
+	states  map[string]*targetState // guarded by mu
+	started bool                    // guarded by mu; Start launched the loop
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -118,11 +122,21 @@ func NewMonitor(targets []string, opts MonitorOptions) *Monitor {
 }
 
 // HTTPProbe returns the default readiness probe: GET <target>/readyz with
-// the given timeout, ready on any 2xx.
+// the given timeout, ready on any 2xx. The request carries a real deadline
+// context (so cancellation reaches the wire, not just the client's read
+// loop) and flows through traceparent injection — a no-op for the untraced
+// probe loop, but probes issued under a traced context join its trace.
 func HTTPProbe(timeout time.Duration) ProbeFunc {
 	client := &http.Client{Timeout: timeout}
 	return func(target string) error {
-		resp, err := client.Get(target + "/readyz")
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		trace.InjectContext(ctx, req)
+		resp, err := client.Do(req)
 		if err != nil {
 			return err
 		}
@@ -148,6 +162,9 @@ func (m *Monitor) FailoverDeadline() time.Duration {
 // Stop it with Stop.
 func (m *Monitor) Start() {
 	m.ProbeOnce()
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
 	go m.loop()
 }
 
@@ -166,13 +183,17 @@ func (m *Monitor) loop() {
 }
 
 // Stop halts the probe loop and waits for it to exit. Safe to call more than
-// once, and before Start (the loop then never runs).
+// once, and before Start (the loop then never runs). The join must block: a
+// non-blocking receive here would let Stop return while a probe round is
+// still in flight, and a caller tearing down its probe targets right after
+// Stop would race the stragglers.
 func (m *Monitor) Stop() {
 	m.stopOnce.Do(func() { close(m.stop) })
-	select {
-	case <-m.done:
-	default:
-		// Start was never called: nothing to wait for.
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
 	}
 }
 

@@ -323,9 +323,7 @@ func (p *Proxy) send(ctx context.Context, method, target, pathq, contentType str
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	if sc := sp.Context(); sc.Valid() {
-		req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
-	}
+	trace.Inject(sp.Context(), req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		sp.SetError(err.Error())

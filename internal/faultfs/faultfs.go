@@ -122,9 +122,9 @@ type Injector struct {
 	inner FS
 
 	mu     sync.Mutex
-	faults []Fault
-	counts map[Op]int
-	fired  []Fault
+	faults []Fault    // guarded by mu
+	counts map[Op]int // guarded by mu
+	fired  []Fault    // guarded by mu
 }
 
 // NewInjector wraps inner with the given fault schedule. A Fault with

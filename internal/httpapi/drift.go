@@ -251,8 +251,16 @@ func (e *entry) resolveProbationLocked() {
 // swap it in with one atomic snapshot publish. The candidate is validated
 // before the journal write, so once the record is durable the adoption
 // cannot fail — recovery replaying the record lands on exactly the
-// histogram the serving path switched to. A failed append degrades
-// durability, not availability, like the feedback path. jmu held.
+// histogram the serving path switched to.
+//
+// Unlike the feedback path, a failed journal append must REJECT the
+// promotion: feedback records are individually small corrections whose loss
+// degrades durability, but a reseed swaps the entire served histogram. WAL
+// errors are sticky until a successful checkpoint, so adopting after a failed
+// append would serve a histogram that no replay can ever reproduce — the next
+// crash silently rolls the table back to the pre-reseed shape. The caller
+// books the failure and rearms the detector, which retries once the log
+// recovers. jmu held.
 func (e *entry) promoteLocked(cand *sthist.Histogram) error {
 	if err := cand.Validate(); err != nil {
 		return fmt.Errorf("candidate failed post-probation validation: %w", err)
@@ -267,9 +275,9 @@ func (e *entry) promoteLocked(cand *sthist.Histogram) error {
 		}
 		if _, err := e.log.Append(wal.Record{Kind: wal.KindReseed, Blob: blob}); err != nil {
 			e.appendErrors++
-		} else {
-			e.sinceCkpt++
+			return fmt.Errorf("journaling reseed: %w", err)
 		}
+		e.sinceCkpt++
 	}
 	return e.est.AdoptHistogram(cand)
 }

@@ -354,7 +354,7 @@ func TestCrashAcrossReseedSwapRecoversBitIdentical(t *testing.T) {
 	}
 
 	total := len(steps)
-	sawPartial, sawReseedSurvive := false, false
+	sawPartial, sawReseedSurvive, sawPromoteRefused := false, false, false
 	// Write 1 is the manifest; the sweep kills every subsequent write once.
 	// total+1 writes can never happen (batching only lowers the count), so
 	// the last iteration is the crash-free control.
@@ -382,7 +382,15 @@ func TestCrashAcrossReseedSwapRecoversBitIdentical(t *testing.T) {
 				err := ent.promoteLocked(cand.Hist.Clone())
 				ent.jmu.Unlock()
 				if err != nil {
-					t.Fatalf("crash %d: promote: %v", crash, err)
+					// The injected fault (or the sticky error a previous write
+					// failure left behind) hit the reseed append: the
+					// promotion must be refused — the estimator keeps serving
+					// the old histogram instead of adopting state no replay
+					// could ever reproduce.
+					if l.Err() == nil {
+						t.Fatalf("crash %d: promote refused without a failed log: %v", crash, err)
+					}
+					sawPromoteRefused = true
 				}
 				base++
 				continue
@@ -449,6 +457,9 @@ func TestCrashAcrossReseedSwapRecoversBitIdentical(t *testing.T) {
 	}
 	if !sawReseedSurvive {
 		t.Error("sweep never recovered a surviving reseed record")
+	}
+	if !sawPromoteRefused {
+		t.Error("sweep never refused a promotion on a failed journal append")
 	}
 }
 

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed ledger of known findings. CI fails on any
+// diagnostic NOT in the baseline, so new violations cannot land while the
+// legacy ones burn down; removing entries is the only direction the file is
+// allowed to move in review. Entries are matched as a multiset of
+// (check, repo-relative file, message) — line numbers are deliberately
+// excluded so unrelated edits above a finding do not churn the ledger.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // slash-separated, relative to the repo root
+	Message string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// so `sthlint -baseline` is safe to wire up before the file exists.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes diags (relativized against root) as a baseline file,
+// sorted so regeneration is deterministic and diffs stay reviewable.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	b := Baseline{Findings: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Check: d.Check, File: RelFile(root, d.File), Message: d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the diagnostics not covered by the baseline, plus the number
+// of baseline entries that no longer match anything (fixed findings whose
+// entries should be deleted). Matching is multiset-style: one entry absorbs
+// one finding.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (fresh []Diagnostic, stale int) {
+	remaining := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		remaining[e]++
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Check: d.Check, File: RelFile(root, d.File), Message: d.Message}
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, n := range remaining {
+		stale += n
+	}
+	return fresh, stale
+}
+
+// RelFile renders file relative to root with forward slashes (the form
+// baselines and SARIF artifacts store, stable across machines).
+func RelFile(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The ctxflow analyzer enforces trace context propagation on every network
+// hop, scoped to the packages that make outbound requests: the cluster tier
+// (proxy, health probes, snapshot shipping), the load generator, and the
+// daemons under cmd/. Three request-side rules and one handler-side rule:
+//
+//  1. http.NewRequest is banned — requests must carry a context
+//     (NewRequestWithContext), or cancellation and deadlines cannot reach
+//     the wire.
+//  2. The context-less conveniences (http.Get, Client.Get/Post/PostForm/
+//     Head) are banned for the same reason.
+//  3. A request built with NewRequestWithContext must flow through
+//     traceparent injection (a call into the trace package with the request
+//     as an argument, or a direct Header.Set of the traceparent header)
+//     before it is sent with Do. Requests that escape (returned, stored,
+//     handed to another function) are assumed to be injected by their new
+//     owner.
+//  4. A function that receives an *http.Request must not mint a fresh
+//     context.Background()/TODO(): the inbound request context carries the
+//     trace and the client's cancellation.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "outbound requests must carry a context and traceparent injection; handlers must propagate the inbound context",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(pass *Pass) {
+	if !ctxFlowScope(pass) {
+		return
+	}
+	for _, n := range pass.Nodes() {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if obj := calleeObject(pass.Info, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			switch obj.Name() {
+			case "NewRequest":
+				pass.Reportf("ctxflow", call.Pos(), "http.NewRequest builds a context-less request; use NewRequestWithContext so cancellation and the traceparent flow to the wire")
+			case "Get", "Post", "PostForm", "Head":
+				// Only the request-sending entry points: the package-level
+				// conveniences and Client methods. Methods on other net/http
+				// types (Header.Get, url.Values.Get via http) share the names
+				// but send nothing.
+				if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+					if s, hasSel := pass.Info.Selections[sel]; hasSel {
+						if namedTypeIn(s.Recv(), "http", "Client") {
+							pass.Reportf("ctxflow", call.Pos(), "Client.%s sends a context-less request; build with NewRequestWithContext and inject the traceparent", obj.Name())
+						}
+						continue
+					}
+				}
+				if fn, isFn := obj.(*types.Func); isFn {
+					if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() == nil {
+						pass.Reportf("ctxflow", call.Pos(), "http.%s sends a context-less request; build with NewRequestWithContext and inject the traceparent", obj.Name())
+					}
+				}
+			}
+		}
+	}
+	for _, fd := range pass.FuncDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		checkRequestInjection(pass, fd)
+		checkHandlerContext(pass, fd)
+	}
+}
+
+func ctxFlowScope(pass *Pass) bool {
+	switch pass.Name {
+	case "cluster", "loadgen":
+		return true
+	}
+	return strings.HasPrefix(pass.ImportPath, "sthist/cmd/")
+}
+
+// checkHandlerContext flags context.Background()/TODO() inside functions
+// that receive an *http.Request (rule 4).
+func checkHandlerContext(pass *Pass, fd *ast.FuncDecl) {
+	hasReq := false
+	for _, field := range fd.Type.Params.List {
+		if t := pass.Info.Types[field.Type].Type; t != nil && namedTypeIn(t, "http", "Request") {
+			hasReq = true
+		}
+	}
+	if !hasReq {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeObject(pass.Info, call); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "context" && (obj.Name() == "Background" || obj.Name() == "TODO") {
+			pass.Reportf("ctxflow", call.Pos(), "handler mints context.%s; propagate the inbound request context (r.Context()) so the trace and cancellation follow the request", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkRequestInjection implements rule 3 for each NewRequestWithContext
+// result in fd.
+func checkRequestInjection(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(pass.Info, call)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" || obj.Name() != "NewRequestWithContext" {
+			return true
+		}
+		reqIdent, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || reqIdent.Name == "_" {
+			return true
+		}
+		reqObj := pass.Info.Defs[reqIdent]
+		if reqObj == nil {
+			reqObj = pass.Info.Uses[reqIdent]
+		}
+		if reqObj == nil {
+			return true
+		}
+		sent, injected, escaped := requestFlow(pass, fd, reqObj)
+		if sent && !injected && !escaped {
+			fix := injectionFix(pass, fd, assign, call, reqIdent.Name)
+			pass.ReportFixf("ctxflow", call.Pos(), fix, "request is sent without traceparent injection; pass it through trace.Inject/InjectContext (or set the traceparent header) before Do")
+		}
+		return true
+	})
+}
+
+// requestFlow classifies every use of the request object in fd: sent via
+// Do/RoundTrip, injected (trace-package call or traceparent Header.Set), or
+// escaped to another owner.
+func requestFlow(pass *Pass, fd *ast.FuncDecl, reqObj types.Object) (sent, injected, escaped bool) {
+	usesReq := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (pass.Info.Uses[id] == reqObj) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			argHasReq := false
+			for _, arg := range x.Args {
+				if usesReq(arg) {
+					argHasReq = true
+				}
+			}
+			sel, isSel := x.Fun.(*ast.SelectorExpr)
+			switch {
+			case isSel && (sel.Sel.Name == "Do" || sel.Sel.Name == "RoundTrip") && argHasReq:
+				sent = true
+			case isSel && sel.Sel.Name == "Set" && isHeaderOf(pass, sel.X, reqObj, usesReq):
+				if len(x.Args) > 0 && isTraceparentKey(x.Args[0]) {
+					injected = true
+				}
+			case argHasReq:
+				if obj := calleeObject(pass.Info, x); obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "trace" {
+					injected = true
+				} else {
+					escaped = true // another function owns propagation now
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if usesReq(res) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				if usesReq(elt) {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return sent, injected, escaped
+}
+
+// isHeaderOf reports whether e is the Header field of the tracked request
+// (req.Header.Set → sel.X is req.Header).
+func isHeaderOf(pass *Pass, e ast.Expr, reqObj types.Object, usesReq func(ast.Expr) bool) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Header" && usesReq(sel.X)
+}
+
+// isTraceparentKey matches the header-key argument of a Header.Set against
+// the W3C traceparent header: the trace.TraceparentHeader constant or the
+// literal string.
+func isTraceparentKey(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "TraceparentHeader"
+	case *ast.Ident:
+		return x.Name == "TraceparentHeader"
+	case *ast.BasicLit:
+		return strings.EqualFold(strings.Trim(x.Value, "`\""), "traceparent")
+	}
+	return false
+}
+
+// injectionFix builds the autofix: insert a trace.InjectContext call on the
+// line after the NewRequestWithContext assignment. Only offered when the
+// context argument is a plain identifier and the file already imports a
+// trace package (the helper is nil- and invalid-safe, so inserting before
+// the error check is sound).
+func injectionFix(pass *Pass, fd *ast.FuncDecl, assign *ast.AssignStmt, call *ast.CallExpr, reqName string) *SuggestedFix {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	ctxIdent, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	file := pass.fileOf(assign)
+	if file == nil || !importsTracePackage(file) {
+		return nil
+	}
+	pos := pass.Fset.Position(assign.Pos())
+	end := pass.Fset.Position(assign.End())
+	indent := strings.Repeat("\t", pos.Column-1)
+	return &SuggestedFix{
+		Message: "inject the traceparent after building the request",
+		Edits: []TextEdit{{
+			File:    end.Filename,
+			Offset:  end.Offset,
+			End:     end.Offset,
+			NewText: "\n" + indent + "trace.InjectContext(" + ctxIdent.Name + ", " + reqName + ")",
+		}},
+	}
+}
+
+func importsTracePackage(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "sthist/internal/trace" || strings.HasSuffix(path, "/trace") {
+			return imp.Name == nil || imp.Name.Name == "trace"
+		}
+	}
+	return false
+}

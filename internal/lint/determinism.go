@@ -71,22 +71,19 @@ func runDeterminism(pass *Pass) {
 	if purePackages[pass.Name] {
 		checkAmbientEntropy(pass)
 	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			rng, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			tv, ok := pass.Info.Types[rng.X]
-			if !ok || tv.Type == nil {
-				return true
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			checkMapRangeBody(pass, rng)
-			return true
-		})
+	for _, n := range pass.Nodes() {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		checkMapRangeBody(pass, rng)
 	}
 }
 
@@ -94,36 +91,33 @@ func runDeterminism(pass *Pass) {
 // package by scanning resolved identifier uses (sorted reporting happens in
 // Run, so map iteration here is harmless).
 func checkAmbientEntropy(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
+	for _, n := range pass.Nodes() {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fn, ok := pass.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf("determinism", id.Pos(),
+					"pure package %s reads the wall clock via time.%s; thread timing through the caller", pass.Name, fn.Name())
 			}
-			fn, ok := pass.Info.Uses[id].(*types.Func)
-			if !ok || fn.Pkg() == nil {
-				return true
+		case "math/rand", "math/rand/v2":
+			// Methods on *rand.Rand carry a receiver — those flow from an
+			// explicit source and are fine. Package-level functions use
+			// the shared global source.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue
 			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if bannedTimeFuncs[fn.Name()] {
-					pass.Reportf("determinism", id.Pos(),
-						"pure package %s reads the wall clock via time.%s; thread timing through the caller", pass.Name, fn.Name())
-				}
-			case "math/rand", "math/rand/v2":
-				// Methods on *rand.Rand carry a receiver — those flow from an
-				// explicit source and are fine. Package-level functions use
-				// the shared global source.
-				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-					return true
-				}
-				if !seededRandConstructors[fn.Name()] {
-					pass.Reportf("determinism", id.Pos(),
-						"pure package %s uses the global math/rand source via rand.%s; use an explicitly seeded *rand.Rand", pass.Name, fn.Name())
-				}
+			if !seededRandConstructors[fn.Name()] {
+				pass.Reportf("determinism", id.Pos(),
+					"pure package %s uses the global math/rand source via rand.%s; use an explicitly seeded *rand.Rand", pass.Name, fn.Name())
 			}
-			return true
-		})
+		}
 	}
 }
 

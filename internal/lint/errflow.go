@@ -3,29 +3,42 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
 )
 
 // ErrFlow returns the analyzer enforcing error consumption on the durability
-// and response paths, plus the telemetry naming contract:
+// and response paths, the telemetry naming contract, and the HTTP response
+// body lifecycle:
 //
-//  1. In the durability/response packages (wal, faultfs, httpapi, and the
-//     sthistd command) a call to Close, Sync, Write, WriteString or Flush
-//     whose last result is an error must not be silently discarded as a bare
-//     expression or defer statement. Assigning the result to _ is accepted:
-//     it is a visible, reviewable decision. Receivers that cannot fail
-//     (bytes.Buffer, strings.Builder) are exempt.
+//  1. In the durability/response packages (wal, faultfs, httpapi, the cluster
+//     tier, the load generator, the sthistd command and the examples) a call
+//     to Close, Sync, Write, WriteString or Flush whose last result is an
+//     error must not be silently discarded as a bare expression or defer
+//     statement. Assigning the result to _ is accepted: it is a visible,
+//     reviewable decision. Receivers that cannot fail (bytes.Buffer,
+//     strings.Builder) are exempt. -fix rewrites the trivial forms: a bare
+//     statement gains `_ = `, a zero-argument defer is wrapped in a closure
+//     that discards explicitly.
 //
 //  2. Every metric minted through telemetry.Registry Counter/Gauge/Histogram
 //     must use a constant name matching sthist_* snake_case, and a constant,
 //     non-empty help string — so the exposition surface is enumerable by
 //     grepping for the prefix and every series is documented.
+//
+//  3. In the HTTP client packages (cluster, loadgen, cmd/, examples/) every
+//     *http.Response minted by a transport call must have its body closed:
+//     either a defer (covers all paths) or an inline Close before every
+//     return that follows the nil-guard. Handing resp.Body to another reader
+//     does NOT move the close obligation — only handing off the *http.Response
+//     itself does. A missed early-error return leaks the connection and, with
+//     keep-alives, eventually starves the client pool.
 func ErrFlow() *Analyzer {
 	return &Analyzer{
 		Name: "errflow",
-		Doc:  "durability-path error returns must be consumed; metric names must be sthist_* snake_case with help",
+		Doc:  "durability-path error returns and response bodies must be consumed; metric names must be sthist_* snake_case with help",
 		Run:  runErrFlow,
 	}
 }
@@ -35,6 +48,8 @@ var errPathPackages = map[string]bool{
 	"wal":     true,
 	"faultfs": true,
 	"httpapi": true,
+	"cluster": true,
+	"loadgen": true,
 }
 
 // errFuncs are the method names whose error results must be consumed.
@@ -48,9 +63,33 @@ var errFuncs = map[string]bool{
 
 var metricNameRe = regexp.MustCompile(`^sthist_[a-z0-9]+(_[a-z0-9]+)*$`)
 
+func errFlowScope(pass *Pass) bool {
+	return errPathPackages[pass.Name] || pass.Name == "fixture" ||
+		strings.HasPrefix(pass.ImportPath, "sthist/cmd/") ||
+		strings.HasPrefix(pass.ImportPath, "sthist/examples/")
+}
+
+// respBodyScope are the packages whose outbound HTTP responses are checked
+// for body closes: everything that owns an http.Client.
+func respBodyScope(pass *Pass) bool {
+	switch pass.Name {
+	case "cluster", "loadgen", "fixture":
+		return true
+	}
+	return strings.HasPrefix(pass.ImportPath, "sthist/cmd/") ||
+		strings.HasPrefix(pass.ImportPath, "sthist/examples/")
+}
+
 func runErrFlow(pass *Pass) {
-	if errPathPackages[pass.Name] || strings.HasSuffix(pass.ImportPath, "cmd/sthistd") || pass.Name == "fixture" {
+	if errFlowScope(pass) {
 		checkDiscardedErrors(pass)
+	}
+	if respBodyScope(pass) {
+		for _, fn := range pass.FuncDecls() {
+			if fn.Body != nil {
+				checkResponseBodies(pass, fn)
+			}
+		}
 	}
 	checkMetricRegistrations(pass)
 }
@@ -58,27 +97,56 @@ func runErrFlow(pass *Pass) {
 // checkDiscardedErrors flags bare-statement and deferred calls that drop an
 // error result from the watched method set.
 func checkDiscardedErrors(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var call *ast.CallExpr
-			var how string
-			switch n := n.(type) {
-			case *ast.ExprStmt:
-				if c, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
-					call, how = c, "discarded"
-				}
-			case *ast.DeferStmt:
-				call, how = n.Call, "discarded by defer"
+	for _, n := range pass.Nodes() {
+		var call *ast.CallExpr
+		var how string
+		var fix *SuggestedFix
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if c, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				call, how = c, "discarded"
+				fix = discardFix(pass, c)
 			}
-			if call == nil {
-				return true
-			}
-			if name, recv, ok := droppedErrCall(pass, call); ok {
-				pass.Reportf("errflow", call.Pos(),
-					"error returned by %s.%s is %s; handle it or assign to _ explicitly", recv, name, how)
-			}
-			return true
-		})
+		case *ast.DeferStmt:
+			call, how = n.Call, "discarded by defer"
+			fix = deferDiscardFix(pass, n)
+		}
+		if call == nil {
+			continue
+		}
+		if name, recv, ok := droppedErrCall(pass, call); ok {
+			pass.ReportFixf("errflow", call.Pos(), fix,
+				"error returned by %s.%s is %s; handle it or assign to _ explicitly", recv, name, how)
+		}
+	}
+}
+
+// discardFix prefixes a bare call statement with `_ = `.
+func discardFix(pass *Pass, call *ast.CallExpr) *SuggestedFix {
+	p := pass.Fset.Position(call.Pos())
+	return &SuggestedFix{
+		Message: "discard the error explicitly",
+		Edits:   []TextEdit{{File: p.Filename, Offset: p.Offset, End: p.Offset, NewText: "_ = "}},
+	}
+}
+
+// deferDiscardFix wraps a zero-argument deferred call in a closure that
+// discards the error explicitly. Calls with arguments are left alone: the
+// closure would change when the arguments are evaluated.
+func deferDiscardFix(pass *Pass, d *ast.DeferStmt) *SuggestedFix {
+	if len(d.Call.Args) != 0 {
+		return nil
+	}
+	pos := pass.Fset.Position(d.Pos())
+	end := pass.Fset.Position(d.End())
+	return &SuggestedFix{
+		Message: "discard the deferred error explicitly",
+		Edits: []TextEdit{{
+			File:    pos.Filename,
+			Offset:  pos.Offset,
+			End:     end.Offset,
+			NewText: "defer func() { _ = " + exprString(d.Call) + " }()",
+		}},
 	}
 }
 
@@ -116,47 +184,270 @@ func droppedErrCall(pass *Pass, call *ast.CallExpr) (name, recv string, ok bool)
 	return sel.Sel.Name, exprString(sel.X), true
 }
 
-// checkMetricRegistrations validates names and help strings at every
-// Registry.Counter/Gauge/Histogram call site.
-func checkMetricRegistrations(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+// respVar tracks one *http.Response-typed local minted by a transport call.
+type respVar struct {
+	name     string
+	pos      token.Pos // the transport call
+	guardEnd token.Pos // end of the nil-guard error check following the mint
+	fixFile  string
+	fixOff   int    // insertion point for the defer autofix: after the guard
+	indent   string // indentation of the minting statement
+	hasGuard bool   // a terminating err check follows the mint
+	escaped  bool   // the *http.Response itself was handed off
+	deferred bool   // a Close is registered via defer
+	closes   []token.Pos
+}
+
+// checkResponseBodies runs the body-close protocol over one function,
+// treating nested literals as part of the same lexical region (like spanend).
+func checkResponseBodies(pass *Pass, fn *ast.FuncDecl) {
+	vars := make(map[types.Object]*respVar)
+	var returns []token.Pos
+
+	// Pass 1: find response mints block-by-block so the statement following
+	// the mint (the nil-guard) is visible.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+				continue
+			}
+			call, ok := httpResponseCall(pass, assign.Rhs[0])
 			if !ok {
-				return true
+				continue
 			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok {
-				return true
+			id, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
 			}
-			switch sel.Sel.Name {
-			case "Counter", "Gauge", "Histogram":
-			default:
-				return true
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
 			}
-			selection, ok := pass.Info.Selections[sel]
-			if !ok || selection.Kind() != types.MethodVal {
-				return true
+			if obj == nil {
+				continue
 			}
-			if !namedTypeIn(selection.Recv(), "telemetry", "Registry") {
-				return true
+			v := &respVar{name: id.Name, pos: call.Pos(), guardEnd: assign.End()}
+			mintPos := pass.Fset.Position(assign.Pos())
+			v.indent = strings.Repeat("\t", mintPos.Column-1)
+			after := assign.End()
+			if i+1 < len(block.List) {
+				if guard, ok := block.List[i+1].(*ast.IfStmt); ok && terminates(guard.Body) {
+					v.hasGuard = true
+					v.guardEnd = guard.End()
+					after = guard.End()
+				}
 			}
-			if len(call.Args) < 2 {
-				return true
+			ep := pass.Fset.Position(after)
+			v.fixFile, v.fixOff = ep.Filename, ep.Offset
+			vars[obj] = v
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	tracked := func(e ast.Expr) *respVar {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			return vars[obj]
+		}
+		return nil
+	}
+	// respBodyClose matches <resp>.Body.Close() for a tracked resp.
+	respBodyClose := func(n ast.Node) *respVar {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return nil
+		}
+		body, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || body.Sel.Name != "Body" {
+			return nil
+		}
+		return tracked(body.X)
+	}
+	markEscape := func(e ast.Expr) {
+		// Only the whole *http.Response moves the close obligation; handing
+		// resp.Body to a reader does not.
+		if v := tracked(e); v != nil {
+			v.escaped = true
+		}
+		if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if v := tracked(ue.X); v != nil {
+				v.escaped = true
 			}
-			if name, ok := constString(pass, call.Args[0]); !ok {
-				pass.Reportf("errflow", call.Args[0].Pos(),
-					"metric name passed to Registry.%s is not a constant string; the exposition surface must be enumerable", sel.Sel.Name)
-			} else if !metricNameRe.MatchString(name) {
-				pass.Reportf("errflow", call.Args[0].Pos(),
-					"metric name %q does not match the sthist_* snake_case convention", name)
-			}
-			if help, ok := constString(pass, call.Args[1]); !ok || strings.TrimSpace(help) == "" {
-				pass.Reportf("errflow", call.Args[1].Pos(),
-					"metric registered via Registry.%s must have a constant, non-empty help string", sel.Sel.Name)
+		}
+	}
+
+	// Pass 2: collect closes (inline and deferred), escapes, and returns.
+	var inDefer func(n ast.Node)
+	inDefer = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if v := respBodyClose(m); v != nil {
+				v.deferred = true
 			}
 			return true
 		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			inDefer(n.Call)
+			return false
+		case *ast.CallExpr:
+			if v := respBodyClose(n); v != nil {
+				v.closes = append(v.closes, n.Pos())
+				return true
+			}
+			for _, arg := range n.Args {
+				markEscape(arg)
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+			for _, res := range n.Results {
+				markEscape(res)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				markEscape(rhs)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				markEscape(elt)
+			}
+		case *ast.SendStmt:
+			markEscape(n.Value)
+		}
+		return true
+	})
+
+	// Pass 3: judge. A defer covers every path; otherwise each return after
+	// the nil-guard needs an inline Close lexically before it.
+	for _, v := range vars {
+		if v.deferred || v.escaped {
+			continue
+		}
+		if len(v.closes) == 0 {
+			pass.ReportFixf("errflow", v.pos, respCloseFix(v),
+				"response body of %s is never closed; the connection leaks — defer the Close after the nil-guard", v.name)
+			continue
+		}
+		for _, r := range returns {
+			if r <= v.guardEnd {
+				continue
+			}
+			closedBefore := false
+			for _, c := range v.closes {
+				if c > v.pos && c < r {
+					closedBefore = true
+					break
+				}
+			}
+			if !closedBefore {
+				pass.ReportFixf("errflow", v.pos, respCloseFix(v),
+					"response body of %s is not closed on the return path at line %d; a defer after the nil-guard covers early-error returns",
+					v.name, pass.Fset.Position(r).Line)
+				break
+			}
+		}
+	}
+}
+
+// respCloseFix inserts a defer that closes the body (discarding the error
+// explicitly, per rule 1) right after the nil-guard. Only offered when the
+// guard exists: before it the response may be nil.
+func respCloseFix(v *respVar) *SuggestedFix {
+	if !v.hasGuard {
+		return nil
+	}
+	return &SuggestedFix{
+		Message: "defer the body close after the nil-guard",
+		Edits: []TextEdit{{
+			File:    v.fixFile,
+			Offset:  v.fixOff,
+			End:     v.fixOff,
+			NewText: "\n" + v.indent + "defer func() { _ = " + v.name + ".Body.Close() }()",
+		}},
+	}
+}
+
+// httpResponseCall reports whether e is a call whose first result is an
+// *http.Response.
+func httpResponseCall(pass *Pass, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil, false
+	}
+	first := tv.Type
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return nil, false
+		}
+		first = tup.At(0).Type()
+	}
+	if _, ok := first.(*types.Pointer); !ok {
+		return nil, false
+	}
+	return call, namedTypeIn(first, "http", "Response")
+}
+
+// checkMetricRegistrations validates names and help strings at every
+// Registry.Counter/Gauge/Histogram call site.
+func checkMetricRegistrations(pass *Pass) {
+	for _, n := range pass.Nodes() {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		switch sel.Sel.Name {
+		case "Counter", "Gauge", "Histogram":
+		default:
+			continue
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			continue
+		}
+		if !namedTypeIn(selection.Recv(), "telemetry", "Registry") {
+			continue
+		}
+		if len(call.Args) < 2 {
+			continue
+		}
+		if name, ok := constString(pass, call.Args[0]); !ok {
+			pass.Reportf("errflow", call.Args[0].Pos(),
+				"metric name passed to Registry.%s is not a constant string; the exposition surface must be enumerable", sel.Sel.Name)
+		} else if !metricNameRe.MatchString(name) {
+			pass.Reportf("errflow", call.Args[0].Pos(),
+				"metric name %q does not match the sthist_* snake_case convention", name)
+		}
+		if help, ok := constString(pass, call.Args[1]); !ok || strings.TrimSpace(help) == "" {
+			pass.Reportf("errflow", call.Args[1].Pos(),
+				"metric registered via Registry.%s must have a constant, non-empty help string", sel.Sel.Name)
+		}
 	}
 }
 

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the cross-package fact layer of the typed driver. Analyzers
+// running over one package can export facts about that package's functions
+// ("this function appends to the WAL", "this goroutine body is stoppable",
+// "this function acquires lock X"); analyzers running over a *dependent*
+// package later in the load order import those facts to reason across the
+// package boundary without re-analyzing foreign source.
+//
+// Facts are keyed by (check, symbol, fact-name). Symbols are stable strings
+// ("sthist/internal/wal.(Log).Append") rather than types.Object identities,
+// because the same function is a source-checked object in its home package
+// and an export-data object in its importers — the string form is identical
+// in both views.
+//
+// The load order makes this sound: Load returns packages in the go command's
+// dependency-first order, so by the time a package is analyzed every fact
+// its dependencies can export has already been recorded.
+
+// factStore collects exported facts for one Run, segregated per check so
+// analyzers cannot observe each other's facts.
+type factStore struct {
+	marks map[factKey]bool
+}
+
+type factKey struct {
+	check  string
+	symbol string
+	fact   string
+}
+
+func newFactStore() *factStore {
+	return &factStore{marks: make(map[factKey]bool)}
+}
+
+// ExportFact records fact about symbol for the running check. Exporting the
+// same fact twice is harmless.
+func (p *Pass) ExportFact(symbol, fact string) {
+	if symbol == "" {
+		return
+	}
+	p.facts.marks[factKey{p.check, symbol, fact}] = true
+}
+
+// ImportFact reports whether fact was exported about symbol by this check,
+// in this package or any previously analyzed one.
+func (p *Pass) ImportFact(symbol, fact string) bool {
+	return p.facts.marks[factKey{p.check, symbol, fact}]
+}
+
+// FactSymbols returns every symbol carrying fact for the running check, in
+// sorted order (deterministic for Finish-phase graph walks).
+func (p *Pass) FactSymbols(fact string) []string {
+	var out []string
+	for k := range p.facts.marks {
+		if k.check == p.check && k.fact == fact {
+			out = append(out, k.symbol)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SymbolOf renders obj as a stable cross-package symbol string:
+// "pkgpath.Name" for package-level functions and "pkgpath.(Type).Name" for
+// methods (pointer receivers are stripped). Objects without a package (nil,
+// builtins) get "".
+func SymbolOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		return "" // interface or anonymous receiver: no stable symbol
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// calleeObject resolves the types.Object a call expression dispatches to
+// (function, method, or nil for indirect/builtin calls).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // package-qualified call
+	}
+	return nil
+}

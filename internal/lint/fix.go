@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by diags to the files on
+// disk, returning the set of rewritten file paths. Edits are grouped per file
+// and applied back-to-front so earlier offsets stay valid; overlapping edits
+// within one file are rejected rather than silently mangled (two analyzers
+// proposing conflicting rewrites of the same span is a bug to surface, not
+// paper over). Re-run the driver after applying: a fix can both resolve its
+// own finding and shift later line numbers.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	perFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var changed []string
+	for _, f := range files {
+		edits := perFile[f]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Offset > edits[j].Offset })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].End > edits[i-1].Offset {
+				return changed, fmt.Errorf("lint: conflicting fixes in %s around offset %d", f, edits[i].Offset)
+			}
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return changed, err
+		}
+		for _, e := range edits {
+			if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+				return changed, fmt.Errorf("lint: fix edit out of range in %s (%d..%d of %d bytes)", f, e.Offset, e.End, len(src))
+			}
+			src = append(src[:e.Offset:e.Offset], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		if err := os.WriteFile(f, src, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, f)
+	}
+	return changed, nil
+}
+
+// Fixable counts the diagnostics in diags that carry a suggested fix.
+func Fixable(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			n++
+		}
+	}
+	return n
+}

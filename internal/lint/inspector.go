@@ -1,0 +1,60 @@
+package lint
+
+import "go/ast"
+
+// This file is the driver's shared traversal. Before the typed driver,
+// every analyzer walked each file's AST itself (nine ast.Inspect scans per
+// package); now the package is flattened once into a preorder node slice and
+// a function-declaration index, and analyzers iterate those. Per-function
+// dataflow walks (lock states, span lifetimes) still recurse locally — the
+// inspector replaces the discovery scans, not the algorithms.
+
+// Nodes returns every AST node of the package in a single preorder flatten,
+// built once and cached. Source order is preserved within each file and
+// files keep go list's order, so position-sensitive scans can iterate
+// directly.
+func (p *Package) Nodes() []ast.Node {
+	if p.nodes == nil {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n != nil {
+					p.nodes = append(p.nodes, n)
+				}
+				return true
+			})
+		}
+		if p.nodes == nil {
+			p.nodes = []ast.Node{}
+		}
+	}
+	return p.nodes
+}
+
+// FuncDecls returns the package's function and method declarations in
+// source order, built once and cached.
+func (p *Package) FuncDecls() []*ast.FuncDecl {
+	if p.funcs == nil {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					p.funcs = append(p.funcs, fd)
+				}
+			}
+		}
+		if p.funcs == nil {
+			p.funcs = []*ast.FuncDecl{}
+		}
+	}
+	return p.funcs
+}
+
+// fileOf returns the *ast.File containing pos, for analyzers that need
+// file-scoped context (imports, comments) for a node found via Nodes().
+func (p *Package) fileOf(n ast.Node) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= n.Pos() && n.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

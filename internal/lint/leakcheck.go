@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The leakcheck analyzer audits every `go` statement for a reachable stop,
+// so drains and failover cannot strand goroutines. A goroutine body is
+// considered stoppable when it:
+//
+//   - selects or receives on a context's Done channel,
+//   - receives from (or ranges over) any channel — something can close it,
+//   - calls Done on a sync.WaitGroup that the same package Waits on,
+//   - runs a *http.Server ListenAndServe that the package Shuts down or
+//     Closes,
+//   - or is finite: no loops, and every channel send targets a channel
+//     made with a buffer in the enclosing function (a bounded fan-out
+//     worker that exits on its own).
+//
+// Bodies are resolved through function literals, local closure variables
+// (`attempt := func(...) {...}; go attempt(...)`), same-package function
+// and method declarations, and cross-package targets via the "stoppable"
+// fact.
+//
+// A second rule audits the other side of the contract: a shutdown method
+// (Stop/Close/Shutdown/Drain/Wait) that receives from a join channel inside
+// a select with a default clause returns without actually waiting — the
+// goroutine may still be running when the caller proceeds to tear state
+// down.
+func LeakCheck() *Analyzer {
+	return &Analyzer{
+		Name: "leakcheck",
+		Doc:  "every go statement needs a reachable stop (ctx.Done, channel close, joined WaitGroup); shutdown methods must block on the join",
+		Run:  runLeakCheck,
+	}
+}
+
+func runLeakCheck(pass *Pass) {
+	// Export stoppability facts for every declared function first, so
+	// cross-package `go pkg.Fn()` spawns can consult them.
+	for _, fd := range pass.FuncDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		if bodyHasStopEvidence(pass, fd.Body, nil) {
+			if sym := SymbolOf(pass.Info.Defs[fd.Name]); sym != "" {
+				pass.ExportFact(sym, "stoppable")
+			}
+		}
+	}
+	for _, fd := range pass.FuncDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		checkShutdownJoin(pass, fd)
+		enclosing := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, enclosing, gs)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, enclosing *ast.FuncDecl, gs *ast.GoStmt) {
+	body, foreignSym := resolveGoTarget(pass, enclosing, gs.Call)
+	if body == nil {
+		if foreignSym != "" && pass.ImportFact(foreignSym, "stoppable") {
+			return
+		}
+		if foreignSym != "" {
+			pass.Reportf("leakcheck", gs.Pos(), "goroutine target %s is not known to be stoppable; give it a ctx.Done/stop-channel exit or join it on shutdown", foreignSym)
+		}
+		// Unresolvable dynamic call (function value parameter): nothing
+		// sound to say without whole-program pointer analysis.
+		return
+	}
+	if !bodyHasStopEvidence(pass, body, enclosing) {
+		pass.Reportf("leakcheck", gs.Pos(), "goroutine has no reachable stop (no ctx.Done or channel receive, no joined WaitGroup, unbounded body); a drain or failover cannot end it")
+	}
+}
+
+// resolveGoTarget finds the body the go statement runs: a function literal,
+// a local closure variable, or a same-package declaration. For resolvable
+// cross-package targets it returns the symbol instead.
+func resolveGoTarget(pass *Pass, enclosing *ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fn.Body, ""
+	case *ast.Ident:
+		obj := pass.Info.Uses[fn]
+		if obj == nil {
+			return nil, ""
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			return closureBody(pass, enclosing, obj), ""
+		}
+		return declBodyOrSymbol(pass, obj)
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if s, ok := pass.Info.Selections[fn]; ok {
+			obj = s.Obj()
+		} else {
+			obj = pass.Info.Uses[fn.Sel]
+		}
+		if obj == nil {
+			return nil, ""
+		}
+		return declBodyOrSymbol(pass, obj)
+	}
+	return nil, ""
+}
+
+// declBodyOrSymbol maps a function object to its in-package declaration
+// body, or to its cross-package symbol for the fact lookup.
+func declBodyOrSymbol(pass *Pass, obj types.Object) (*ast.BlockStmt, string) {
+	if obj.Pkg() == pass.Types {
+		for _, fd := range pass.FuncDecls() {
+			if pass.Info.Defs[fd.Name] == obj {
+				return fd.Body, ""
+			}
+		}
+		return nil, ""
+	}
+	return nil, SymbolOf(obj)
+}
+
+// closureBody finds `name := func(...) {...}` in the enclosing function for
+// a local function-valued variable.
+func closureBody(pass *Pass, enclosing *ast.FuncDecl, obj types.Object) *ast.BlockStmt {
+	if enclosing == nil || enclosing.Body == nil {
+		return nil
+	}
+	var body *ast.BlockStmt
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || (pass.Info.Defs[id] != obj && pass.Info.Uses[id] != obj) {
+				continue
+			}
+			if lit, ok := ast.Unparen(assign.Rhs[i]).(*ast.FuncLit); ok {
+				body = lit.Body
+			}
+		}
+		return body == nil
+	})
+	return body
+}
+
+// bodyHasStopEvidence implements the stoppability rules. enclosing is the
+// spawning function (nil when classifying a declaration in isolation) —
+// needed to resolve locally made buffered channels.
+func bodyHasStopEvidence(pass *Pass, body *ast.BlockStmt, enclosing *ast.FuncDecl) bool {
+	stoppable := false
+	hasLoop := false
+	allSendsBounded := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if r, ok := n.(*ast.RangeStmt); ok && isChannelType(pass.Info.Types[r.X].Type) {
+				stoppable = true // ranging a channel ends when it closes
+			}
+			hasLoop = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				stoppable = true
+			}
+		case *ast.SelectStmt:
+			for _, clause := range x.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok && comm.Comm != nil {
+					if _, isSend := comm.Comm.(*ast.SendStmt); !isSend {
+						stoppable = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if !isLocallyBufferedChan(pass, enclosing, body, x.Chan) {
+				allSendsBounded = false
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done":
+					if s, ok := pass.Info.Selections[sel]; ok && namedTypeIn(s.Recv(), "sync", "WaitGroup") {
+						if packageWaitsOn(pass, sel.X) {
+							stoppable = true
+						}
+					}
+				case "ListenAndServe", "ListenAndServeTLS", "Serve":
+					if s, ok := pass.Info.Selections[sel]; ok && namedTypeIn(s.Recv(), "http", "Server") {
+						if packageStopsServer(pass) {
+							stoppable = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if stoppable {
+		return true
+	}
+	// Finite fire-and-forget: no loops and only bounded sends.
+	return !hasLoop && allSendsBounded
+}
+
+// isChannelType reports whether t is (or points at) a channel.
+func isChannelType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isLocallyBufferedChan reports whether ch resolves to a channel made with
+// a buffer in the goroutine body or its enclosing function — sends to it
+// cannot block past the buffer, so the goroutine finishes on its own.
+func isLocallyBufferedChan(pass *Pass, enclosing *ast.FuncDecl, body *ast.BlockStmt, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	buffered := false
+	check := func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.Info.Defs[lid] != obj {
+				continue
+			}
+			if call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr); ok {
+				if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "make" && len(call.Args) >= 2 {
+					buffered = true
+				}
+			}
+		}
+		return !buffered
+	}
+	if enclosing != nil && enclosing.Body != nil {
+		ast.Inspect(enclosing.Body, check)
+	} else {
+		ast.Inspect(body, check)
+	}
+	return buffered
+}
+
+// packageWaitsOn reports whether the package contains a Wait() call on a
+// WaitGroup with the same textual base as wgExpr (e.g. wg.Done in the
+// goroutine, wg.Wait in Close).
+func packageWaitsOn(pass *Pass, wgExpr ast.Expr) bool {
+	want := exprString(wgExpr)
+	base := want
+	if sel, ok := ast.Unparen(wgExpr).(*ast.SelectorExpr); ok {
+		base = sel.Sel.Name // field WaitGroups match on the field name
+	}
+	for _, n := range pass.Nodes() {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			continue
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || !namedTypeIn(s.Recv(), "sync", "WaitGroup") {
+			continue
+		}
+		got := exprString(sel.X)
+		if got == want {
+			return true
+		}
+		if gotSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && gotSel.Sel.Name == base {
+			return true
+		}
+	}
+	return false
+}
+
+// packageStopsServer reports whether the package calls Shutdown or Close on
+// an *http.Server anywhere — the ListenAndServe goroutine then has an
+// owner-driven exit.
+func packageStopsServer(pass *Pass) bool {
+	for _, n := range pass.Nodes() {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Shutdown" && sel.Sel.Name != "Close") {
+			continue
+		}
+		if s, ok := pass.Info.Selections[sel]; ok && namedTypeIn(s.Recv(), "http", "Server") {
+			return true
+		}
+	}
+	return false
+}
+
+var shutdownMethodNames = map[string]bool{
+	"Stop": true, "Close": true, "Shutdown": true, "Drain": true, "Wait": true,
+}
+
+// checkShutdownJoin flags the non-blocking-join antipattern: a shutdown
+// method that receives from its join channel under a select with a default
+// clause, so it can return while the goroutine is still running.
+func checkShutdownJoin(pass *Pass, fd *ast.FuncDecl) {
+	if !shutdownMethodNames[fd.Name.Name] || fd.Recv == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault, recvPos := false, token.NoPos
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if comm.Comm == nil {
+				hasDefault = true
+				continue
+			}
+			if fieldChannelRecv(pass, comm.Comm) {
+				recvPos = comm.Comm.Pos()
+			}
+		}
+		if hasDefault && recvPos.IsValid() {
+			pass.Reportf("leakcheck", recvPos, "%s does a non-blocking receive on the join channel and may return before the goroutine exits; block on the join (guard with a started flag if the goroutine may never have run)", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// fieldChannelRecv reports whether the select comm receives from a channel
+// that is a struct field (a goroutine's done/stop channel, not a local).
+func fieldChannelRecv(pass *Pass, comm ast.Stmt) bool {
+	var x ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		x = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			x = c.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(x).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}

@@ -20,10 +20,31 @@
 //   - spanend: every trace span minted by StartRoot/StartRemote/StartChild
 //     must reach End() on all return paths (or visibly escape to an owner
 //     that ends it), so no request silently vanishes from the trace rings.
+//   - walorder: on the httpapi writer path, estimator state mutations must
+//     be dominated by a WAL append, and a reseed swap (AdoptHistogram) must
+//     journal its KindReseed record first and refuse the swap if the journal
+//     append fails — otherwise recovery silently rolls the table back.
+//   - ctxflow: every outbound http.Request built in the cluster tier, the
+//     load generator and the daemons must carry a context and flow through
+//     traceparent injection before it is sent, and handlers must propagate
+//     the inbound request context rather than minting a fresh one.
+//   - leakcheck: every `go` statement needs a reachable stop — a ctx.Done
+//     or channel receive, a WaitGroup joined in the package, a bounded
+//     buffered-send body, or a server with a Shutdown path — and shutdown
+//     methods must actually block on the goroutine's exit.
+//   - lockorder: the lock-acquisition graph built from guarded-by
+//     annotations plus observed Lock orderings (including through calls,
+//     cross-package via facts) must stay acyclic, locks must not be
+//     re-acquired while held, and every mutex field must name what it
+//     guards.
 //
 // The suite is stdlib-only: packages are parsed with go/parser and
 // type-checked with go/types against export data obtained from the go
-// command (loader.go), consistent with the repo's zero-dependency rule.
+// command (load.go), consistent with the repo's zero-dependency rule. The
+// driver loads the full dependency graph once, analyzes packages in
+// dependency order, and lets analyzers export/import facts about functions
+// across package boundaries (facts.go), so e.g. "this helper appends to the
+// WAL" is visible to callers in other packages.
 //
 // Diagnostics can be suppressed per line with an escape hatch that forces a
 // reason on the author:
@@ -45,13 +66,31 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned for editors and CI annotators.
+// Diagnostic is one finding, positioned for editors and CI annotators. A
+// diagnostic may carry a SuggestedFix applied by `sthlint -fix`.
 type Diagnostic struct {
-	Check   string `json:"check"`
+	Check   string        `json:"check"`
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Column  int           `json:"column"`
+	Message string        `json:"message"`
+	Fix     *SuggestedFix `json:"fix,omitempty"`
+}
+
+// SuggestedFix is a mechanical remediation: a set of non-overlapping byte
+// edits within the diagnostic's file.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces file bytes [Offset, End) with NewText (End == Offset is
+// a pure insertion).
+type TextEdit struct {
 	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Column  int    `json:"column"`
-	Message string `json:"message"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
 }
 
 // String renders the classic file:line:col: [check] message form.
@@ -68,36 +107,60 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	nodes []ast.Node      // lazy shared preorder flatten (inspector.go)
+	funcs []*ast.FuncDecl // lazy function index (inspector.go)
 }
 
-// Analyzer is one pluggable check.
+// Analyzer is one pluggable check. Run sees each package in dependency
+// order; the optional Finish hook runs once after every package, for
+// whole-program properties (e.g. lock-graph cycles) that no single package
+// can decide. Finish diagnostics go through the same suppression filter as
+// Run diagnostics.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(report func(Diagnostic))
 }
 
-// Pass gives an analyzer one package plus a reporting sink.
+// Pass gives an analyzer one package plus a reporting sink and the shared
+// cross-package fact store.
 type Pass struct {
 	*Package
+	check  string
+	facts  *factStore
 	report func(Diagnostic)
 }
 
 // Reportf records a diagnostic for the running analyzer at pos.
 func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) {
+	p.report(p.diag(check, pos, nil, format, args...))
+}
+
+// ReportFixf records a diagnostic carrying a suggested fix.
+func (p *Pass) ReportFixf(check string, pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(p.diag(check, pos, fix, format, args...))
+}
+
+func (p *Pass) diag(check string, pos token.Pos, fix *SuggestedFix, format string, args ...any) Diagnostic {
 	position := p.Fset.Position(pos)
-	p.report(Diagnostic{
+	return Diagnostic{
 		Check:   check,
 		File:    position.Filename,
 		Line:    position.Line,
 		Column:  position.Column,
 		Message: fmt.Sprintf(format, args...),
-	})
+		Fix:     fix,
+	}
 }
 
 // Analyzers returns the full suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoAlloc(), LockCheck(), Determinism(), ErrFlow(), Publish(), SpanEnd()}
+	return []*Analyzer{
+		NoAlloc(), LockCheck(), Determinism(), ErrFlow(), Publish(), SpanEnd(),
+		WALOrder(), CtxFlow(), LeakCheck(), LockOrder(),
+	}
 }
 
 // checkNames returns the set of valid check names (for directive validation).
@@ -169,17 +232,23 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 	return false
 }
 
-// Run executes the analyzers over the packages and returns the surviving
-// diagnostics sorted by position. Directive errors are never suppressible.
+// Run executes the analyzers over the packages (which Load returns in
+// dependency order, so facts flow from dependencies to dependents), then
+// runs each analyzer's Finish hook over the whole program. The surviving
+// diagnostics come back sorted by position. Directive errors are never
+// suppressible.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	valid := checkNames(analyzers)
+	facts := newFactStore()
 	var out []Diagnostic
+	var allDirs []ignoreDirective
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		collect := func(d Diagnostic) { raw = append(raw, d) }
 		dirs := collectIgnores(pkg, valid, collect)
+		allDirs = append(allDirs, dirs...)
 		for _, a := range analyzers {
-			pass := &Pass{Package: pkg, report: collect}
+			pass := &Pass{Package: pkg, check: a.Name, facts: facts, report: collect}
 			a.Run(pass)
 		}
 		for _, d := range raw {
@@ -188,6 +257,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			out = append(out, d)
 		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		a.Finish(func(d Diagnostic) {
+			if d.Check != "directive" && suppressed(d, allDirs) {
+				return
+			}
+			out = append(out, d)
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -186,8 +186,10 @@ func TestDiagnosticOrdering(t *testing.T) {
 }
 
 // TestRepoIsClean lints the repository itself: go test ./... enforces the
-// same gate as make lint, so a diagnostic can't land without either a fix
-// or a reasoned ignore directive.
+// same gate as make lint, so a diagnostic can't land without a fix, a
+// reasoned ignore directive, or a committed baseline entry. Every baseline
+// entry must still match a finding — stale entries mean the debt was paid
+// and the baseline must be regenerated.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide lint skipped in -short mode")
@@ -201,7 +203,176 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("loading repo: %v", err)
 	}
 	diags := Run(pkgs, Analyzers())
-	for _, d := range diags {
-		t.Errorf("%s", d)
+	base, err := LoadBaseline(filepath.Join(root, ".sthlint-baseline.json"))
+	if err != nil {
+		t.Fatalf("loading baseline: %v", err)
+	}
+	fresh, stale := base.Filter(root, diags)
+	for _, d := range fresh {
+		t.Errorf("non-baselined finding: %s", d)
+	}
+	if stale > 0 {
+		t.Errorf("%d stale baseline entries; regenerate .sthlint-baseline.json to burn them down", stale)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from a diagnostic set and checks
+// the subtraction semantics: baselined findings are filtered (line moves
+// must not matter), new findings stay fresh, and paid-down entries count as
+// stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		{Check: "leakcheck", File: filepath.Join(root, "a", "a.go"), Line: 10, Message: "m1"},
+		{Check: "errflow", File: filepath.Join(root, "b.go"), Line: 20, Message: "m2"},
+	}
+	path := filepath.Join(root, "base.json")
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moved := []Diagnostic{
+		{Check: "leakcheck", File: filepath.Join(root, "a", "a.go"), Line: 99, Message: "m1"}, // same finding, new line
+		{Check: "noalloc", File: filepath.Join(root, "c.go"), Line: 3, Message: "m3"},         // genuinely new
+	}
+	fresh, stale := base.Filter(root, moved)
+	if len(fresh) != 1 || fresh[0].Check != "noalloc" {
+		t.Fatalf("want only the new noalloc finding fresh, got %v", fresh)
+	}
+	if stale != 1 {
+		t.Fatalf("want 1 stale entry (the paid-down errflow), got %d", stale)
+	}
+
+	empty, err := LoadBaseline(filepath.Join(root, "missing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale = empty.Filter(root, moved)
+	if len(fresh) != 2 || stale != 0 {
+		t.Fatalf("missing baseline must pass everything through, got %d fresh %d stale", len(fresh), stale)
+	}
+}
+
+// TestSARIFOutput checks the SARIF 2.1.0 envelope: every analyzer appears
+// as a rule even on a clean run, results carry repo-relative URIs with the
+// %SRCROOT% base, and the output parses as JSON.
+func TestSARIFOutput(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{{Check: "walorder", File: filepath.Join(root, "x", "y.go"), Line: 4, Column: 2, Message: "m"}}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, Analyzers(), diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one SARIF 2.1.0 run, got version %q runs %d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if len(run.Tool.Driver.Rules) < len(Analyzers()) {
+		t.Errorf("want every analyzer listed as a rule, got %d rules", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(run.Results))
+	}
+	res := run.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "walorder" || loc.ArtifactLocation.URI != "x/y.go" ||
+		loc.ArtifactLocation.URIBaseID != "%SRCROOT%" || loc.Region.StartLine != 4 {
+		t.Errorf("result mismatch: %+v", res)
+	}
+}
+
+// TestApplyFixes copies a broken source tree into a temp module, applies the
+// suggested fixes, and re-lints: the fixed tree must come back clean. This
+// is the -fix pipeline end to end, on the exact rewrites shipped to users.
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	src := `package wal
+
+import "os"
+
+func Persist(f *os.File) {
+	f.Sync()
+	defer f.Close()
+}
+`
+	writeFixModule(t, dir, src)
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	if len(diags) != 2 {
+		t.Fatalf("want 2 errflow findings before fixing, got %v", diags)
+	}
+	if Fixable(diags) != 2 {
+		t.Fatalf("want both findings fixable, got %d", Fixable(diags))
+	}
+	changed, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("want 1 changed file, got %v", changed)
+	}
+	pkgs, err = Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("fixed tree does not load: %v", err)
+	}
+	if diags := Run(pkgs, Analyzers()); len(diags) != 0 {
+		t.Fatalf("fixed tree still reports %v", diags)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "wal.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"_ = f.Sync()", "defer func() { _ = f.Close() }()"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q:\n%s", want, fixed)
+		}
+	}
+}
+
+// writeFixModule lays out a one-file module named after the durability path
+// so the errflow scope applies.
+func writeFixModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module wal\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

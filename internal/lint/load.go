@@ -13,7 +13,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -38,6 +37,7 @@ type listedPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Export     string
@@ -69,7 +69,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	// `go list -deps` emits packages in dependency order (dependencies
+	// before dependents). Keep that order: the fact layer relies on a
+	// package's dependencies being analyzed first, so facts exported by a
+	// helper package are visible when its importers are checked.
 
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)

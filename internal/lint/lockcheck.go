@@ -80,18 +80,15 @@ func runLockCheck(pass *Pass) {
 	if len(guards) == 0 {
 		return
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			if strings.HasSuffix(fn.Name.Name, "Locked") {
-				continue // caller-holds-lock helper, by convention
-			}
-			w := &lockWalker{pass: pass, guards: guards, exempt: constructedLocals(pass, fn)}
-			w.stmts(fn.Body.List, make(lockState))
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body == nil {
+			continue
 		}
+		if strings.HasSuffix(fn.Name.Name, "Locked") {
+			continue // caller-holds-lock helper, by convention
+		}
+		w := &lockWalker{pass: pass, guards: guards, exempt: constructedLocals(pass, fn)}
+		w.stmts(fn.Body.List, make(lockState))
 	}
 }
 
@@ -99,35 +96,32 @@ func runLockCheck(pass *Pass) {
 // field, validating that the guard exists in the same struct.
 func collectGuards(pass *Pass) map[*types.Var]string {
 	guards := make(map[*types.Var]string)
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok || st.Fields == nil {
-				return true
+	for _, n := range pass.Nodes() {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		names := make(map[string]bool)
+		for _, fld := range st.Fields.List {
+			for _, name := range fld.Names {
+				names[name.Name] = true
 			}
-			names := make(map[string]bool)
-			for _, fld := range st.Fields.List {
-				for _, name := range fld.Names {
-					names[name.Name] = true
-				}
+		}
+		for _, fld := range st.Fields.List {
+			guard := guardAnnotation(fld)
+			if guard == "" {
+				continue
 			}
-			for _, fld := range st.Fields.List {
-				guard := guardAnnotation(fld)
-				if guard == "" {
-					continue
-				}
-				if !names[guard] {
-					pass.Reportf("lockcheck", fld.Pos(), "guard %q named by annotation is not a field of this struct", guard)
-					continue
-				}
-				for _, name := range fld.Names {
-					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
-						guards[v] = guard
-					}
+			if !names[guard] {
+				pass.Reportf("lockcheck", fld.Pos(), "guard %q named by annotation is not a field of this struct", guard)
+				continue
+			}
+			for _, name := range fld.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					guards[v] = guard
 				}
 			}
-			return true
-		})
+		}
 	}
 	return guards
 }

@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The lockorder analyzer machine-checks the deadlock discipline the
+// guarded-by annotations describe. It abstracts every mutex to a type-level
+// key ("sthist/internal/httpapi.entry.qmu" — instances of the same field
+// share a key) and walks each function with the set of held locks:
+//
+//   - acquiring k while holding h records the edge h→k; the whole-program
+//     graph (assembled across packages in the Finish phase, with
+//     call-summary edges imported from dependency packages) must be
+//     acyclic, so qmu/jmu/wmu nesting is checked, not just documented;
+//   - acquiring a mutex whose expression is already held is a guaranteed
+//     self-deadlock and is reported immediately;
+//   - a mutex struct field that no guarded-by annotation names is reported:
+//     lockcheck and lockorder can only enforce what the annotations map, so
+//     an unmapped lock is an unenforced discipline. Locks that protect a
+//     code section rather than fields may say "guards <what>" in their own
+//     comment instead.
+//
+// Branches are walked with copies of the held set and the pre-branch state
+// continues afterwards; deferred unlocks keep the lock held to the return
+// (matching lockcheck). Calls made while holding a lock contribute the
+// callee's transitive acquisition summary, computed to a fixpoint within
+// each package and exported across packages in dependency order.
+func LockOrder() *Analyzer {
+	st := &lockOrderState{
+		acquires: make(map[string]map[string]bool),
+		edges:    make(map[[2]string]lockEdge),
+	}
+	return &Analyzer{
+		Name:   "lockorder",
+		Doc:    "lock-acquisition graph from guarded-by annotations and observed orderings must be acyclic; every mutex must name what it guards",
+		Run:    st.run,
+		Finish: st.finish,
+	}
+}
+
+// lockOrderState accumulates whole-program data across packages.
+type lockOrderState struct {
+	acquires map[string]map[string]bool // function symbol → lock keys it (transitively) acquires
+	edges    map[[2]string]lockEdge     // (held, acquired) → first witness
+}
+
+type lockEdge struct {
+	pos token.Position
+	fn  string
+}
+
+// heldLock is one acquisition on the abstract stack.
+type heldLock struct {
+	key      string // type-level key ("" for locals, which carry no edges)
+	instance string // textual instance (e.qmu) for self-deadlock detection
+}
+
+// pendingCall defers call-summary edge expansion until the package
+// fixpoint has run.
+type pendingCall struct {
+	held []string
+	sym  string
+	pos  token.Pos
+	fn   string
+}
+
+func (st *lockOrderState) run(pass *Pass) {
+	st.checkUnmappedLocks(pass)
+
+	direct := make(map[string]map[string]bool) // symbol → directly acquired keys
+	calls := make(map[string][]string)         // symbol → callee symbols
+	var pending []pendingCall
+	for _, fd := range pass.FuncDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		sym := SymbolOf(pass.Info.Defs[fd.Name])
+		w := &lockWalk{pass: pass, state: st, fnName: fd.Name.Name, sym: sym}
+		var held []heldLock
+		w.stmts(fd.Body.List, &held)
+		if sym != "" {
+			direct[sym] = w.direct
+			calls[sym] = w.callees
+		}
+		pending = append(pending, w.pending...)
+	}
+
+	// Transitive closure within the package; cross-package callees resolve
+	// against summaries exported by dependencies (already in st.acquires).
+	summary := make(map[string]map[string]bool, len(direct))
+	for sym, keys := range direct {
+		s := make(map[string]bool, len(keys))
+		for k := range keys {
+			s[k] = true
+		}
+		summary[sym] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for sym, callees := range calls {
+			for _, callee := range callees {
+				src := summary[callee]
+				if src == nil {
+					src = st.acquires[callee]
+				}
+				for k := range src {
+					if !summary[sym][k] {
+						summary[sym][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for sym, keys := range summary {
+		st.acquires[sym] = keys
+	}
+
+	for _, pc := range pending {
+		acq := summary[pc.sym]
+		if acq == nil {
+			acq = st.acquires[pc.sym]
+		}
+		for _, h := range pc.held {
+			for k := range acq {
+				if k != h {
+					st.addEdge(pass, h, k, pc.pos, pc.fn)
+				}
+			}
+		}
+	}
+}
+
+func (st *lockOrderState) addEdge(pass *Pass, from, to string, pos token.Pos, fn string) {
+	key := [2]string{from, to}
+	if _, ok := st.edges[key]; !ok {
+		st.edges[key] = lockEdge{pos: pass.Fset.Position(pos), fn: fn}
+	}
+}
+
+// finish assembles the whole-program graph and reports every edge that sits
+// on a cycle, at the position the ordering was observed.
+func (st *lockOrderState) finish(report func(Diagnostic)) {
+	adj := make(map[string][]string)
+	for e := range st.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	var cyclic [][2]string
+	for e := range st.edges {
+		if reaches(e[1], e[0]) {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		if cyclic[i][0] != cyclic[j][0] {
+			return cyclic[i][0] < cyclic[j][0]
+		}
+		return cyclic[i][1] < cyclic[j][1]
+	})
+	for _, e := range cyclic {
+		w := st.edges[e]
+		report(Diagnostic{
+			Check:   "lockorder",
+			File:    w.pos.Filename,
+			Line:    w.pos.Line,
+			Column:  w.pos.Column,
+			Message: fmt.Sprintf("lock order cycle: %s acquires %s while holding %s, but another path orders them the other way around (in %s)", w.fn, shortLockKey(e[1]), shortLockKey(e[0]), w.fn),
+		})
+	}
+}
+
+// shortLockKey trims the package path to its last element for messages.
+func shortLockKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// checkUnmappedLocks reports package-level struct mutex fields that no
+// guarded-by annotation names.
+func (st *lockOrderState) checkUnmappedLocks(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				stype, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStructLocks(pass, ts.Name.Name, stype)
+			}
+		}
+	}
+}
+
+func checkStructLocks(pass *Pass, typeName string, stype *ast.StructType) {
+	guarded := make(map[string]bool) // guard names referenced by annotations
+	type mutexField struct {
+		name string
+		pos  token.Pos
+		doc  string
+	}
+	var mutexes []mutexField
+	for _, field := range stype.Fields.List {
+		text := fieldCommentText(field)
+		for _, m := range guardedByRe.FindAllStringSubmatch(text, -1) {
+			guarded[m[1]] = true
+		}
+		t := pass.Info.Types[field.Type].Type
+		if !namedTypeIn(t, "sync", "Mutex") && !namedTypeIn(t, "sync", "RWMutex") {
+			continue
+		}
+		for _, name := range field.Names {
+			mutexes = append(mutexes, mutexField{name: name.Name, pos: name.Pos(), doc: text})
+		}
+	}
+	for _, m := range mutexes {
+		if guarded[m.name] || strings.Contains(m.doc, "guards ") {
+			continue
+		}
+		pass.Reportf("lockorder", m.pos, "mutex %s.%s guards no annotated fields; add `guarded by %s` to the fields it protects (or say what it guards in its own comment) so lockcheck and lockorder can enforce it", typeName, m.name, m.name)
+	}
+}
+
+func fieldCommentText(field *ast.Field) string {
+	var b strings.Builder
+	if field.Doc != nil {
+		b.WriteString(field.Doc.Text())
+		b.WriteString(" ")
+	}
+	if field.Comment != nil {
+		b.WriteString(field.Comment.Text())
+	}
+	return b.String()
+}
+
+// lockWalk carries the per-function traversal state.
+type lockWalk struct {
+	pass    *Pass
+	state   *lockOrderState
+	fnName  string
+	sym     string
+	direct  map[string]bool
+	callees []string
+	pending []pendingCall
+}
+
+// stmts walks a statement list in order, mutating held in place. Branch
+// bodies get copies; the pre-branch state continues after the branch.
+func (w *lockWalk) stmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalk) stmt(s ast.Stmt, held *[]heldLock) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.IfStmt:
+		w.stmt(st.Init, held)
+		w.exprs(st.Cond, held)
+		body := copyHeld(*held)
+		w.stmt(st.Body, &body)
+		if st.Else != nil {
+			alt := copyHeld(*held)
+			w.stmt(st.Else, &alt)
+		}
+	case *ast.ForStmt:
+		w.stmt(st.Init, held)
+		w.exprs(st.Cond, held)
+		body := copyHeld(*held)
+		w.stmt(st.Body, &body)
+	case *ast.RangeStmt:
+		w.exprs(st.X, held)
+		body := copyHeld(*held)
+		w.stmt(st.Body, &body)
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, held)
+		w.exprs(st.Tag, held)
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				body := copyHeld(*held)
+				w.stmts(cc.Body, &body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, held)
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				body := copyHeld(*held)
+				w.stmts(cc.Body, &body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				body := copyHeld(*held)
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, &body)
+				}
+				w.stmts(cc.Body, &body)
+			}
+		}
+	case *ast.GoStmt:
+		// A new goroutine starts with nothing held. Function literals are
+		// walked fresh; named targets contribute their summary with no
+		// held set, i.e. nothing.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			var fresh []heldLock
+			w.stmt(lit.Body, &fresh)
+		}
+	case *ast.DeferStmt:
+		// Deferred unlocks run at return: the lock stays held for the rest
+		// of the function, which is exactly how the walk models not seeing
+		// the Unlock. Deferred literals are walked with an empty held set.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			var fresh []heldLock
+			w.stmt(lit.Body, &fresh)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	default:
+		w.exprsFromStmt(s, held)
+	}
+}
+
+// exprsFromStmt scans a simple statement's expressions for calls in source
+// order.
+func (w *lockWalk) exprsFromStmt(s ast.Stmt, held *[]heldLock) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals run later (or are walked by Go/Defer)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.call(call, held)
+		}
+		return true
+	})
+}
+
+// exprs scans one expression (cond, range operand) for calls.
+func (w *lockWalk) exprs(e ast.Expr, held *[]heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.call(call, held)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: a lock event, or a plain call whose
+// acquisition summary matters while locks are held.
+func (w *lockWalk) call(call *ast.CallExpr, held *[]heldLock) {
+	if key, instance, op, ok := lockOpOf(w.pass, call); ok {
+		switch op {
+		case "Lock", "RLock":
+			for _, h := range *held {
+				if h.instance == instance {
+					w.pass.Reportf("lockorder", call.Pos(), "%s acquires %s while this function already holds it: guaranteed self-deadlock on a non-reentrant mutex", w.fnName, instance)
+				}
+				if h.key != "" && key != "" && h.key != key {
+					w.state.addEdge(w.pass, h.key, key, call.Pos(), w.fnName)
+				}
+			}
+			if w.direct == nil {
+				w.direct = make(map[string]bool)
+			}
+			if key != "" {
+				w.direct[key] = true
+			}
+			*held = append(*held, heldLock{key: key, instance: instance})
+		case "Unlock", "RUnlock":
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i].instance == instance {
+					*held = append((*held)[:i], (*held)[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	obj := calleeObject(w.pass.Info, call)
+	if obj == nil {
+		return
+	}
+	sym := SymbolOf(obj)
+	if sym == "" {
+		return
+	}
+	w.callees = append(w.callees, sym)
+	if len(*held) > 0 {
+		keys := make([]string, 0, len(*held))
+		for _, h := range *held {
+			if h.key != "" {
+				keys = append(keys, h.key)
+			}
+		}
+		if len(keys) > 0 {
+			w.pending = append(w.pending, pendingCall{held: keys, sym: sym, pos: call.Pos(), fn: w.fnName})
+		}
+	}
+}
+
+// lockOpOf decodes m.Lock()/RLock()/Unlock()/RUnlock() into the mutex's
+// type-level key and textual instance. Local mutexes yield key "" (no
+// edges) but still participate in self-deadlock detection.
+func lockOpOf(pass *Pass, call *ast.CallExpr) (key, instance, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	mu := ast.Unparen(sel.X)
+	t := pass.Info.Types[mu].Type
+	if !namedTypeIn(t, "sync", "Mutex") && !namedTypeIn(t, "sync", "RWMutex") {
+		return "", "", "", false
+	}
+	return lockKeyOf(pass, mu), exprString(mu), sel.Sel.Name, true
+}
+
+// lockKeyOf renders the type-level key for a mutex expression: the owning
+// named struct's field ("pkg.Type.field") or a package-level var
+// ("pkg.var"). Locals have no stable key.
+func lockKeyOf(pass *Pass, mu ast.Expr) string {
+	switch x := ast.Unparen(mu).(type) {
+	case *ast.SelectorExpr:
+		base := pass.Info.Types[x.X].Type
+		if base == nil {
+			return ""
+		}
+		if ptr, isPtr := base.(*types.Pointer); isPtr {
+			base = ptr.Elem()
+		}
+		if named, isNamed := base.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	out := make([]heldLock, len(held))
+	copy(out, held)
+	return out
+}

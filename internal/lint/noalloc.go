@@ -32,15 +32,12 @@ func NoAlloc() *Analyzer {
 }
 
 func runNoAlloc(pass *Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !funcDirective(fn, "noalloc") {
-				continue
-			}
-			nc := &noallocChecker{pass: pass, fn: fn}
-			ast.Inspect(fn.Body, nc.visit)
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body == nil || !funcDirective(fn, "noalloc") {
+			continue
 		}
+		nc := &noallocChecker{pass: pass, fn: fn}
+		ast.Inspect(fn.Body, nc.visit)
 	}
 }
 

@@ -38,14 +38,11 @@ func Publish() *Analyzer {
 }
 
 func runPublish(pass *Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			checkPublish(pass, fn.Body)
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body == nil {
+			continue
 		}
+		checkPublish(pass, fn.Body)
 	}
 }
 

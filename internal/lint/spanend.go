@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // SpanEnd returns the analyzer enforcing the tracing lifecycle contract:
@@ -42,11 +43,9 @@ func runSpanEnd(pass *Pass) {
 	if pass.Name == "trace" {
 		return // the tracer implementation mints and buffers spans freely
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				checkSpanLifecycles(pass, fn.Body)
-			}
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body != nil {
+			checkSpanLifecycles(pass, fn.Body)
 		}
 	}
 }
@@ -55,6 +54,7 @@ func runSpanEnd(pass *Pass) {
 type spanVar struct {
 	name    string
 	pos     token.Pos // the Start call
+	assign  ast.Stmt  // the minting statement when it sits directly in body.List
 	escaped bool      // ownership moved: field, arg, return, channel, alias
 	defersd bool      // covered by a defer <var>.End()
 	ends    []token.Pos
@@ -66,6 +66,10 @@ type spanVar struct {
 func checkSpanLifecycles(pass *Pass, body *ast.BlockStmt) {
 	vars := make(map[types.Object]*spanVar)
 	var returns []token.Pos
+	topLevel := make(map[ast.Stmt]bool, len(body.List))
+	for _, s := range body.List {
+		topLevel[s] = true
+	}
 
 	// Pass 1: find span-start assignments and outright discards.
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -94,7 +98,11 @@ func checkSpanLifecycles(pass *Pass, body *ast.BlockStmt) {
 					continue
 				}
 				if obj := identObj(pass, id); obj != nil {
-					vars[obj] = &spanVar{name: id.Name, pos: call.Pos()}
+					sv := &spanVar{name: id.Name, pos: call.Pos()}
+					if topLevel[ast.Stmt(n)] {
+						sv.assign = n
+					}
+					vars[obj] = sv
 				}
 			}
 		case *ast.ValueSpec:
@@ -172,10 +180,31 @@ func checkSpanLifecycles(pass *Pass, body *ast.BlockStmt) {
 			continue
 		}
 		if leakPos, leaks := spanLeaks(v, returns); leaks {
-			pass.Reportf("spanend", leakPos,
+			pass.ReportFixf("spanend", leakPos, deferEndFix(pass, v),
 				"span %s can leave the function without End(); defer %s.End() after the Start, or End it before each return",
 				v.name, v.name)
 		}
+	}
+}
+
+// deferEndFix builds the autofix inserting `defer <name>.End()` on the line
+// after the minting statement. Only offered when the mint sits directly in the
+// function body (inside a loop or branch a defer would pile up or leak scope).
+func deferEndFix(pass *Pass, v *spanVar) *SuggestedFix {
+	if v.assign == nil {
+		return nil
+	}
+	pos := pass.Fset.Position(v.assign.Pos())
+	end := pass.Fset.Position(v.assign.End())
+	indent := strings.Repeat("\t", pos.Column-1)
+	return &SuggestedFix{
+		Message: "defer the End right after the Start",
+		Edits: []TextEdit{{
+			File:    end.Filename,
+			Offset:  end.Offset,
+			End:     end.Offset,
+			NewText: "\n" + indent + "defer " + v.name + ".End()",
+		}},
 	}
 }
 

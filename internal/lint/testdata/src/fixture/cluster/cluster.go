@@ -1,0 +1,182 @@
+// Package cluster is a lint fixture for the ctxflow analyzer (outbound
+// requests must carry a context and traceparent injection; handlers must
+// propagate the inbound context) and for errflow's response-body lifecycle
+// rule (every minted *http.Response must be closed on every path).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+
+	"fixture/trace"
+)
+
+// BadNewRequest builds a context-less request.
+func BadNewRequest(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want ctxflow
+}
+
+// BadPackageGet uses the context-less package-level convenience.
+func BadPackageGet(url string) (*http.Response, error) {
+	return http.Get(url) // want ctxflow
+}
+
+// BadClientGet uses the context-less Client convenience.
+func BadClientGet(c *http.Client, url string) (*http.Response, error) {
+	return c.Get(url) // want ctxflow
+}
+
+// GoodHeaderRead shares the method name Get with the conveniences but sends
+// nothing: it must not be flagged.
+func GoodHeaderRead(resp *http.Response) string {
+	return resp.Header.Get("Content-Type")
+}
+
+// BadNoInjection sends a request that never flows through traceparent
+// injection: the hop breaks the trace.
+func BadNoInjection(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil) // want ctxflow
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return nil
+}
+
+// GoodInject propagates through the trace helper.
+func GoodInject(ctx context.Context, c *http.Client, sc trace.SpanContext, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	trace.Inject(sc, req)
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return nil
+}
+
+// GoodHeaderSet propagates with a direct traceparent Header.Set.
+func GoodHeaderSet(ctx context.Context, c *http.Client, tp, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("traceparent", tp)
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return nil
+}
+
+// GoodDelegated hands the request to a decorator before sending: the new
+// owner is assumed to propagate.
+func GoodDelegated(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	decorate(req)
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return nil
+}
+
+func decorate(r *http.Request) {
+	r.Header.Set(trace.TraceparentHeader, "00-fixture")
+}
+
+// BadHandler mints a fresh context inside a handler instead of propagating
+// the inbound one: the trace and the client's cancellation are lost.
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want ctxflow
+	_ = ctx
+}
+
+// GoodHandler derives from the inbound request context.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+}
+
+// BadIgnoredGet records a reviewed exception through the escape hatch.
+func BadIgnoredGet(c *http.Client, url string) (*http.Response, error) {
+	//sthlint:ignore ctxflow fixture: fire-and-forget warmup probe
+	return c.Get(url)
+}
+
+// BadLeakedBody never closes the response: the connection leaks.
+func BadLeakedBody(ctx context.Context, c *http.Client, sc trace.SpanContext, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	trace.Inject(sc, req)
+	resp, err := c.Do(req) // want errflow
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// BadMissedReturn closes on the happy path but leaks on the bad-status
+// return between the guard and the read.
+func BadMissedReturn(ctx context.Context, c *http.Client, sc trace.SpanContext, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	trace.Inject(sc, req)
+	resp, err := c.Do(req) // want errflow
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errors.New("bad status")
+	}
+	b, rerr := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return b, rerr
+}
+
+// GoodDeferClose covers every path with a defer after the nil-guard.
+func GoodDeferClose(ctx context.Context, c *http.Client, sc trace.SpanContext, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	trace.Inject(sc, req)
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return io.ReadAll(resp.Body)
+}
+
+// GoodHandoff returns the whole response: the caller owns the close.
+func GoodHandoff(ctx context.Context, c *http.Client, sc trace.SpanContext, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	trace.Inject(sc, req)
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,113 @@
+// Package httpapi is a lint fixture mimicking sthist's HTTP writer path:
+// the walorder analyzer must require every estimator mutation to be
+// dominated by a WAL append, and reseed swaps to journal a KindReseed
+// record whose failure rejects the promotion.
+package httpapi
+
+import (
+	"fixture/journal"
+	"fixture/sthist"
+	"fixture/wal"
+)
+
+// Server is the writer-path stand-in.
+type Server struct {
+	est *sthist.Estimator
+	log *wal.Log
+}
+
+// GoodGated journals the reseed first and refuses the swap when the append
+// fails: the correct shape.
+func (s *Server) GoodGated(h *sthist.Histogram) error {
+	if _, err := s.log.Append(wal.Record{Kind: wal.KindReseed}); err != nil {
+		return err
+	}
+	s.est.AdoptHistogram(h)
+	return nil
+}
+
+// GoodGatedSplit gates through the two-statement assign-then-check shape.
+func (s *Server) GoodGatedSplit(h *sthist.Histogram) error {
+	_, err := s.log.Append(wal.Record{Kind: wal.KindReseed})
+	if err != nil {
+		return err
+	}
+	s.est.AdoptHistogram(h)
+	return nil
+}
+
+// GoodBatch journals the batch before applying it.
+func (s *Server) GoodBatch(qs []float64) error {
+	if _, err := s.log.AppendBatch([]wal.Record{{}}); err != nil {
+		return err
+	}
+	s.est.FeedbackBatch(qs)
+	return nil
+}
+
+// GoodHelperCovered reaches the journal through the helper package: the
+// "appends" fact must cross the package boundary.
+func (s *Server) GoodHelperCovered(h *sthist.Histogram) error {
+	if err := journal.AppendReseed(s.log, 1); err != nil {
+		return err
+	}
+	s.est.AdoptHistogram(h)
+	return nil
+}
+
+// applyFeedback mutates without journaling itself; it is covered because
+// its only caller journals first (dominance through call sites).
+func (s *Server) applyFeedback(q, actual float64) {
+	s.est.Feedback(q, actual)
+}
+
+// Apply journals, then delegates the mutation to the helper above.
+func (s *Server) Apply(q, actual float64) error {
+	if _, err := s.log.Append(wal.Record{}); err != nil {
+		return err
+	}
+	s.applyFeedback(q, actual)
+	return nil
+}
+
+// GoodRecovery replays from the log: LoadHistogram is the WAL's output and
+// must not be asked to journal again.
+func (s *Server) GoodRecovery(h *sthist.Histogram) {
+	s.est.LoadHistogram(h)
+}
+
+// BadMutateFirst applies feedback before journaling it: a crash between the
+// two serves state the replay does not contain.
+func (s *Server) BadMutateFirst(q, actual float64) error {
+	s.est.Feedback(q, actual) // want walorder
+	_, err := s.log.Append(wal.Record{})
+	return err
+}
+
+// BadUncovered mutates with no append on any path and no covering caller.
+func (s *Server) BadUncovered(q, actual float64) {
+	s.est.Feedback(q, actual) // want walorder
+}
+
+// BadUngatedReseed discards the append error: a failed journal write then
+// serves a histogram recovery silently rolls back.
+func (s *Server) BadUngatedReseed(h *sthist.Histogram) {
+	_, _ = s.log.Append(wal.Record{Kind: wal.KindReseed})
+	s.est.AdoptHistogram(h) // want walorder
+}
+
+// BadWrongRecord journals, but not a reseed record: replay cannot
+// reconstruct the swap it gates.
+func (s *Server) BadWrongRecord(h *sthist.Histogram) error {
+	if _, err := s.log.Append(wal.Record{}); err != nil {
+		return err
+	}
+	s.est.AdoptHistogram(h) // want walorder
+	return nil
+}
+
+// BadIgnored records a reviewed exception through the escape hatch.
+func (s *Server) BadIgnored(q, actual float64) {
+	//sthlint:ignore walorder fixture: replayed from an upstream journal
+	s.est.Feedback(q, actual)
+}

@@ -1,0 +1,12 @@
+// Package journal is a lint-fixture helper: AppendReseed journals through
+// the wal stub, so walorder's "appends" fact must flow from this package
+// into the httpapi fixture across the package boundary.
+package journal
+
+import "fixture/wal"
+
+// AppendReseed journals a reseed record and reports failure to the caller.
+func AppendReseed(l *wal.Log, seq uint64) error {
+	_, err := l.Append(wal.Record{Seq: seq, Kind: wal.KindReseed})
+	return err
+}

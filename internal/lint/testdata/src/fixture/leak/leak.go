@@ -1,0 +1,128 @@
+// Package leak is a lint fixture for the leakcheck analyzer: goroutines
+// with no reachable stop, the non-blocking shutdown join antipattern, and
+// every stoppable shape the analyzer must accept.
+package leak
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"fixture/leakdep"
+)
+
+// Pump is a worker with a stop channel and a join.
+type Pump struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start runs the pump until the stop channel closes, then signals the join.
+func (p *Pump) Start() {
+	go func() {
+		defer close(p.done)
+		<-p.stop
+	}()
+}
+
+// Stop blocks on the join: the goroutine is gone when it returns.
+func (p *Pump) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// Drain polls the join instead of blocking on it: it can return while the
+// pump is still running, racing the caller's teardown.
+func (p *Pump) Drain() {
+	select {
+	case <-p.done: // want leakcheck
+	default:
+	}
+}
+
+// BadSpin spawns a goroutine nothing can end.
+func BadSpin() {
+	go func() { // want leakcheck
+		for {
+		}
+	}()
+}
+
+// BadClosureSpin resolves the body through a local closure variable.
+func BadClosureSpin() {
+	attempt := func() {
+		for {
+		}
+	}
+	go attempt() // want leakcheck
+}
+
+// BadForeign spawns a cross-package target that exports no stoppable fact.
+func BadForeign() {
+	go leakdep.Forever() // want leakcheck
+}
+
+// GoodForeign spawns a cross-package target whose stoppable fact its own
+// package exported.
+func GoodForeign(ch chan int) {
+	go leakdep.Drain(ch)
+}
+
+// GoodCtx exits when the context is cancelled.
+func GoodCtx(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Flush fans work out and joins it through the WaitGroup.
+func Flush(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Scatter sends into a buffered channel sized in the enclosing function:
+// the workers finish on their own.
+func Scatter(n int) chan int {
+	results := make(chan int, 8)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results <- i
+		}(i)
+	}
+	return results
+}
+
+// Serve runs the listener in the background; Close below gives it an exit.
+func Serve(srv *http.Server) {
+	go func() {
+		_ = srv.ListenAndServe()
+	}()
+}
+
+// Close shuts the server down, ending the Serve goroutine.
+func Close(ctx context.Context, srv *http.Server) error {
+	return srv.Shutdown(ctx)
+}
+
+// BadIgnoredSpin records a reviewed exception through the escape hatch.
+func BadIgnoredSpin() {
+	//sthlint:ignore leakcheck fixture: process-lifetime metrics pump
+	go func() {
+		for {
+		}
+	}()
+}

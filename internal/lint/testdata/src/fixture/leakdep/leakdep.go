@@ -1,0 +1,20 @@
+// Package leakdep provides cross-package goroutine targets for the
+// leakcheck fixture: Drain's "stoppable" fact must flow across the package
+// boundary, and Forever's absence of one must be reported at the spawn.
+package leakdep
+
+var spins uint64
+
+// Forever runs until process exit: nothing can stop it.
+func Forever() {
+	for {
+		spins++
+	}
+}
+
+// Drain receives until the channel closes: stoppable, exported as a fact.
+func Drain(ch <-chan int) {
+	for range ch {
+		spins++
+	}
+}

@@ -1,0 +1,107 @@
+// Package order is a lint fixture for the lockorder analyzer: ordering
+// cycles (including through call summaries), self-deadlocks, unmapped
+// mutexes, and the consistent-nesting shape that must stay clean.
+package order
+
+import "sync"
+
+// Shard is one half of the ordering-cycle demo.
+type Shard struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// Index is the other half.
+type Index struct {
+	mu  sync.Mutex
+	seq int // guarded by mu
+}
+
+// LockBoth nests shard-then-index.
+func LockBoth(s *Shard, ix *Index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix.mu.Lock() // want lockorder
+	defer ix.mu.Unlock()
+	s.val++
+	ix.seq++
+}
+
+// lockShard acquires the shard lock on behalf of its caller.
+func lockShard(s *Shard) {
+	s.mu.Lock()
+	s.val++
+	s.mu.Unlock()
+}
+
+// ReversedViaCall reaches the shard lock through a callee while holding the
+// index lock: the call-summary edge closes the cycle with LockBoth.
+func ReversedViaCall(s *Shard, ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	lockShard(s) // want lockorder
+}
+
+// Gauge demonstrates the self-deadlock check.
+type Gauge struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Bump re-acquires a mutex the function already holds: guaranteed deadlock
+// on a non-reentrant mutex.
+func (g *Gauge) Bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mu.Lock() // want lockorder
+	g.n++
+	g.mu.Unlock()
+}
+
+// BumpIgnored records a reviewed exception through the escape hatch.
+func (g *Gauge) BumpIgnored() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//sthlint:ignore lockorder fixture: reviewed reentrancy shim
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Registry's mutex names nothing it guards: an unenforceable discipline.
+type Registry struct {
+	mu    sync.Mutex // want lockorder
+	items map[string]int
+}
+
+// Meta and Data nest consistently package-wide: the acquisition graph stays
+// acyclic and no diagnostic fires.
+type Meta struct {
+	mu  sync.Mutex
+	gen int // guarded by mu
+}
+
+// Data is always acquired after Meta.
+type Data struct {
+	mu   sync.Mutex
+	rows int // guarded by mu
+}
+
+// Snapshot nests meta-then-data.
+func Snapshot(m *Meta, d *Data) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return m.gen + d.rows
+}
+
+// Compact nests meta-then-data too: consistent, so no cycle.
+func Compact(m *Meta, d *Data) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m.gen++
+	d.rows = 0
+}

@@ -1,0 +1,30 @@
+// Package sthist is a lint-fixture stub of the estimator surface the
+// walorder analyzer matches: the mutating methods on Estimator (Feedback,
+// FeedbackBatch, AdoptHistogram) and the recovery-only LoadHistogram, which
+// must NOT be treated as a mutation.
+package sthist
+
+// Histogram is a served histogram stand-in.
+type Histogram struct {
+	Buckets int
+}
+
+// Estimator is the self-tuning estimator stand-in.
+type Estimator struct {
+	served *Histogram
+}
+
+// Feedback refines the served histogram with one observed cardinality.
+func (e *Estimator) Feedback(q, actual float64) {}
+
+// FeedbackBatch applies a batch of observations.
+func (e *Estimator) FeedbackBatch(qs []float64) {}
+
+// AdoptHistogram swaps the served histogram (a reseed).
+func (e *Estimator) AdoptHistogram(h *Histogram) { e.served = h }
+
+// LoadHistogram replays recovered state; it is the WAL's output, not input.
+func (e *Estimator) LoadHistogram(h *Histogram) { e.served = h }
+
+// Estimate reads the served state.
+func (e *Estimator) Estimate(q float64) float64 { return 0 }

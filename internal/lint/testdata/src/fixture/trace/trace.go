@@ -5,9 +5,24 @@
 // NOT apply to clients importing it — only to this package's own bodies.
 package trace
 
+import "net/http"
+
+// TraceparentHeader is the W3C propagation header.
+const TraceparentHeader = "traceparent"
+
 // SpanContext identifies a trace across processes.
 type SpanContext struct {
 	TraceID string
+}
+
+// Inject stamps the traceparent onto an outbound request. The ctxflow
+// analyzer recognizes any trace-package call taking the request as
+// propagation.
+func Inject(sc SpanContext, req *http.Request) {
+	if req == nil || sc.TraceID == "" {
+		return
+	}
+	req.Header.Set(TraceparentHeader, sc.TraceID)
 }
 
 // Span is one traced operation.

@@ -10,9 +10,16 @@ import (
 	"sync"
 )
 
+// Kind tags a record with the operation it journals.
+type Kind uint8
+
+// KindReseed marks a reseed swap record.
+const KindReseed Kind = 7
+
 // Record is one framed WAL record.
 type Record struct {
-	Seq uint64
+	Seq  uint64
+	Kind Kind
 }
 
 // Log is a minimal stand-in for the real write-ahead log.
@@ -28,6 +35,14 @@ func (l *Log) Append(r Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.lastSeq++
+	return l.lastSeq, l.err
+}
+
+// AppendBatch appends several records under one lock acquisition.
+func (l *Log) AppendBatch(rs []Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastSeq += uint64(len(rs))
 	return l.lastSeq, l.err
 }
 

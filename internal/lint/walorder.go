@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The walorder analyzer enforces the durability ordering the crash-recovery
+// sweeps depend on: on the httpapi writer path, estimator state mutations
+// (Feedback, FeedbackBatch, AdoptHistogram) must be dominated by a WAL
+// append — either directly in the mutating function, in a helper the
+// function calls (tracked via the "appends" fact, across packages), or in
+// every caller that reaches it. Reseed swaps get a stricter rule: an
+// AdoptHistogram must be preceded by an Append of a KindReseed record, and
+// the adoption must be gated on that append succeeding — adopting after a
+// failed journal write serves a histogram that recovery silently rolls
+// back, forking replay from the served state.
+//
+// LoadHistogram is deliberately not in the mutator set: it is the recovery
+// path, which replays state *from* the WAL and must not journal again.
+// Non-durable tables (nil log) share the same code shape, so the dominance
+// check is positional: an append that is conditionally skipped when no log
+// is configured still counts.
+
+// wevent is one ordered occurrence inside a function body.
+type wevent struct {
+	kind   int // evAppend, evMutate, evCall
+	pos    token.Pos
+	reseed bool   // append: record carries KindReseed; mutate: AdoptHistogram
+	gated  bool   // append: a failed append returns before anything else runs
+	sym    string // call: callee symbol
+}
+
+const (
+	evAppend = iota
+	evMutate
+	evCall
+)
+
+// wfunc is one function's walorder summary.
+type wfunc struct {
+	decl    *ast.FuncDecl
+	sym     string
+	events  []wevent
+	appends bool // has a direct append or calls an appending function
+}
+
+// WALOrder returns the walorder analyzer.
+func WALOrder() *Analyzer {
+	return &Analyzer{
+		Name: "walorder",
+		Doc:  "estimator mutations on the writer path must be dominated by a WAL append; reseed swaps must journal KindReseed first and refuse the swap on append failure",
+		Run:  runWALOrder,
+	}
+}
+
+func runWALOrder(pass *Pass) {
+	funcs := make([]*wfunc, 0, len(pass.FuncDecls()))
+	bySym := make(map[string]*wfunc)
+	for _, fd := range pass.FuncDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		wf := &wfunc{decl: fd, sym: SymbolOf(pass.Info.Defs[fd.Name]), events: collectWALEvents(pass, fd)}
+		for _, ev := range wf.events {
+			if ev.kind == evAppend {
+				wf.appends = true
+			}
+		}
+		funcs = append(funcs, wf)
+		if wf.sym != "" {
+			bySym[wf.sym] = wf
+		}
+	}
+
+	// appendsSym reports whether sym is known to append: defined here (after
+	// the fixpoint below) or exported as a fact by a dependency package.
+	appendsSym := func(sym string) bool {
+		if wf, ok := bySym[sym]; ok {
+			return wf.appends
+		}
+		return pass.ImportFact(sym, "appends")
+	}
+
+	// In-package declaration order is arbitrary, so propagate "calls an
+	// appending function" to a fixpoint before classifying call events.
+	for changed := true; changed; {
+		changed = false
+		for _, wf := range funcs {
+			if wf.appends {
+				continue
+			}
+			for _, ev := range wf.events {
+				if ev.kind == evCall && appendsSym(ev.sym) {
+					wf.appends = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, wf := range funcs {
+		if wf.appends && wf.sym != "" {
+			pass.ExportFact(wf.sym, "appends")
+		}
+	}
+
+	if pass.Name != "httpapi" {
+		return // facts still flow; diagnostics are scoped to the writer path
+	}
+
+	// callSites[sym] lists (caller, index of the call event) for dominance
+	// through callers.
+	type site struct {
+		fn  *wfunc
+		idx int
+	}
+	callSites := make(map[string][]site)
+	for _, wf := range funcs {
+		for i, ev := range wf.events {
+			if ev.kind == evCall {
+				callSites[ev.sym] = append(callSites[ev.sym], site{wf, i})
+			}
+		}
+	}
+	coversAt := func(wf *wfunc, idx int) bool {
+		for _, ev := range wf.events[:idx] {
+			if ev.kind == evAppend || (ev.kind == evCall && appendsSym(ev.sym)) {
+				return true
+			}
+		}
+		return false
+	}
+	// coveredByCallers: every in-package call site of sym is preceded by an
+	// append, or sits in a function that is itself covered. No call sites
+	// (an HTTP handler, an exported entry point) means not covered.
+	memo := make(map[string]int) // 0 unknown/in-progress, 1 covered, 2 not
+	var coveredByCallers func(sym string) bool
+	coveredByCallers = func(sym string) bool {
+		switch memo[sym] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		memo[sym] = 2 // cycles are conservatively uncovered
+		sites := callSites[sym]
+		if len(sites) == 0 {
+			return false
+		}
+		for _, s := range sites {
+			if !coversAt(s.fn, s.idx) && !coveredByCallers(s.fn.sym) {
+				return false
+			}
+		}
+		memo[sym] = 1
+		return true
+	}
+
+	for _, wf := range funcs {
+		for i, m := range wf.events {
+			if m.kind != evMutate {
+				continue
+			}
+			if coversAt(wf, i) {
+				if m.reseed {
+					checkReseedGate(pass, wf, i)
+				}
+				continue
+			}
+			laterAppend := false
+			for _, ev := range wf.events[i+1:] {
+				if ev.kind == evAppend {
+					laterAppend = true
+					break
+				}
+			}
+			switch {
+			case laterAppend:
+				pass.Reportf("walorder", m.pos, "estimator mutation precedes the WAL append; journal first so recovery replays what was served")
+			case !coveredByCallers(wf.sym):
+				pass.Reportf("walorder", m.pos, "estimator mutation is not dominated by a WAL append on any caller path")
+			}
+		}
+	}
+}
+
+// checkReseedGate validates the stricter reseed rule for the AdoptHistogram
+// event at index i: the nearest covering event must be a direct append of a
+// KindReseed record whose failure path returns before the adoption runs.
+// Coverage through an appending helper is accepted as-is (the helper's
+// internal shape is its own function's concern).
+func checkReseedGate(pass *Pass, wf *wfunc, i int) {
+	for j := i - 1; j >= 0; j-- {
+		ev := wf.events[j]
+		switch {
+		case ev.kind == evAppend && !ev.reseed:
+			pass.Reportf("walorder", wf.events[i].pos, "reseed adoption must journal a KindReseed record first (nearest append is not a reseed record)")
+			return
+		case ev.kind == evAppend && !ev.gated:
+			pass.Reportf("walorder", wf.events[i].pos, "reseed adoption is not gated on the journal append succeeding; a failed append must reject the promotion, or recovery forks from the served histogram")
+			return
+		case ev.kind == evAppend:
+			return // reseed record, failure path returns: correct shape
+		case ev.kind == evCall && pass.ImportFact(ev.sym, "appends"):
+			// Covered through an appending helper: in-package facts are
+			// exported before diagnostics run, so this also sees them.
+			return
+		}
+	}
+}
+
+// collectWALEvents flattens fn's body into ordered append/mutate/call
+// events and computes the gating property for each append.
+func collectWALEvents(pass *Pass, fn *ast.FuncDecl) []wevent {
+	gated := gatedAppendCalls(pass, fn.Body)
+	var events []wevent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isWALAppendCall(pass.Info, call):
+			events = append(events, wevent{
+				kind:   evAppend,
+				pos:    call.Pos(),
+				reseed: mentionsKindReseed(call),
+				gated:  gated[call],
+			})
+		case isEstimatorMutation(pass.Info, call):
+			name := calleeName(call)
+			events = append(events, wevent{kind: evMutate, pos: call.Pos(), reseed: name == "AdoptHistogram", sym: name})
+		default:
+			if obj := calleeObject(pass.Info, call); obj != nil {
+				if sym := SymbolOf(obj); sym != "" {
+					events = append(events, wevent{kind: evCall, pos: call.Pos(), sym: sym})
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// gatedAppendCalls finds WAL append calls whose error result provably stops
+// the function on failure, in the three idiomatic shapes:
+//
+//	if _, err := l.Append(r); err != nil { ...; return ... }
+//	seq, err := l.Append(r)
+//	if err != nil { ...; return ... }   // immediately following
+//	return l.Append(r)                  // error escapes to the caller
+func gatedAppendCalls(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	gated := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range block.List {
+			switch st := s.(type) {
+			case *ast.IfStmt:
+				if call, errObj := appendAssign(pass.Info, st.Init); call != nil &&
+					condUsesObj(pass.Info, st.Cond, errObj) && terminates(st.Body) {
+					gated[call] = true
+				}
+			case *ast.AssignStmt:
+				call, errObj := appendAssign(pass.Info, st)
+				if call == nil || i+1 >= len(block.List) {
+					continue
+				}
+				if next, ok := block.List[i+1].(*ast.IfStmt); ok &&
+					condUsesObj(pass.Info, next.Cond, errObj) && terminates(next.Body) {
+					gated[call] = true
+				}
+			case *ast.ReturnStmt:
+				for _, res := range st.Results {
+					if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isWALAppendCall(pass.Info, call) {
+						gated[call] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return gated
+}
+
+// appendAssign extracts a WAL append call and the error object it assigns
+// from an `..., err := l.Append(...)` statement (nil, nil otherwise).
+func appendAssign(info *types.Info, s ast.Stmt) (*ast.CallExpr, types.Object) {
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isWALAppendCall(info, call) {
+		return nil, nil
+	}
+	last, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name == "_" {
+		return nil, nil
+	}
+	if obj := info.Defs[last]; obj != nil {
+		return call, obj
+	}
+	return call, info.Uses[last]
+}
+
+func condUsesObj(info *types.Info, cond ast.Expr, obj types.Object) bool {
+	if cond == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminates reports whether a block's last statement leaves the function.
+func terminates(block *ast.BlockStmt) bool {
+	if block == nil || len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isWALAppendCall matches Append/AppendBatch methods on wal.Log.
+func isWALAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Append" && sel.Sel.Name != "AppendBatch") {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return namedTypeIn(s.Recv(), "wal", "Log")
+}
+
+// isEstimatorMutation matches the sthist.Estimator methods that change
+// served state. LoadHistogram (recovery replay) is intentionally excluded.
+func isEstimatorMutation(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Feedback", "FeedbackBatch", "AdoptHistogram":
+	default:
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return namedTypeIn(s.Recv(), "sthist", "Estimator")
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// mentionsKindReseed reports whether any argument expression references an
+// identifier or selector named KindReseed (the reseed record constructor).
+func mentionsKindReseed(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if x.Name == "KindReseed" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if x.Sel.Name == "KindReseed" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -281,6 +281,7 @@ func (r *Runner) fetchDomain(ctx context.Context, table string) (tableDomain, er
 
 func (r *Runner) get(ctx context.Context, pathq string) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.BaseURL+pathq, nil)
+	trace.InjectContext(ctx, req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -538,9 +539,7 @@ func (r *Runner) postOnce(ctx context.Context, path string, body []byte, sc trac
 		return nil, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if sc.Valid() {
-		req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
-	}
+	trace.Inject(sc, req)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, 0, "", err

@@ -290,6 +290,8 @@ func TestWALTapChainsAndTakes(t *testing.T) {
 
 type recordingObserver struct{ log *[]string }
 
-func (r *recordingObserver) ObserveAppend(time.Duration, error)     { *r.log = append(*r.log, "append") }
-func (r *recordingObserver) ObserveSync(time.Duration, error)       { *r.log = append(*r.log, "sync") }
-func (r *recordingObserver) ObserveCheckpoint(time.Duration, error) { *r.log = append(*r.log, "checkpoint") }
+func (r *recordingObserver) ObserveAppend(time.Duration, error) { *r.log = append(*r.log, "append") }
+func (r *recordingObserver) ObserveSync(time.Duration, error)   { *r.log = append(*r.log, "sync") }
+func (r *recordingObserver) ObserveCheckpoint(time.Duration, error) {
+	*r.log = append(*r.log, "checkpoint")
+}

@@ -5,8 +5,10 @@
 package trace
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
+	"net/http"
 	"strings"
 )
 
@@ -55,6 +57,26 @@ func (sc SpanContext) Traceparent() string {
 		flags = "01"
 	}
 	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// Inject stamps sc onto req as the traceparent header. Invalid contexts and
+// nil requests are no-ops, so the call is safe to place unconditionally —
+// including on the line after http.NewRequestWithContext, before the error
+// check (the sthlint ctxflow autofix relies on exactly that).
+func Inject(sc SpanContext, req *http.Request) {
+	if req == nil || !sc.Valid() {
+		return
+	}
+	req.Header.Set(TraceparentHeader, sc.Traceparent())
+}
+
+// InjectContext stamps the span carried by ctx (if any) onto req. With no
+// span in ctx it is a no-op, so untraced callers can share traced helpers.
+func InjectContext(ctx context.Context, req *http.Request) {
+	if ctx == nil {
+		return
+	}
+	Inject(FromContext(ctx).Context(), req)
 }
 
 // ParseTraceparent parses a traceparent header value. The zero SpanContext
